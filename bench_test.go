@@ -1,0 +1,544 @@
+// Benchmark harness: one benchmark per reproduced table/figure of the
+// paper's evaluation (§V), plus scaling benchmarks for the recovery analyzer
+// and repair engine and a baseline comparison. Domain results (loss
+// probabilities, undo/redo set sizes, discarded work) are attached to each
+// benchmark via ReportMetric so `go test -bench` output doubles as the
+// experiment record; EXPERIMENTS.md catalogs the series themselves
+// (regenerate with cmd/ctmc-solve).
+package repro
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"selfheal/internal/baseline"
+	"selfheal/internal/campaign"
+	"selfheal/internal/data"
+	"selfheal/internal/design"
+	"selfheal/internal/dist"
+	"selfheal/internal/engine"
+	"selfheal/internal/figures"
+	"selfheal/internal/rates"
+	"selfheal/internal/recovery"
+	"selfheal/internal/rtsim"
+	"selfheal/internal/scenario"
+	"selfheal/internal/selfheal"
+	"selfheal/internal/sim"
+	"selfheal/internal/stg"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// benchFigure regenerates one paper figure per iteration and reports a
+// headline number from it.
+func benchFigure(b *testing.B, id string, series string, pick func([]float64) float64) {
+	b.Helper()
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			if s.Name == series {
+				headline = pick(s.Y)
+			}
+		}
+	}
+	// ReportMetric rejects units containing whitespace.
+	unit := strings.ReplaceAll(series, " ", "_") + "/headline"
+	b.ReportMetric(headline, unit)
+}
+
+func last(y []float64) float64 { return y[len(y)-1] }
+
+func minOf(y []float64) float64 {
+	m := y[0]
+	for _, v := range y {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Figure 4: loss probability vs buffer size (§V.A.1).
+
+func BenchmarkFig4aSlowDegradation(b *testing.B) {
+	benchFigure(b, "4a", "f=g=sqrt", last) // loss at buffer 30: keeps falling
+}
+
+func BenchmarkFig4bLinearDegradation(b *testing.B) {
+	benchFigure(b, "4b", "f=g=linear", minOf) // the interior optimum
+}
+
+func BenchmarkFig4cFastDegradation(b *testing.B) {
+	benchFigure(b, "4c", "f=g=quad", minOf)
+}
+
+func BenchmarkFig4dMuFasterThanXi(b *testing.B) {
+	benchFigure(b, "4d", "f=quad g=linear", minOf)
+}
+
+// Figure 5: steady-state sweeps (§V.A.2, Cases 2-4).
+
+func BenchmarkFig5aLambdaSweepProbabilities(b *testing.B) {
+	benchFigure(b, "5a", "loss probability", last) // loss at λ=4
+}
+
+func BenchmarkFig5bLambdaSweepExpectations(b *testing.B) {
+	benchFigure(b, "5b", "E[recovery units]", last)
+}
+
+func BenchmarkFig5cMuSweepProbabilities(b *testing.B) {
+	benchFigure(b, "5c", "P(NORMAL)", last) // P(NORMAL) at μ₁=20
+}
+
+func BenchmarkFig5dMuSweepExpectations(b *testing.B) {
+	benchFigure(b, "5d", "E[alerts]", last)
+}
+
+func BenchmarkFig5eXiSweepProbabilities(b *testing.B) {
+	benchFigure(b, "5e", "P(NORMAL)", last)
+}
+
+func BenchmarkFig5fXiSweepExpectations(b *testing.B) {
+	benchFigure(b, "5f", "E[recovery units]", last)
+}
+
+// Figure 6: transient behavior (§V.B, Cases 5-6).
+
+func BenchmarkFig6aGoodSystemTransient(b *testing.B) {
+	benchFigure(b, "6a", "P(NORMAL)", last) // P(NORMAL) at t=4
+}
+
+func BenchmarkFig6bGoodSystemCumulative(b *testing.B) {
+	benchFigure(b, "6b", "time in NORMAL", last)
+}
+
+func BenchmarkFig6cPoorSystemTransient(b *testing.B) {
+	benchFigure(b, "6c", "loss probability", last) // loss at t=100 ∈ [0.9,1]
+}
+
+func BenchmarkFig6dPoorSystemCumulative(b *testing.B) {
+	benchFigure(b, "6d", "time at right edge", last)
+}
+
+// Figure 1: the worked recovery example (§I, §III.B).
+
+func BenchmarkFig1Recovery(b *testing.B) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *recovery.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Undone)), "undone")
+	b.ReportMetric(float64(len(res.Redone)), "redone")
+	b.ReportMetric(float64(len(res.NewExecuted)), "new")
+}
+
+// CTMC engine primitives.
+
+func BenchmarkSteadyStateBuffer15(b *testing.B) {
+	m, err := stg.New(stg.Square(1, 15, 20, 15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyStateBuffer30(b *testing.B) {
+	m, err := stg.New(stg.Square(1, 15, 20, 30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientUniformization(b *testing.B) {
+	m, err := stg.New(stg.Square(1, 2, 3, 15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Transient(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCumulativeTime(b *testing.B) {
+	m, err := stg.New(stg.Square(1, 2, 3, 15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CumulativeTime(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §V validation: discrete-event simulation vs analytic steady state.
+
+func BenchmarkSimVsCTMC(b *testing.B) {
+	p := stg.Square(1, 15, 20, 8)
+	m, err := stg.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := m.SteadyState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tv float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(p, 5000, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = sim.TotalVariation(res.Distribution(m), ss)
+	}
+	b.ReportMetric(tv, "total-variation")
+}
+
+// Recovery engine scaling: analyzer (μ) and repair (ξ) cost vs workload
+// size — the quantities §VI says to measure when designing a system.
+
+func benchRepairScale(b *testing.B, tasks, runs int) {
+	cfg := scenario.RandomConfig{
+		Runs:    runs,
+		Gen:     wf.GenConfig{Tasks: tasks, Keys: tasks / 2, MaxReads: 3, BranchProb: 0.35},
+		Attacks: 2,
+		Forged:  1,
+	}
+	attacked, err := scenario.Random(11, cfg, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *recovery.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(attacked.Log().Len()), "log-entries")
+	b.ReportMetric(float64(len(res.Undone)), "undone")
+}
+
+func BenchmarkRepairSmall(b *testing.B)  { benchRepairScale(b, 10, 2) }
+func BenchmarkRepairMedium(b *testing.B) { benchRepairScale(b, 20, 4) }
+func BenchmarkRepairLarge(b *testing.B)  { benchRepairScale(b, 40, 8) }
+
+func BenchmarkAnalyzeMedium(b *testing.B) {
+	cfg := scenario.RandomConfig{
+		Runs:    4,
+		Gen:     wf.GenConfig{Tasks: 20, Keys: 10, MaxReads: 3, BranchProb: 0.35},
+		Attacks: 2,
+		Forged:  1,
+	}
+	attacked, err := scenario.Random(11, cfg, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recovery.Analyze(attacked.Log(), attacked.Specs, attacked.Bad)
+	}
+}
+
+// Baseline comparison (§I, §VII): dependency-based recovery vs
+// checkpoint/rollback on the same attacked history. The reported metrics
+// show rollback discarding far more committed work than recovery undoes.
+
+func BenchmarkBaselineVsRecovery(b *testing.B) {
+	cfg := scenario.RandomConfig{
+		Runs:    4,
+		Gen:     wf.GenConfig{Tasks: 20, Keys: 10, MaxReads: 3, BranchProb: 0.35},
+		Attacks: 1,
+	}
+	attacked, err := scenario.Random(23, cfg, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(attacked.Bad) == 0 {
+		b.Skip("seed produced no committed attack")
+	}
+	var undone, discarded int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err := baseline.LastCheckpointBefore(attacked.Log(), attacked.Bad, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		undone = len(rec.Undone)
+		discarded = attacked.Log().Len() - cp
+	}
+	b.ReportMetric(float64(undone), "recovery-undone")
+	b.ReportMetric(float64(discarded), "rollback-discarded")
+}
+
+// §VI design procedure.
+
+func BenchmarkGuidelinesChoose(b *testing.B) {
+	req := design.Requirements{Lambda: 1, Epsilon: 1e-3, MaxBuffer: 20}
+	var buf int
+	for i := 0; i < b.N; i++ {
+		c, err := design.Choose(req, 15, 20, stg.DegradeLinear, stg.DegradeLinear)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = c.Buffer
+	}
+	b.ReportMetric(float64(buf), "chosen-buffer")
+}
+
+// State occupancy across the paper's named cases (the implicit table of
+// §V.A.2).
+
+func BenchmarkStateOccupancy(b *testing.B) {
+	cases := []struct {
+		name string
+		p    stg.Params
+	}{
+		{"case2-good", stg.Square(0.5, 15, 20, 15)},
+		{"case2-overload", stg.Square(4, 15, 20, 15)},
+		{"case5-good", stg.Square(1, 15, 20, 15)},
+		{"case6-poor", stg.Square(1, 2, 3, 15)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			m, err := stg.New(c.p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var met stg.Metrics
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met, err = m.SteadyMetrics()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(met.PNormal, "P(NORMAL)")
+			b.ReportMetric(met.Loss, "loss")
+		})
+	}
+}
+
+// Example-scale sanity: keep the examples' workloads benchmarked so
+// regressions in the recovery path surface here.
+
+func BenchmarkSelfhealUnitExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		attacked, err := scenario.Fig1(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Undone) != 7 {
+			b.Fatalf("undo set drifted: %v", res.Undone)
+		}
+	}
+}
+
+func TestFigureInventoryComplete(t *testing.T) {
+	// Every reproduced figure must be regenerable by ID.
+	if got := len(figures.IDs()); got != 15 {
+		t.Fatalf("figure inventory has %d entries, want 15", got)
+	}
+}
+
+// Real-runtime validation (integration of the production state machine with
+// the CTMC, internal/rtsim).
+
+func BenchmarkRealRuntimeVsCTMC(b *testing.B) {
+	p := stg.Square(1, 6, 8, 4)
+	m, err := stg.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rtsim.Run(p, 2000, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.LossOccupancy() - met.Loss
+		if gap < 0 {
+			gap = -gap
+		}
+	}
+	b.ReportMetric(gap, "loss-gap-vs-model")
+}
+
+// §VI step 1: measuring μ_k and ξ_k on the real implementation.
+
+func BenchmarkMeasureRates(b *testing.B) {
+	cfg := rates.Config{MaxK: 4, Repeats: 1, Tasks: 8, Seed: 1}
+	var name string
+	for i := 0; i < b.N; i++ {
+		mu, err := rates.MeasureAnalyzer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fam, _, err := rates.FitDegradation(mu)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name = fam.Name
+	}
+	b.Logf("analyzer degradation classified as %q", name)
+}
+
+// Ablation: strict (Theorem-4 gating) vs concurrent (§III.D strategy 3)
+// runtime on the Figure 1 workload with a mid-run alert.
+
+func BenchmarkStrategyAblation(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		concurrent bool
+	}{{"strict", false}, {"concurrent", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var overlap int
+			for i := 0; i < b.N; i++ {
+				sys := mustFig1System(b, mode.concurrent)
+				if err := sys.Tick(); err != nil {
+					b.Fatal(err)
+				}
+				sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
+				if err := sys.RunToCompletion(300); err != nil {
+					b.Fatal(err)
+				}
+				overlap = sys.Metrics().ConcurrentNormalSteps
+			}
+			b.ReportMetric(float64(overlap), "overlap-steps")
+		})
+	}
+}
+
+func mustFig1System(b *testing.B, concurrent bool) *selfheal.System {
+	b.Helper()
+	st := data.NewStore()
+	st.Init("e", 0)
+	sys, err := selfheal.New(selfheal.Config{AlertBuf: 8, RecoveryBuf: 8, Concurrent: concurrent}, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wf1, wf2 := wf.Fig1Specs()
+	sys.Engine().AddAttack(engine.Attack{
+		Run: "r1", Task: "t1",
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"a": 100}
+		},
+	})
+	if err := sys.StartRun("r1", wf1); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.StartRun("r2", wf2); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// Extension experiment E1: asymmetric buffer sizing (§VI advice).
+
+func BenchmarkFigE1BufferGrid(b *testing.B) {
+	benchFigure(b, "e1", "recovery buffer 15", minOf)
+}
+
+// Distributed recovery (§VII): the Figure 1 workload over three nodes.
+
+func BenchmarkDistributedRecovery(b *testing.B) {
+	wf1, wf2 := wf.Fig1Specs()
+	var undone int
+	for i := 0; i < b.N; i++ {
+		st := data.NewStore()
+		st.Init("e", 0)
+		c, err := dist.NewCluster(st, "P1", "P2", "P3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.AddAttack(dist.Attack{
+			Run: "r1", Task: "t1",
+			Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+				return map[data.Key]data.Value{"a": 100}
+			},
+		})
+		a1 := dist.Assignment{"t1": "P1", "t2": "P1", "t3": "P2", "t4": "P2", "t5": "P2", "t6": "P1"}
+		a2 := dist.Assignment{"t7": "P3", "t8": "P3", "t9": "P3", "t10": "P3"}
+		ch1, err := c.Submit("r1", wf1, a1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-ch1; err != nil {
+			b.Fatal(err)
+		}
+		ch2, err := c.Submit("r2", wf2, a2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-ch2; err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := c.Recover([]wlog.InstanceID{"r1/t1#1"}, recovery.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		undone = len(res.Undone)
+		c.Close()
+	}
+	b.ReportMetric(float64(undone), "undone")
+}
+
+// End-to-end campaign (workload + attacks + IDS + on-line recovery).
+
+func BenchmarkCampaign(b *testing.B) {
+	var undone int
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(campaign.DefaultConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Verified {
+			b.Fatalf("campaign %d produced an invalid history", i)
+		}
+		undone = rep.Metrics.Undone
+	}
+	b.ReportMetric(float64(undone), "undone")
+}

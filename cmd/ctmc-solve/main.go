@@ -1,0 +1,170 @@
+// Command ctmc-solve regenerates the paper's evaluation figures (§V) from
+// the CTMC model, or solves a custom recovery-system configuration.
+//
+// Regenerate a figure (text table or CSV):
+//
+//	ctmc-solve -fig 5a
+//	ctmc-solve -fig 4c -format csv
+//	ctmc-solve -fig all
+//
+// Solve a custom configuration:
+//
+//	ctmc-solve -lambda 1 -mu 15 -xi 20 -buf 15 -f linear -g linear
+//	ctmc-solve -lambda 1 -mu 2 -xi 3 -buf 15 -t 100       # add transient π(t)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfheal/internal/dot"
+	"selfheal/internal/figures"
+	"selfheal/internal/stg"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate (4a..4d, 5a..5f, 6a..6d, or 'all')")
+		format = flag.String("format", "table", "output format: table or csv")
+		lambda = flag.Float64("lambda", 1, "IDS alert arrival rate λ")
+		mu     = flag.Float64("mu", 15, "alert analysis rate μ₁")
+		xi     = flag.Float64("xi", 20, "recovery execution rate ξ₁")
+		buf    = flag.Int("buf", 15, "buffer size (alerts and recovery units)")
+		fName  = flag.String("f", "linear", "μ degradation family: none, sqrt, linear, quad")
+		gName  = flag.String("g", "linear", "ξ degradation family: none, sqrt, linear, quad")
+		tPoint = flag.Float64("t", 0, "also report transient metrics at time t (0 = steady state only)")
+		stgDot = flag.Bool("stg", false, "print the state transition graph (the paper's Fig 3) as Graphviz DOT and exit")
+	)
+	flag.Parse()
+
+	if *stgDot {
+		if err := printSTG(*lambda, *mu, *xi, *buf, *fName, *gName); err != nil {
+			fmt.Fprintln(os.Stderr, "ctmc-solve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*fig, *format, *lambda, *mu, *xi, *buf, *fName, *gName, *tPoint); err != nil {
+		fmt.Fprintln(os.Stderr, "ctmc-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, format string, lambda, mu, xi float64, buf int, fName, gName string, tPoint float64) error {
+	if fig != "" {
+		ids := []string{fig}
+		if fig == "all" {
+			ids = figures.IDs()
+		}
+		for _, id := range ids {
+			f, err := figures.ByID(id)
+			if err != nil {
+				return err
+			}
+			switch format {
+			case "table":
+				fmt.Println(f.Table())
+			case "csv":
+				fmt.Printf("# Figure %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+			default:
+				return fmt.Errorf("unknown format %q", format)
+			}
+		}
+		return nil
+	}
+
+	f, err := stg.DegradationByName(fName)
+	if err != nil {
+		return err
+	}
+	g, err := stg.DegradationByName(gName)
+	if err != nil {
+		return err
+	}
+	p := stg.Square(lambda, mu, xi, buf)
+	p.F, p.G = f, g
+	m, err := stg.New(p)
+	if err != nil {
+		return err
+	}
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configuration: λ=%g μ₁=%g ξ₁=%g buffer=%d f=%s g=%s (%d states)\n",
+		lambda, mu, xi, buf, fName, gName, m.N())
+	fmt.Println("steady state (Equation 1):")
+	printMetrics(met)
+	eps, err := m.EpsilonConvergence()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  ε-convergence (Definition 4):  %.6g\n", eps)
+	if lambda > 0 {
+		mttl, err := m.MeanTimeToLoss()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  mean time to first lost alert (from NORMAL): %.6g\n", mttl)
+	}
+
+	if tPoint > 0 {
+		pi, err := m.Transient(tPoint)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("transient state at t=%g (Equation 2):\n", tPoint)
+		printMetrics(m.MetricsOf(pi))
+		l, err := m.CumulativeTime(tPoint)
+		if err != nil {
+			return err
+		}
+		cm := stg.Metrics{}
+		for i, s := range m.States() {
+			switch s.Classify() {
+			case stg.Normal:
+				cm.PNormal += l[i]
+			case stg.Scan:
+				cm.PScan += l[i]
+			case stg.Recovery:
+				cm.PRecovery += l[i]
+			}
+			if s.Alerts == p.AlertBuf {
+				cm.Loss += l[i]
+			}
+		}
+		fmt.Printf("cumulative time over [0,%g) (Equation 3):\n", tPoint)
+		fmt.Printf("  NORMAL %.4g  SCAN %.4g  RECOVERY %.4g  right-edge %.4g\n",
+			cm.PNormal, cm.PScan, cm.PRecovery, cm.Loss)
+	}
+	return nil
+}
+
+func printSTG(lambda, mu, xi float64, buf int, fName, gName string) error {
+	f, err := stg.DegradationByName(fName)
+	if err != nil {
+		return err
+	}
+	g, err := stg.DegradationByName(gName)
+	if err != nil {
+		return err
+	}
+	p := stg.Square(lambda, mu, xi, buf)
+	p.F, p.G = f, g
+	m, err := stg.New(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dot.STG(m))
+	return nil
+}
+
+func printMetrics(met stg.Metrics) {
+	fmt.Printf("  P(NORMAL)   %.6g\n", met.PNormal)
+	fmt.Printf("  P(SCAN)     %.6g\n", met.PScan)
+	fmt.Printf("  P(RECOVERY) %.6g\n", met.PRecovery)
+	fmt.Printf("  loss probability (Definition 3): %.6g\n", met.Loss)
+	fmt.Printf("  recovery buffer full:            %.6g\n", met.RecoveryFull)
+	fmt.Printf("  E[alerts] %.4g  E[recovery units] %.4g\n", met.EAlerts, met.ERecovery)
+}

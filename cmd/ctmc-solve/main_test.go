@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunFigure(t *testing.T) {
+	if err := run("4b", "table", 0, 0, 0, 0, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("4b", "csv", 0, 0, 0, 0, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureErrors(t *testing.T) {
+	if err := run("9z", "table", 0, 0, 0, 0, "", "", 0); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run("4b", "xml", 0, 0, 0, 0, "", "", 0); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunCustomConfiguration(t *testing.T) {
+	if err := run("", "table", 1, 15, 20, 6, "linear", "linear", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomConfigurationErrors(t *testing.T) {
+	if err := run("", "table", 1, 15, 20, 6, "cubic", "linear", 0); err == nil {
+		t.Error("unknown μ family accepted")
+	}
+	if err := run("", "table", 1, 15, 20, 6, "linear", "cubic", 0); err == nil {
+		t.Error("unknown ξ family accepted")
+	}
+	if err := run("", "table", 1, 0, 20, 6, "linear", "linear", 0); err == nil {
+		t.Error("invalid rates accepted")
+	}
+}
+
+func TestPrintSTG(t *testing.T) {
+	if err := printSTG(1, 15, 20, 2, "linear", "linear"); err != nil {
+		t.Fatal(err)
+	}
+	if err := printSTG(1, 15, 20, 2, "cubic", "linear"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -1,0 +1,42 @@
+// Command selfheal-server exposes the recovery-system analysis engine over
+// HTTP:
+//
+//	GET /healthz                     liveness
+//	GET /figures                     list of reproducible figure IDs
+//	GET /figure/{id}?format=csv      one figure (table, csv or json)
+//	GET /solve?lambda=1&mu=15&xi=20&buf=15&f=linear&g=linear[&t=4]
+//	                                 steady-state (and transient) metrics
+//	GET /stg.dot?buf=4               the Fig 3 STG as Graphviz DOT
+//	POST /repair                     remote recovery: {snapshot, specs, runs, bad}
+//	                                 → undo/redo sets + repaired final state
+//
+// Example:
+//
+//	selfheal-server -addr :8080 &
+//	curl 'localhost:8080/solve?lambda=1&mu=2&xi=3&t=100'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"selfheal/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("selfheal-server listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

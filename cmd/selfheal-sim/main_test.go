@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunQueueing(t *testing.T) {
+	if err := runQueueing(1, 15, 20, 4, "linear", "linear", 200, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueueingErrors(t *testing.T) {
+	if err := runQueueing(1, 15, 20, 4, "cubic", "linear", 200, 1); err == nil {
+		t.Error("unknown μ family accepted")
+	}
+	if err := runQueueing(1, 15, 20, 4, "linear", "cubic", 200, 1); err == nil {
+		t.Error("unknown ξ family accepted")
+	}
+	if err := runQueueing(1, 0, 20, 4, "linear", "linear", 200, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestRunRuntime(t *testing.T) {
+	if err := runRuntime(3, 2, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanSpec(t *testing.T) {
+	if err := run("testdata/fig1.json", "", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAttackAndRecovery(t *testing.T) {
+	if err := run("testdata/fig1.json", "t1", 100, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithDump(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "snap.json")
+	if err := run("testdata/fig1.json", "t1", 100, dump); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"format"`) {
+		t.Error("snapshot missing format header")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("testdata/missing.json", "", 0, ""); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	if err := run("testdata/fig1.json", "ghost", 1, ""); err == nil {
+		t.Error("unknown attack target accepted")
+	}
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "Self-Healing Workflow
+// Systems under Attacks" (Meng Yu, Peng Liu, Wanyu Zang; ICDCS 2004).
+//
+// The library implements the paper's dependency-based on-line attack
+// recovery for workflow management systems — the damage-identification
+// theorems, the partial-order scheduling rules, the recovery-system
+// architecture, and the Continuous-Time Markov Chain performance analysis —
+// together with every substrate it needs: a multi-version data store, a
+// workflow execution engine with a commit-ordered system log, exact data-
+// and control-dependence analysis, an IDS simulator, a discrete-event
+// validator, and checkpoint/rollback baselines.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced figure.
+//
+// The root package contains only the benchmark harness (bench_test.go); the
+// implementation lives under internal/ and the runnable entry points under
+// cmd/ and examples/.
+package repro

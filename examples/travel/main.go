@@ -1,0 +1,121 @@
+// Travel demonstrates the paper's second §I motivation — "the attacker may
+// schedule a travel with forged credit card information" — with control-
+// dependence recovery front and center. A booking workflow pulls the
+// customer's credit score, and the score gates the execution path: approved
+// bookings reserve a seat and a room; denials only notify. The attacker
+// corrupts the score-pull so a bad customer gets approved, consuming
+// inventory. Recovery re-decides the branch, undoes the bookings (restoring
+// the seat and room counters — work that "computed correctly" but should
+// never have run, the paper's condition 2), and routes the corrected
+// execution down the denial path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+func bookingSpec() *wf.Spec {
+	return wf.NewBuilder("booking", "pull-score").
+		Task("pull-score").Reads("bureau:alice").Writes("score").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"score": r["bureau:alice"]}
+		}).Then("credit-check").End().
+		Task("credit-check").Reads("score").Writes("decision").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			d := data.Value(0)
+			if r["score"] >= 600 {
+				d = 1
+			}
+			return map[data.Key]data.Value{"decision": d}
+		}).Then("deny", "book-flight").
+		ChooseBy(wf.ThresholdChoose("score", 600, "deny", "book-flight")).End().
+		Task("book-flight").Reads("seats").Writes("seats", "flight-ref").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{
+				"seats":      r["seats"] - 1,
+				"flight-ref": 7000 + r["seats"],
+			}
+		}).Then("book-hotel").End().
+		Task("book-hotel").Reads("rooms").Writes("rooms", "hotel-ref").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{
+				"rooms":     r["rooms"] - 1,
+				"hotel-ref": 8000 + r["rooms"],
+			}
+		}).Then("invoice").End().
+		Task("invoice").Reads("flight-ref", "hotel-ref").Writes("invoice").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"invoice": r["flight-ref"] + r["hotel-ref"]}
+		}).End().
+		Task("deny").Reads("score").Writes("notice").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"notice": 1}
+		}).End().
+		MustBuild()
+}
+
+func main() {
+	st := data.NewStore()
+	st.Init("bureau:alice", 480) // a score that must be denied
+	st.Init("seats", 100)
+	st.Init("rooms", 50)
+
+	eng := engine.New(st, wlog.New())
+	// The attacker forges the credit information: the score pull reports
+	// a stellar 810 instead of the real 480.
+	eng.AddAttack(engine.Attack{
+		Run: "trip1", Task: "pull-score",
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"score": 810}
+		},
+	})
+	spec := bookingSpec()
+	run, err := eng.NewRun("trip1", spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.RunAll(run); err != nil {
+		log.Fatal(err)
+	}
+	snap := eng.Store().Snapshot()
+	fmt.Printf("after the forged booking: seats=%d rooms=%d invoice=%d\n",
+		snap["seats"], snap["rooms"], snap["invoice"])
+
+	// IDS reports the forged score pull.
+	bad := []wlog.InstanceID{wlog.FormatInstance("trip1", "pull-score", 1)}
+	specs := map[string]*wf.Spec{"trip1": spec}
+	a := recovery.Analyze(eng.Log(), specs, bad)
+	fmt.Println("\ndamage analysis:")
+	fmt.Println("  flow-damaged:", a.FlowDamaged)
+	for g, c := range a.CandidateUndo {
+		fmt.Printf("  on the wrong branch if redo(%s) decides otherwise: %v\n", g, c)
+	}
+
+	res, err := recovery.Repair(eng.Store(), eng.Log(), specs, bad, recovery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrecovery outcome:")
+	fmt.Println("  undone:", res.Undone)
+	fmt.Println("  redone:", res.Redone)
+	fmt.Println("  newly executed (denial path):", res.NewExecuted)
+	fmt.Println("  bookings dropped without redo:", res.DroppedNotRedone)
+
+	snap = res.Store.Snapshot()
+	fmt.Printf("\nafter recovery: seats=%d rooms=%d notice=%d\n",
+		snap["seats"], snap["rooms"], snap["notice"])
+	if snap["seats"] != 100 || snap["rooms"] != 50 {
+		log.Fatal("inventory not restored")
+	}
+	if _, stillBooked := snap["invoice"]; stillBooked {
+		log.Fatal("fraudulent invoice survived recovery")
+	}
+	fmt.Println("inventory restored, trip denied — the corrected history is the honest one ✓")
+}

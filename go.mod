@@ -1,0 +1,3 @@
+module selfheal
+
+go 1.22

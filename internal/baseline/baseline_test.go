@@ -1,0 +1,158 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"selfheal/internal/baseline"
+	"selfheal/internal/data"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wlog"
+)
+
+func fig1Initial() map[data.Key]data.Value {
+	return map[data.Key]data.Value{"e": 0}
+}
+
+func TestLastCheckpointBefore(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attack at LSN 1 (t1): every interval yields checkpoint 0.
+	cp, err := baseline.LastCheckpointBefore(s.Log(), s.Bad, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 0 {
+		t.Errorf("cp = %d, want 0", cp)
+	}
+	// A later attack: t9 at LSN 7 with interval 4 → checkpoint 4.
+	cp, err = baseline.LastCheckpointBefore(s.Log(), []wlog.InstanceID{"r2/t9#1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 4 {
+		t.Errorf("cp = %d, want 4", cp)
+	}
+	if _, err := baseline.LastCheckpointBefore(s.Log(), []wlog.InstanceID{"r9/x#1"}, 4); err == nil {
+		t.Error("unknown instance accepted")
+	}
+	if _, err := baseline.LastCheckpointBefore(s.Log(), s.Bad, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+// TestRollbackFromInitialMatchesClean: rolling back to the initial state and
+// re-executing everything benignly reproduces the clean final state — at the
+// cost of discarding all nine committed tasks.
+func TestRollbackFromInitialMatchesClean(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.RollbackRecover(attacked.Log(), attacked.Specs, fig1Initial(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded != 9 {
+		t.Errorf("discarded = %d, want all 9", res.Discarded)
+	}
+	if res.ReExecuted != 8 {
+		t.Errorf("re-executed = %d, want 8 (both clean paths)", res.ReExecuted)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRollbackAfterAttackStaysCorrupt: a checkpoint taken after the
+// malicious commit preserves the corruption — the §I argument for
+// dependency-based recovery over checkpoints.
+func TestRollbackAfterAttackStaysCorrupt(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint at LSN 2 (after corrupt t1 and clean t7).
+	res, err := baseline.RollbackRecover(attacked.Log(), attacked.Specs, fig1Initial(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Store.Get("a"); v.Value != 100 {
+		t.Fatalf("a = %d; checkpoint after attack should retain corruption", v.Value)
+	}
+	// The re-execution therefore walks the wrong path again.
+	if _, ok := res.Store.Get("c"); !ok {
+		t.Error("corrupt branch not re-taken; expected t3 to run again")
+	}
+}
+
+// TestRedoAllSinceAttack: the perfect-checkpoint best case discards
+// everything from the first malicious commit onwards.
+func TestRedoAllSinceAttack(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.RedoAllSinceAttack(attacked.Log(), attacked.Specs, fig1Initial(), attacked.Bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointLSN != 0 {
+		t.Errorf("cp = %d, want 0 (attack at LSN 1)", res.CheckpointLSN)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBaselineDiscardsMoreThanDependencyRecovery quantifies §I: for an
+// attack detected late (t9), rollback discards clean work that
+// dependency-based recovery keeps untouched.
+func TestBaselineDiscardsMoreThanDependencyRecovery(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []wlog.InstanceID{"r2/t9#1"} // pretend t9 was the malicious one
+	cp, err := baseline.LastCheckpointBefore(attacked.Log(), bad, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.RollbackRecover(attacked.Log(), attacked.Specs, fig1Initial(), cp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t9 infects only t10's read of i? (t10 reads h, not i) — recovery
+	// undoes {t9} alone, while rollback discards 5 entries (LSN 5..9).
+	if len(rec.Undone) >= res.Discarded {
+		t.Errorf("dependency recovery undid %d, rollback discarded %d; expected strictly less",
+			len(rec.Undone), res.Discarded)
+	}
+}
+
+func TestRollbackValidatesRange(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.RollbackRecover(attacked.Log(), attacked.Specs, fig1Initial(), -1, 0); err == nil {
+		t.Error("negative checkpoint accepted")
+	}
+	if _, err := baseline.RollbackRecover(attacked.Log(), attacked.Specs, fig1Initial(), 99, 0); err == nil {
+		t.Error("checkpoint beyond log accepted")
+	}
+}

@@ -1,0 +1,271 @@
+// Package ctmc implements the finite-state Continuous-Time Markov Chain
+// analysis of §V of the paper: steady-state probabilities (Equation 1,
+// π·Q = 0 with Σπ = 1), transient state probabilities (Equation 2,
+// dπ/dt = π·Q) via uniformization, and the cumulative time spent in each
+// state (Equation 3) via the integrated uniformization series. A fixed-step
+// RK4 integrator provides an independent cross-check of the uniformization
+// results.
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfheal/internal/mat"
+)
+
+// Chain is a finite-state CTMC defined by its generator matrix.
+type Chain struct {
+	q *mat.Dense
+	n int
+	// uniformization cache
+	unifRate float64
+	unifP    *mat.Dense
+}
+
+// rateTolerance bounds the acceptable row-sum deviation of a generator.
+const rateTolerance = 1e-9
+
+// New validates q as a CTMC generator (square, non-negative off-diagonal
+// rates, rows summing to zero) and returns the chain.
+func New(q *mat.Dense) (*Chain, error) {
+	if q.Rows() != q.Cols() {
+		return nil, fmt.Errorf("ctmc: generator must be square, got %dx%d", q.Rows(), q.Cols())
+	}
+	n := q.Rows()
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := q.At(i, j)
+			if i != j && v < 0 {
+				return nil, fmt.Errorf("ctmc: negative rate q[%d,%d] = %g", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum) > rateTolerance {
+			return nil, fmt.Errorf("ctmc: row %d sums to %g, want 0", i, sum)
+		}
+	}
+	return &Chain{q: q.Clone(), n: n}, nil
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.n }
+
+// Generator returns a copy of the generator matrix.
+func (c *Chain) Generator() *mat.Dense { return c.q.Clone() }
+
+// SteadyState solves Equation 1: π·Q = 0 with Σπ = 1. The chain must be
+// irreducible for the solution to be unique.
+func (c *Chain) SteadyState() ([]float64, error) {
+	pi, err := mat.NullVectorStochastic(c.q)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: %w", err)
+	}
+	return pi, nil
+}
+
+// uniformize lazily builds the uniformized DTMC P = I + Q/Λ with
+// Λ slightly above the largest exit rate.
+func (c *Chain) uniformize() (float64, *mat.Dense) {
+	if c.unifP != nil {
+		return c.unifRate, c.unifP
+	}
+	var maxExit float64
+	for i := 0; i < c.n; i++ {
+		if v := -c.q.At(i, i); v > maxExit {
+			maxExit = v
+		}
+	}
+	rate := maxExit * 1.02
+	if rate == 0 {
+		rate = 1 // absorbing-everything chain: P = I
+	}
+	p := mat.Identity(c.n)
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			p.Add(i, j, c.q.At(i, j)/rate)
+		}
+	}
+	c.unifRate, c.unifP = rate, p
+	return rate, p
+}
+
+// Transient solves Equation 2: the state distribution at time t starting
+// from pi0, computed by uniformization with truncation error below eps
+// (default 1e-12).
+func (c *Chain) Transient(pi0 []float64, t, eps float64) ([]float64, error) {
+	if err := c.checkDist(pi0); err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, errors.New("ctmc: negative time")
+	}
+	rate, p := c.uniformize()
+	w := mat.PoissonWeights(rate*t, eps)
+	out := make([]float64, c.n)
+	cur := append([]float64(nil), pi0...)
+	for k, wk := range w {
+		if k > 0 {
+			cur = mat.VecMul(cur, p)
+		}
+		mat.AXPY(wk, cur, out)
+	}
+	normalize(out)
+	return out, nil
+}
+
+// TransientSeries evaluates Transient at each time point.
+func (c *Chain) TransientSeries(pi0 []float64, times []float64, eps float64) ([][]float64, error) {
+	out := make([][]float64, len(times))
+	for i, t := range times {
+		pi, err := c.Transient(pi0, t, eps)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pi
+	}
+	return out, nil
+}
+
+// CumulativeTime solves Equation 3: l(t) = ∫₀ᵗ π(s) ds, the expected time
+// spent in each state during [0, t), using the integrated uniformization
+// series l(t) = (1/Λ) Σ_k (1 − Σ_{j≤k} w_j) π₀ Pᵏ.
+func (c *Chain) CumulativeTime(pi0 []float64, t, eps float64) ([]float64, error) {
+	if err := c.checkDist(pi0); err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, errors.New("ctmc: negative time")
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	rate, p := c.uniformize()
+	// Tighter truncation: the cumulative series converges more slowly
+	// than the point series.
+	w := mat.PoissonWeights(rate*t, eps*1e-3)
+	out := make([]float64, c.n)
+	cur := append([]float64(nil), pi0...)
+	cum := 0.0
+	for k, wk := range w {
+		if k > 0 {
+			cur = mat.VecMul(cur, p)
+		}
+		cum += wk
+		coeff := (1 - cum) / rate
+		if coeff <= 0 {
+			break
+		}
+		mat.AXPY(coeff, cur, out)
+	}
+	// The exact coefficients sum to t; rescale the truncated series so
+	// Σ l_i(t) = t holds to machine precision.
+	if s := mat.Sum(out); s > 0 {
+		scale := t / s
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// MeanFirstPassage returns, for every state, the expected time until the
+// chain first enters any target state. Target states report zero. The
+// standard absorption argument gives the linear system
+//
+//	Σ_j q_ij·h_j = −1   for non-target i,   h_t = 0 for targets,
+//
+// solved by Gaussian elimination over the non-target block. States that
+// cannot reach a target make the system singular, which is reported as an
+// error.
+func (c *Chain) MeanFirstPassage(target []bool) ([]float64, error) {
+	if len(target) != c.n {
+		return nil, fmt.Errorf("ctmc: target length %d != %d states", len(target), c.n)
+	}
+	var free []int
+	idx := make([]int, c.n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := 0; i < c.n; i++ {
+		if !target[i] {
+			idx[i] = len(free)
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return make([]float64, c.n), nil
+	}
+	a := mat.NewDense(len(free), len(free))
+	b := make([]float64, len(free))
+	for r, i := range free {
+		b[r] = -1
+		for j := 0; j < c.n; j++ {
+			if cidx := idx[j]; cidx >= 0 {
+				a.Set(r, cidx, c.q.At(i, j))
+			}
+		}
+	}
+	h, err := mat.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: first passage: %w", err)
+	}
+	out := make([]float64, c.n)
+	for r, i := range free {
+		if h[r] < 0 {
+			return nil, fmt.Errorf("ctmc: negative hitting time %g at state %d", h[r], i)
+		}
+		out[i] = h[r]
+	}
+	return out, nil
+}
+
+// TransientRK4 integrates Equation 2 with classical RK4 as an independent
+// cross-check of the uniformization solver.
+func (c *Chain) TransientRK4(pi0 []float64, t float64, steps int) ([]float64, error) {
+	if err := c.checkDist(pi0); err != nil {
+		return nil, err
+	}
+	deriv := func(_ float64, y, dst []float64) {
+		r := mat.VecMul(y, c.q)
+		copy(dst, r)
+	}
+	out := mat.RK4(deriv, pi0, 0, t, steps)
+	normalize(out)
+	return out, nil
+}
+
+func (c *Chain) checkDist(pi0 []float64) error {
+	if len(pi0) != c.n {
+		return fmt.Errorf("ctmc: distribution length %d != %d states", len(pi0), c.n)
+	}
+	var sum float64
+	for i, v := range pi0 {
+		if v < 0 {
+			return fmt.Errorf("ctmc: negative probability %g at state %d", v, i)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("ctmc: initial distribution sums to %g", sum)
+	}
+	return nil
+}
+
+func normalize(x []float64) {
+	var sum float64
+	for i, v := range x {
+		if v < 0 && v > -1e-12 {
+			x[i] = 0
+			continue
+		}
+		sum += v
+	}
+	if sum > 0 {
+		for i := range x {
+			x[i] /= sum
+		}
+	}
+}

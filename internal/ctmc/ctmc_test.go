@@ -1,0 +1,326 @@
+package ctmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selfheal/internal/mat"
+)
+
+// twoState returns the generator of a two-state chain with rates a (0→1)
+// and b (1→0), whose transient solution is known in closed form.
+func twoState(a, b float64) *mat.Dense {
+	return mat.NewDenseFrom([][]float64{
+		{-a, a},
+		{b, -b},
+	})
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(mat.NewDense(2, 3)); err == nil {
+		t.Error("non-square generator accepted")
+	}
+	bad := mat.NewDenseFrom([][]float64{{-1, 1}, {2, -1}})
+	if _, err := New(bad); err == nil {
+		t.Error("non-zero row sum accepted")
+	}
+	neg := mat.NewDenseFrom([][]float64{{1, -1}, {2, -2}})
+	if _, err := New(neg); err == nil {
+		t.Error("negative off-diagonal rate accepted")
+	}
+	if _, err := New(twoState(1, 2)); err != nil {
+		t.Errorf("valid generator rejected: %v", err)
+	}
+}
+
+func TestSteadyStateTwoState(t *testing.T) {
+	c, err := New(twoState(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.L1Dist(pi, []float64{0.6, 0.4}) > 1e-12 {
+		t.Errorf("π = %v, want [0.6 0.4]", pi)
+	}
+}
+
+func TestTransientClosedForm(t *testing.T) {
+	// Two-state chain: p₀(t) = b/(a+b) + a/(a+b)·e^{-(a+b)t}.
+	a, b := 2.0, 3.0
+	c, err := New(twoState(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0, 0.1, 0.5, 1, 2, 10} {
+		pi, err := c.Transient([]float64{1, 0}, tm, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := b/(a+b) + a/(a+b)*math.Exp(-(a+b)*tm)
+		if math.Abs(pi[0]-want) > 1e-9 {
+			t.Errorf("t=%g: p0 = %g, want %g", tm, pi[0], want)
+		}
+	}
+}
+
+func TestTransientMatchesRK4(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		q := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				r := rng.Float64() * 5
+				q.Set(i, j, r)
+				sum += r
+			}
+			q.Set(i, i, -sum)
+		}
+		c, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi0 := make([]float64, n)
+		pi0[0] = 1
+		tm := 0.5 + rng.Float64()*2
+		u, err := c.Transient(pi0, tm, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := c.TransientRK4(pi0, tm, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := mat.L1Dist(u, r4); d > 1e-6 {
+			t.Errorf("trial %d: uniformization vs RK4 distance %g", trial, d)
+		}
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	c, err := New(twoState(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Transient([]float64{1, 0}, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.L1Dist(pi, ss) > 1e-9 {
+		t.Errorf("π(100) = %v, steady = %v", pi, ss)
+	}
+}
+
+func TestTransientSeriesMonotoneTimes(t *testing.T) {
+	c, err := New(twoState(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0, 0.5, 1, 2}
+	series, err := c.TransientSeries([]float64{1, 0}, times, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(times) {
+		t.Fatalf("series has %d points", len(series))
+	}
+	if series[0][0] != 1 {
+		t.Errorf("π(0) = %v, want initial", series[0])
+	}
+	// p0 decays monotonically toward 0.5 for the symmetric chain.
+	for i := 1; i < len(series); i++ {
+		if series[i][0] >= series[i-1][0] {
+			t.Errorf("p0 not decaying: %v", series)
+		}
+	}
+}
+
+func TestCumulativeTimeClosedForm(t *testing.T) {
+	// ∫₀ᵗ p₀(s) ds = b/(a+b)·t + a/(a+b)²·(1 − e^{-(a+b)t}).
+	a, b := 2.0, 3.0
+	c, err := New(twoState(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0.5, 1, 5, 20} {
+		l, err := c.CumulativeTime([]float64{1, 0}, tm, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := a + b
+		want := b/s*tm + a/(s*s)*(1-math.Exp(-s*tm))
+		if math.Abs(l[0]-want) > 1e-6*tm {
+			t.Errorf("t=%g: l0 = %g, want %g", tm, l[0], want)
+		}
+		if math.Abs(mat.Sum(l)-tm) > 1e-9 {
+			t.Errorf("t=%g: Σl = %g, want %g", tm, mat.Sum(l), tm)
+		}
+	}
+}
+
+func TestCumulativeTimeViaQuadrature(t *testing.T) {
+	// Independent check: trapezoid-integrate the transient solution.
+	c, err := New(twoState(0.7, 1.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi0 := []float64{0.3, 0.7}
+	const tm = 3.0
+	const steps = 3000
+	acc := make([]float64, 2)
+	prev, err := c.Transient(pi0, 0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tm / steps
+	for i := 1; i <= steps; i++ {
+		cur, err := c.Transient(pi0, h*float64(i), 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range acc {
+			acc[j] += h / 2 * (prev[j] + cur[j])
+		}
+		prev = cur
+	}
+	l, err := c.CumulativeTime(pi0, tm, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.L1Dist(l, acc); d > 1e-5 {
+		t.Errorf("cumulative vs quadrature distance %g (%v vs %v)", d, l, acc)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	c, err := New(twoState(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transient([]float64{1}, 1, 0); err == nil {
+		t.Error("wrong-length distribution accepted")
+	}
+	if _, err := c.Transient([]float64{0.5, 0.4}, 1, 0); err == nil {
+		t.Error("non-normalized distribution accepted")
+	}
+	if _, err := c.Transient([]float64{1, 0}, -1, 0); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := c.CumulativeTime([]float64{-1, 2}, 1, 0); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestGeneratorReturnsCopy(t *testing.T) {
+	c, err := New(twoState(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Generator()
+	g.Set(0, 0, 99)
+	if c.Generator().At(0, 0) == 99 {
+		t.Error("Generator exposes internal matrix")
+	}
+	if c.N() != 2 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestMeanFirstPassageTwoState(t *testing.T) {
+	// From state 0 with exit rate a to target state 1: E[T] = 1/a.
+	c, err := New(twoState(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.MeanFirstPassage([]bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[0]-0.5) > 1e-12 || h[1] != 0 {
+		t.Errorf("h = %v, want [0.5 0]", h)
+	}
+}
+
+func TestMeanFirstPassageBirthDeath(t *testing.T) {
+	// Pure birth chain 0→1→2 with rate 1 each: E[T₀→2] = 2.
+	q := mat.NewDenseFrom([][]float64{
+		{-1, 1, 0},
+		{0, -1, 1},
+		{0, 0, 0},
+	})
+	c, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.MeanFirstPassage([]bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[0]-2) > 1e-12 || math.Abs(h[1]-1) > 1e-12 {
+		t.Errorf("h = %v, want [2 1 0]", h)
+	}
+}
+
+func TestMeanFirstPassageMatchesSimulationShape(t *testing.T) {
+	// M/M/1/3: passage 0→3 must exceed passage 1→3.
+	q := mat.NewDense(4, 4)
+	for i := 0; i < 3; i++ {
+		q.Add(i, i+1, 1)
+		q.Add(i, i, -1)
+	}
+	for i := 1; i <= 3; i++ {
+		q.Add(i, i-1, 2)
+		q.Add(i, i, -2)
+	}
+	c, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.MeanFirstPassage([]bool{false, false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(h[0] > h[1] && h[1] > h[2] && h[2] > 0) {
+		t.Errorf("hitting times not monotone: %v", h)
+	}
+}
+
+func TestMeanFirstPassageErrors(t *testing.T) {
+	c, err := New(twoState(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MeanFirstPassage([]bool{true}); err == nil {
+		t.Error("wrong-length target accepted")
+	}
+	// All-target: zero vector.
+	h, err := c.MeanFirstPassage([]bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 0 || h[1] != 0 {
+		t.Errorf("all-target h = %v", h)
+	}
+	// Unreachable target: state 1 absorbs, target is state 0 ⇒ from
+	// state 1 the target is unreachable and the system is singular.
+	q := mat.NewDenseFrom([][]float64{{-1, 1}, {0, 0}})
+	c2, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.MeanFirstPassage([]bool{true, false}); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}

@@ -1,0 +1,311 @@
+// Package data implements the versioned object store that underlies the
+// workflow system log. Every write creates a new version tagged with the
+// writer's effective position (the commit LSN for original executions, a
+// fractional position for recovery-time re-executions). Undoing a task is
+// deleting its versions, which exposes the last version before the attack —
+// exactly the undo(t) primitive of §III.A of the paper. Positional reads
+// (GetBefore) give recovery re-executions a consistent view of the corrected
+// history without blocking on anti-flow and output dependencies, the
+// multi-version effect discussed in §III.D.
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Key names a data object in the store.
+type Key string
+
+// Value is the content of a data object version. Workflow tasks compute
+// integer values; richer payloads are encoded by the application.
+type Value int64
+
+// InitPos is the effective position of initial (pre-history) versions.
+const InitPos = 0.0
+
+// Version is one committed value of a data object.
+type Version struct {
+	// Pos is the effective position of the write in the corrected
+	// history: the commit LSN for original task executions, fractional
+	// for recovery writes inserted between original positions.
+	Pos float64
+	// Writer identifies the task instance that wrote the version; empty
+	// for initial versions.
+	Writer string
+	// Value is the stored content.
+	Value Value
+	// Recovery marks versions written during attack recovery.
+	Recovery bool
+}
+
+// Store is a multi-version key/value store. The zero value is not usable;
+// call NewStore. Store is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	chains map[Key][]Version // ascending Pos
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{chains: make(map[Key][]Version)}
+}
+
+// Init installs an initial version (position InitPos, no writer) for key k.
+// It panics if k already has versions, which always indicates a harness bug.
+func (s *Store) Init(k Key, v Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.chains[k]) != 0 {
+		panic(fmt.Sprintf("data: Init on non-empty chain %q", k))
+	}
+	s.chains[k] = append(s.chains[k], Version{Pos: InitPos, Value: v})
+}
+
+// Write appends a version for key k at position pos.
+func (s *Store) Write(k Key, v Value, pos float64, writer string, recovery bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain := s.chains[k]
+	ver := Version{Pos: pos, Writer: writer, Value: v, Recovery: recovery}
+	// Fast path: appends are almost always in increasing position order.
+	if n := len(chain); n == 0 || chain[n-1].Pos < pos {
+		s.chains[k] = append(chain, ver)
+		return
+	}
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].Pos >= pos })
+	if i < len(chain) && chain[i].Pos == pos {
+		panic(fmt.Sprintf("data: duplicate version position %g for %q (writers %q, %q)",
+			pos, k, chain[i].Writer, writer))
+	}
+	chain = append(chain, Version{})
+	copy(chain[i+1:], chain[i:])
+	chain[i] = ver
+	s.chains[k] = chain
+}
+
+// Get returns the latest version of k. ok is false when k has no versions.
+func (s *Store) Get(k Key) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[k]
+	if len(chain) == 0 {
+		return Version{}, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// GetBefore returns the latest version of k with position strictly less than
+// pos: the value a reader at effective position pos observes.
+func (s *Store) GetBefore(k Key, pos float64) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[k]
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].Pos >= pos })
+	if i == 0 {
+		return Version{}, false
+	}
+	return chain[i-1], true
+}
+
+// CompactBefore discards historical versions older than horizon, keeping
+// for every key the latest version at or before the horizon (the current
+// value as of that point) plus everything after it. It returns the number
+// of versions discarded. Compaction reclaims the space the paper attributes
+// to checkpoints (§I) — at the cost of recoverability: an undo that needs a
+// pre-horizon version can no longer be performed, which the recovery engine
+// detects against the log and refuses (ErrHorizon).
+func (s *Store) CompactBefore(horizon float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for k, chain := range s.chains {
+		// Find the last version with Pos ≤ horizon; drop everything
+		// before it.
+		keep := 0
+		for i, v := range chain {
+			if v.Pos <= horizon {
+				keep = i
+			} else {
+				break
+			}
+		}
+		if keep > 0 {
+			n += keep
+			s.chains[k] = append(chain[:0], chain[keep:]...)
+		}
+	}
+	return n
+}
+
+// VersionAt returns the version of k at exactly position pos.
+func (s *Store) VersionAt(k Key, pos float64) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[k]
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].Pos >= pos })
+	if i < len(chain) && chain[i].Pos == pos {
+		return chain[i], true
+	}
+	return Version{}, false
+}
+
+// DeleteWrites removes every version written by the given writer and returns
+// how many versions were deleted. This is the undo(t) primitive: deleting a
+// task's versions exposes the last version before it, for every object it
+// wrote.
+func (s *Store) DeleteWrites(writer string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for k, chain := range s.chains {
+		out := chain[:0]
+		for _, v := range chain {
+			if v.Writer == writer {
+				n++
+				continue
+			}
+			out = append(out, v)
+		}
+		s.chains[k] = out
+	}
+	return n
+}
+
+// DeleteRecoveryVersions removes every version written during recovery and
+// returns how many were deleted. A new repair pass starts from the original
+// committed versions and deterministically reconstructs all still-valid
+// recovery state, so prior recovery versions never conflict with it.
+func (s *Store) DeleteRecoveryVersions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for k, chain := range s.chains {
+		out := chain[:0]
+		for _, v := range chain {
+			if v.Recovery {
+				n++
+				continue
+			}
+			out = append(out, v)
+		}
+		s.chains[k] = out
+	}
+	return n
+}
+
+// VersionsBy returns every version written by the given writer, keyed by
+// object. At most one version per key can exist for one writer.
+func (s *Store) VersionsBy(writer string) map[Key]Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Key]Version)
+	for k, chain := range s.chains {
+		for _, v := range chain {
+			if v.Writer == writer {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// Chain returns a copy of the full version chain for k, ascending by
+// position.
+func (s *Store) Chain(k Key) []Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Version, len(s.chains[k]))
+	copy(out, s.chains[k])
+	return out
+}
+
+// Keys returns all keys with at least one version, sorted.
+func (s *Store) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.chains))
+	for k, chain := range s.chains {
+		if len(chain) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns the final (latest-version) value of every key.
+func (s *Store) Snapshot() map[Key]Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Key]Value, len(s.chains))
+	for k, chain := range s.chains {
+		if len(chain) > 0 {
+			out[k] = chain[len(chain)-1].Value
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the store. Recovery iterations restart from a
+// clone of the pristine post-attack store.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewStore()
+	for k, chain := range s.chains {
+		cp := make([]Version, len(chain))
+		copy(cp, chain)
+		c.chains[k] = cp
+	}
+	return c
+}
+
+// Equal reports whether the final values of both stores agree on every key.
+// Keys missing from one store compare unequal unless missing from both.
+func Equal(a, b *Store) bool {
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k, v := range sa {
+		if w, ok := sb[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of final-value differences
+// between two stores, or "" when they are equal.
+func Diff(a, b *Store) string {
+	sa, sb := a.Snapshot(), b.Snapshot()
+	keys := make(map[Key]struct{}, len(sa)+len(sb))
+	for k := range sa {
+		keys[k] = struct{}{}
+	}
+	for k := range sb {
+		keys[k] = struct{}{}
+	}
+	sorted := make([]Key, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sb2 strings.Builder
+	for _, k := range sorted {
+		va, oka := sa[k]
+		vb, okb := sb[k]
+		switch {
+		case !oka:
+			fmt.Fprintf(&sb2, "%s: <missing> != %d\n", k, vb)
+		case !okb:
+			fmt.Fprintf(&sb2, "%s: %d != <missing>\n", k, va)
+		case va != vb:
+			fmt.Fprintf(&sb2, "%s: %d != %d\n", k, va, vb)
+		}
+	}
+	return sb2.String()
+}

@@ -1,0 +1,267 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitAndGet(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 7)
+	v, ok := s.Get("x")
+	if !ok || v.Value != 7 || v.Pos != InitPos || v.Writer != "" {
+		t.Fatalf("Get = %+v, ok=%v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("Get on missing key reported ok")
+	}
+}
+
+func TestInitTwicePanics(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Init("x", 2)
+}
+
+func TestWriteOrdering(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 0)
+	s.Write("x", 10, 5, "t5", false)
+	s.Write("x", 20, 9, "t9", false)
+	// Out-of-order (recovery) insert between them.
+	s.Write("x", 15, 7.5, "r1", true)
+
+	chain := s.Chain("x")
+	if len(chain) != 4 {
+		t.Fatalf("chain length %d, want 4", len(chain))
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i-1].Pos >= chain[i].Pos {
+			t.Fatalf("chain not sorted: %+v", chain)
+		}
+	}
+	if v, _ := s.Get("x"); v.Value != 20 {
+		t.Errorf("latest = %d, want 20", v.Value)
+	}
+}
+
+func TestWriteDuplicatePositionPanics(t *testing.T) {
+	s := NewStore()
+	s.Write("x", 1, 3, "a", false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Write("x", 2, 3, "b", false)
+}
+
+func TestGetBefore(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 0)
+	s.Write("x", 10, 5, "t5", false)
+	s.Write("x", 20, 9, "t9", false)
+
+	cases := []struct {
+		pos   float64
+		want  Value
+		found bool
+	}{
+		{pos: 0, found: false}, // strictly before the initial version: nothing
+		{pos: 0.5, want: 0, found: true},
+		{pos: 5, want: 0, found: true}, // strict: a reader at 5 sees pre-5
+		{pos: 5.1, want: 10, found: true},
+		{pos: 9.5, want: 20, found: true},
+		{pos: 100, want: 20, found: true},
+	}
+	for _, c := range cases {
+		v, ok := s.GetBefore("x", c.pos)
+		if ok != c.found {
+			t.Errorf("GetBefore(%g): found=%v, want %v", c.pos, ok, c.found)
+			continue
+		}
+		if ok && v.Value != c.want {
+			t.Errorf("GetBefore(%g) = %d, want %d", c.pos, v.Value, c.want)
+		}
+	}
+}
+
+func TestDeleteWritesExposesPriorVersion(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 1)
+	s.Init("y", 2)
+	s.Write("x", 100, 3, "evil", false)
+	s.Write("y", 200, 4, "evil", false)
+	s.Write("x", 101, 5, "good", false)
+
+	if n := s.DeleteWrites("evil"); n != 2 {
+		t.Fatalf("deleted %d versions, want 2", n)
+	}
+	if v, _ := s.Get("y"); v.Value != 2 {
+		t.Errorf("y = %d after undo, want initial 2", v.Value)
+	}
+	if v, _ := s.Get("x"); v.Value != 101 {
+		t.Errorf("x = %d after undo, want 101 (later writer kept)", v.Value)
+	}
+	if n := s.DeleteWrites("evil"); n != 0 {
+		t.Errorf("second delete removed %d, want 0", n)
+	}
+}
+
+func TestSnapshotAndKeys(t *testing.T) {
+	s := NewStore()
+	s.Init("b", 2)
+	s.Init("a", 1)
+	s.Write("a", 11, 1, "t", false)
+	snap := s.Snapshot()
+	if snap["a"] != 11 || snap["b"] != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v, want sorted [a b]", keys)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 1)
+	c := s.Clone()
+	c.Write("x", 2, 1, "t", false)
+	if v, _ := s.Get("x"); v.Value != 1 {
+		t.Error("Clone shares chains with original")
+	}
+	if v, _ := c.Get("x"); v.Value != 2 {
+		t.Error("clone write lost")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	a.Init("x", 1)
+	b.Init("x", 1)
+	if !Equal(a, b) {
+		t.Fatal("identical stores compare unequal")
+	}
+	if d := Diff(a, b); d != "" {
+		t.Fatalf("diff of equal stores: %q", d)
+	}
+	b.Write("x", 2, 1, "t", false)
+	b.Init("y", 9)
+	if Equal(a, b) {
+		t.Fatal("different stores compare equal")
+	}
+	if d := Diff(a, b); d == "" {
+		t.Fatal("empty diff for different stores")
+	}
+}
+
+// TestUndoRedoRoundTrip is the core recovery-store property: writing a
+// corrupt version, deleting it, and re-writing the clean value at the same
+// position restores exactly the clean chain state.
+func TestUndoRedoRoundTrip(t *testing.T) {
+	clean := NewStore()
+	attacked := NewStore()
+	for _, s := range []*Store{clean, attacked} {
+		s.Init("x", 5)
+		s.Write("x", 50, 2, "t2", false)
+	}
+	clean.Write("x", 60, 3, "t3", false)
+	attacked.Write("x", -999, 3, "t3", false) // corrupted execution
+
+	attacked.DeleteWrites("t3")
+	attacked.Write("x", 60, 3, "t3", true) // redo with the clean value
+
+	if !Equal(clean, attacked) {
+		t.Fatalf("round trip failed:\n%s", Diff(clean, attacked))
+	}
+}
+
+// TestPositionalVisibilityProperty checks GetBefore against a brute-force
+// scan over randomly built chains.
+func TestPositionalVisibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		type wv struct {
+			pos float64
+			val Value
+		}
+		var hist []wv
+		used := map[float64]bool{}
+		for i := 0; i < 30; i++ {
+			pos := float64(rng.Intn(100)) + float64(rng.Intn(4))*0.25
+			if used[pos] {
+				continue
+			}
+			used[pos] = true
+			v := Value(rng.Intn(1000))
+			s.Write("k", v, pos, "w", false)
+			hist = append(hist, wv{pos, v})
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := float64(rng.Intn(110)) + rng.Float64()
+			got, ok := s.GetBefore("k", q)
+			// Brute force.
+			best := wv{pos: -1}
+			for _, h := range hist {
+				if h.pos < q && h.pos > best.pos {
+					best = h
+				}
+			}
+			if (best.pos >= 0) != ok {
+				return false
+			}
+			if ok && got.Value != best.val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactBefore(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 1)
+	s.Write("x", 2, 3, "w3", false)
+	s.Write("x", 3, 7, "w7", false)
+	s.Write("x", 4, 9, "w9", false)
+	s.Init("y", 5)
+
+	// Horizon 7: keeps x@7 (the value as of 7) and x@9; drops x@0, x@3.
+	if n := s.CompactBefore(7); n != 2 {
+		t.Fatalf("discarded %d versions, want 2", n)
+	}
+	chain := s.Chain("x")
+	if len(chain) != 2 || chain[0].Pos != 7 || chain[1].Pos != 9 {
+		t.Errorf("chain after compaction: %+v", chain)
+	}
+	// y's single initial version is the value as of the horizon: kept.
+	if _, ok := s.Get("y"); !ok {
+		t.Error("y lost by compaction")
+	}
+	// Latest values unchanged.
+	if v, _ := s.Get("x"); v.Value != 4 {
+		t.Errorf("x = %d after compaction", v.Value)
+	}
+	// Idempotent.
+	if n := s.CompactBefore(7); n != 0 {
+		t.Errorf("second compaction discarded %d", n)
+	}
+	// Horizon before everything: no-op.
+	s2 := NewStore()
+	s2.Init("z", 1)
+	s2.Write("z", 2, 5, "w", false)
+	if n := s2.CompactBefore(-1); n != 0 {
+		t.Errorf("pre-history horizon discarded %d", n)
+	}
+}

@@ -1,0 +1,218 @@
+// Package deps computes the dependence relations of §II.C–D from the system
+// log: flow (→_f), anti-flow (→_a) and output (→_o) data dependencies with
+// intervening-writer masking, their closures, and the instance-level view of
+// static control dependence (→_c, →_c*).
+//
+// Because the log records the exact version every read observed, flow
+// dependencies are exact rather than approximated from static read/write
+// sets: t_i →_f t_j holds precisely when t_j read a version t_i wrote that
+// no intervening task overwrote — the masked form of Definition 1.
+package deps
+
+import (
+	"sort"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Edge is one dependence edge between two task instances.
+type Edge struct {
+	From, To wlog.InstanceID
+	Key      data.Key
+}
+
+// Graph holds the data-dependence relations extracted from a log prefix.
+type Graph struct {
+	log *wlog.Log
+
+	flow    []Edge                                // t_i →_f t_j
+	anti    []Edge                                // t_i →_a t_j
+	output  []Edge                                // t_i →_o t_j
+	readers map[wlog.InstanceID][]wlog.InstanceID // direct flow successors
+}
+
+// Build extracts all data-dependence relations from the log.
+func Build(log *wlog.Log) *Graph {
+	g := &Graph{log: log, readers: make(map[wlog.InstanceID][]wlog.InstanceID)}
+	entries := log.Entries()
+
+	// Writer chains per key in commit order, for anti and output deps.
+	type write struct {
+		lsn  int
+		inst wlog.InstanceID
+	}
+	chains := make(map[data.Key][]write)
+	for _, e := range entries {
+		id := e.ID()
+		for k := range e.Writes {
+			chains[k] = append(chains[k], write{lsn: e.LSN, inst: id})
+		}
+	}
+	keys := make([]data.Key, 0, len(chains))
+	for k := range chains {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Flow: reader observed a version written by a logged instance.
+	for _, e := range entries {
+		id := e.ID()
+		for k, obs := range e.Reads {
+			if obs.Writer == "" {
+				continue // initial version or missing key
+			}
+			from := wlog.InstanceID(obs.Writer)
+			g.flow = append(g.flow, Edge{From: from, To: id, Key: k})
+			g.readers[from] = append(g.readers[from], id)
+		}
+	}
+
+	// Output: consecutive writers of the same key (masked by definition:
+	// non-consecutive writers are separated by an intervening write).
+	for _, k := range keys {
+		chain := chains[k]
+		for i := 1; i < len(chain); i++ {
+			g.output = append(g.output, Edge{From: chain[i-1].inst, To: chain[i].inst, Key: k})
+		}
+	}
+
+	// Anti: t_i read version v of k; the first writer of k after t_i's
+	// commit overwrites what t_i read (masked: only the next writer).
+	for _, e := range entries {
+		id := e.ID()
+		for k := range e.Reads {
+			chain := chains[k]
+			i := sort.Search(len(chain), func(i int) bool { return chain[i].lsn > e.LSN })
+			if i < len(chain) {
+				g.anti = append(g.anti, Edge{From: id, To: chain[i].inst, Key: k})
+			}
+		}
+	}
+	return g
+}
+
+// Flow returns the →_f edges in deterministic order.
+func (g *Graph) Flow() []Edge { return append([]Edge(nil), g.flow...) }
+
+// Anti returns the →_a edges.
+func (g *Graph) Anti() []Edge { return append([]Edge(nil), g.anti...) }
+
+// Output returns the →_o edges.
+func (g *Graph) Output() []Edge { return append([]Edge(nil), g.output...) }
+
+// HasFlow reports from →_f to.
+func (g *Graph) HasFlow(from, to wlog.InstanceID) bool {
+	for _, r := range g.readers[from] {
+		if r == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadersClosure returns every instance that transitively read data written
+// by an instance in seed: the →_f* closure, i.e. condition 3 of Theorem 1.
+// Seed members are included in the result.
+func (g *Graph) ReadersClosure(seed map[wlog.InstanceID]bool) map[wlog.InstanceID]bool {
+	out := make(map[wlog.InstanceID]bool, len(seed))
+	var stack []wlog.InstanceID
+	for id := range seed {
+		out[id] = true
+		stack = append(stack, id)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range g.readers[cur] {
+			if !out[r] {
+				out[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	return out
+}
+
+// ControlView maps static control dependence onto the instances of one run:
+// guard →_c* dependent, restricted to instances where the guard committed
+// before the dependent (only a decision already taken can have steered a
+// later task onto the path).
+type ControlView struct {
+	// Deps maps each choice-node instance to the set of instances in the
+	// same run transitively control dependent on it.
+	Deps map[wlog.InstanceID]map[wlog.InstanceID]bool
+}
+
+// BuildControl computes the instance-level control-dependence view for a
+// run executing spec.
+func BuildControl(log *wlog.Log, run string, spec *wf.Spec) *ControlView {
+	closure := spec.ControlClosure()
+	trace := log.Trace(run, false)
+	cv := &ControlView{Deps: make(map[wlog.InstanceID]map[wlog.InstanceID]bool)}
+	for _, g := range trace {
+		dep, ok := closure[g.Task]
+		if !ok {
+			continue
+		}
+		set := make(map[wlog.InstanceID]bool)
+		for _, e := range trace {
+			if e.LSN > g.LSN && dep[e.Task] {
+				set[e.ID()] = true
+			}
+		}
+		if len(set) > 0 {
+			cv.Deps[g.ID()] = set
+		}
+	}
+	return cv
+}
+
+// UnexecutedControlled returns, for a choice-node task guard in spec, the
+// tasks transitively control dependent on the guard that never appear in the
+// run's trace — the t_k ∉ L of condition 4 of Theorem 1.
+func UnexecutedControlled(log *wlog.Log, run string, spec *wf.Spec, guard wf.TaskID) []wf.TaskID {
+	closure := spec.ControlClosure()[guard]
+	if len(closure) == 0 {
+		return nil
+	}
+	executed := make(map[wf.TaskID]bool)
+	for _, e := range log.Trace(run, false) {
+		executed[e.Task] = true
+	}
+	var out []wf.TaskID
+	for task := range closure {
+		if !executed[task] {
+			out = append(out, task)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PotentialFlowFromUnexecuted returns the logged instances that read a key
+// in the static write set of the unexecuted task tk — the t_j of condition 4
+// of Theorem 1 (t_k →_f* t_j is necessarily approximated by static write
+// sets because t_k never ran). Only direct potential readers are returned;
+// the repair engine closes transitively once actual values exist.
+func PotentialFlowFromUnexecuted(log *wlog.Log, spec *wf.Spec, tk wf.TaskID) []wlog.InstanceID {
+	task, ok := spec.Tasks[tk]
+	if !ok {
+		return nil
+	}
+	writes := make(map[data.Key]bool, len(task.Writes))
+	for _, k := range task.Writes {
+		writes[k] = true
+	}
+	var out []wlog.InstanceID
+	for _, e := range log.Entries() {
+		for k := range e.Reads {
+			if writes[k] {
+				out = append(out, e.ID())
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package design implements the step-by-step system design procedure of §VI
+// of the paper: given a target attack rate λ and a target ε-convergence,
+// sweep the recovery-task buffer size over the low-loss range, pick the
+// smallest configuration meeting ε, and characterize the system's transient
+// resistance to peak attack rates.
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"selfheal/internal/stg"
+)
+
+// Requirements captures the design targets of §VI.
+type Requirements struct {
+	// Lambda is the expected attack rate the system must handle.
+	Lambda float64
+	// Epsilon is the target steady-state loss probability (Definition 4).
+	Epsilon float64
+	// MaxBuffer bounds the buffer sweep (the paper suggests ~30).
+	MaxBuffer int
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	// Buffer is the recovery-task (and alert) buffer size.
+	Buffer int
+	// Epsilon is the achieved steady-state loss probability.
+	Epsilon float64
+	// Metrics is the full steady-state characterization.
+	Metrics stg.Metrics
+}
+
+// SweepBuffers evaluates buffer sizes 2..req.MaxBuffer for the given rates
+// and degradation families, in order.
+func SweepBuffers(req Requirements, mu1, xi1 float64, f, g stg.Degradation) ([]Candidate, error) {
+	if req.MaxBuffer < 2 {
+		return nil, fmt.Errorf("design: MaxBuffer must be ≥ 2, got %d", req.MaxBuffer)
+	}
+	out := make([]Candidate, 0, req.MaxBuffer-1)
+	for buf := 2; buf <= req.MaxBuffer; buf++ {
+		p := stg.Square(req.Lambda, mu1, xi1, buf)
+		p.F, p.G = f, g
+		m, err := stg.New(p)
+		if err != nil {
+			return nil, err
+		}
+		met, err := m.SteadyMetrics()
+		if err != nil {
+			return nil, fmt.Errorf("design: buffer %d: %w", buf, err)
+		}
+		out = append(out, Candidate{Buffer: buf, Epsilon: met.Loss, Metrics: met})
+	}
+	return out, nil
+}
+
+// ErrInfeasible reports that no buffer size meets the ε target; per §VI the
+// algorithms must be redesigned (improve μ₁/ξ₁ or flatten the degradation).
+type ErrInfeasible struct {
+	Req  Requirements
+	Best Candidate
+}
+
+func (e *ErrInfeasible) Error() string {
+	return fmt.Sprintf("design: no buffer ≤ %d meets ε=%g at λ=%g (best: %g at buffer %d); redesign the algorithms per §VI",
+		e.Req.MaxBuffer, e.Req.Epsilon, e.Req.Lambda, e.Best.Epsilon, e.Best.Buffer)
+}
+
+// Choose runs the §VI procedure: increase the buffer while the loss
+// probability improves (stopping once it starts to rise, the fast-
+// degradation regime of Fig 4), and return the smallest buffer meeting the
+// ε target. It returns *ErrInfeasible when the target is unreachable.
+func Choose(req Requirements, mu1, xi1 float64, f, g stg.Degradation) (*Candidate, error) {
+	cands, err := SweepBuffers(req, mu1, xi1, f, g)
+	if err != nil {
+		return nil, err
+	}
+	best := cands[0]
+	for _, c := range cands {
+		if c.Epsilon < best.Epsilon {
+			best = c
+		}
+		if c.Epsilon <= req.Epsilon {
+			chosen := c
+			return &chosen, nil
+		}
+		// Stop the sweep once loss clearly rises from the best seen:
+		// larger buffers only degrade further (§VI step 2).
+		if c.Epsilon > best.Epsilon*2 && c.Epsilon > req.Epsilon*10 {
+			break
+		}
+	}
+	return nil, &ErrInfeasible{Req: req, Best: best}
+}
+
+// ResistanceTime returns how long a system configured by p withstands a
+// sustained peak attack rate before its transient loss probability exceeds
+// threshold, starting from the NORMAL state — the paper's Case 6 analysis
+// ("the system can resist such high attacking rate about 5 time-units").
+// The returned time is bracketed to within tol. If the loss never exceeds
+// threshold before maxT, maxT and false are returned.
+func ResistanceTime(p stg.Params, peakLambda, threshold, maxT, tol float64) (float64, bool, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return 0, false, fmt.Errorf("design: threshold must be in (0,1), got %g", threshold)
+	}
+	if tol <= 0 {
+		tol = 0.01
+	}
+	peak := p
+	peak.Lambda = peakLambda
+	m, err := stg.New(peak)
+	if err != nil {
+		return 0, false, err
+	}
+	lossAt := func(t float64) (float64, error) {
+		pi, err := m.Transient(t)
+		if err != nil {
+			return 0, err
+		}
+		return m.MetricsOf(pi).Loss, nil
+	}
+	end, err := lossAt(maxT)
+	if err != nil {
+		return 0, false, err
+	}
+	if end <= threshold {
+		return maxT, false, nil
+	}
+	lo, hi := 0.0, maxT
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		l, err := lossAt(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if l > threshold {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2, true, nil
+}
+
+// CostEffectiveRange finds the paper's Case 3/4 observation: the smallest
+// rate at which further improvements of μ₁ (or ξ₁) stop mattering. It
+// sweeps the rate from lo to hi in the given step and returns the first
+// value whose NORMAL-state probability is within margin of the value at hi.
+func CostEffectiveRange(base stg.Params, sweep func(stg.Params, float64) stg.Params, lo, hi, step, margin float64) (float64, error) {
+	if step <= 0 || hi <= lo {
+		return 0, fmt.Errorf("design: bad sweep range [%g,%g] step %g", lo, hi, step)
+	}
+	pn := func(rate float64) (float64, error) {
+		m, err := stg.New(sweep(base, rate))
+		if err != nil {
+			return 0, err
+		}
+		met, err := m.SteadyMetrics()
+		if err != nil {
+			return 0, err
+		}
+		return met.PNormal, nil
+	}
+	top, err := pn(hi)
+	if err != nil {
+		return 0, err
+	}
+	for rate := lo; rate <= hi+1e-12; rate += step {
+		v, err := pn(rate)
+		if err != nil {
+			return 0, err
+		}
+		if math.Abs(top-v) <= margin {
+			return rate, nil
+		}
+	}
+	return hi, nil
+}
+
+// SweepMu1 is a sweep function for CostEffectiveRange varying μ₁.
+func SweepMu1(p stg.Params, rate float64) stg.Params {
+	p.Mu1 = rate
+	return p
+}
+
+// SweepXi1 is a sweep function for CostEffectiveRange varying ξ₁.
+func SweepXi1(p stg.Params, rate float64) stg.Params {
+	p.Xi1 = rate
+	return p
+}

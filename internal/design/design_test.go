@@ -1,0 +1,150 @@
+package design
+
+import (
+	"errors"
+	"testing"
+
+	"selfheal/internal/stg"
+)
+
+func TestSweepBuffersShape(t *testing.T) {
+	req := Requirements{Lambda: 1, Epsilon: 0.01, MaxBuffer: 20}
+	cands, err := SweepBuffers(req, 15, 20, stg.DegradeLinear, stg.DegradeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 19 {
+		t.Fatalf("got %d candidates, want 19 (buffers 2..20)", len(cands))
+	}
+	for i, c := range cands {
+		if c.Buffer != i+2 {
+			t.Errorf("candidate %d has buffer %d", i, c.Buffer)
+		}
+		if c.Epsilon < 0 || c.Epsilon > 1 {
+			t.Errorf("buffer %d: ε = %g out of range", c.Buffer, c.Epsilon)
+		}
+	}
+}
+
+func TestSweepBuffersValidates(t *testing.T) {
+	if _, err := SweepBuffers(Requirements{Lambda: 1, MaxBuffer: 1}, 15, 20, nil, nil); err == nil {
+		t.Error("MaxBuffer=1 accepted")
+	}
+}
+
+// TestChooseFindsGoodSystem: the paper's healthy parameters admit a small
+// buffer at a tight ε.
+func TestChooseFindsGoodSystem(t *testing.T) {
+	req := Requirements{Lambda: 1, Epsilon: 1e-3, MaxBuffer: 30}
+	c, err := Choose(req, 15, 20, stg.DegradeLinear, stg.DegradeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Epsilon > req.Epsilon {
+		t.Errorf("chosen ε = %g exceeds target %g", c.Epsilon, req.Epsilon)
+	}
+	if c.Buffer < 2 || c.Buffer > 15 {
+		t.Errorf("chosen buffer = %d, expected a modest size", c.Buffer)
+	}
+	// Minimality: the preceding buffer must not meet the target.
+	if c.Buffer > 2 {
+		cands, err := SweepBuffers(req, 15, 20, stg.DegradeLinear, stg.DegradeLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := cands[c.Buffer-3] // buffer c.Buffer-1 is at index c.Buffer-3
+		if prev.Epsilon <= req.Epsilon {
+			t.Errorf("buffer %d already met ε (%g); Choose not minimal", prev.Buffer, prev.Epsilon)
+		}
+	}
+}
+
+// TestChooseInfeasible: a hopeless system (μ₁, ξ₁ far below λ) cannot meet a
+// tight ε and must report redesign.
+func TestChooseInfeasible(t *testing.T) {
+	req := Requirements{Lambda: 5, Epsilon: 1e-6, MaxBuffer: 15}
+	_, err := Choose(req, 1, 1, stg.DegradeQuad, stg.DegradeQuad)
+	var inf *ErrInfeasible
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if inf.Best.Epsilon <= req.Epsilon {
+		t.Error("infeasible error carries a feasible best candidate")
+	}
+	if inf.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+// TestResistanceTimeCase6 reproduces the paper's Case 6 observation: a
+// system designed for λ=0.1 (μ₁=2, ξ₁=3) resists a λ=1 peak for about 5
+// time units before its loss probability becomes noticeable.
+func TestResistanceTimeCase6(t *testing.T) {
+	p := stg.Square(0.1, 2, 3, 15)
+	rt, exceeded, err := ResistanceTime(p, 1, 0.01, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exceeded {
+		t.Fatal("peak never exceeded the loss threshold within 100 units")
+	}
+	if rt < 2 || rt > 12 {
+		t.Errorf("resistance time = %g, want ≈5 (paper's Case 6)", rt)
+	}
+}
+
+// TestResistanceTimeGoodSystemHoldsOut: the Case 5 system never exceeds the
+// threshold at its design rate.
+func TestResistanceTimeGoodSystemHoldsOut(t *testing.T) {
+	p := stg.Square(1, 15, 20, 15)
+	rt, exceeded, err := ResistanceTime(p, 1, 0.01, 50, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceeded {
+		t.Errorf("good system exceeded loss threshold at t=%g", rt)
+	}
+	if rt != 50 {
+		t.Errorf("rt = %g, want the full horizon", rt)
+	}
+}
+
+func TestResistanceTimeValidates(t *testing.T) {
+	p := stg.Square(1, 15, 20, 5)
+	if _, _, err := ResistanceTime(p, 2, 0, 10, 0.1); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, _, err := ResistanceTime(p, 2, 1.5, 10, 0.1); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+}
+
+// TestCostEffectiveRange reproduces the Case 3/4 remark: beyond a specific
+// value (≈15 at λ=1), raising μ₁ no longer improves the NORMAL probability.
+func TestCostEffectiveRange(t *testing.T) {
+	base := stg.Square(1, 15, 20, 15)
+	knee, err := CostEffectiveRange(base, SweepMu1, 1, 20, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee <= 2 || knee > 18 {
+		t.Errorf("μ₁ knee = %g, want an interior cost-effective point", knee)
+	}
+	kneeXi, err := CostEffectiveRange(base, SweepXi1, 1, 20, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kneeXi <= 1 || kneeXi > 20 {
+		t.Errorf("ξ₁ knee = %g", kneeXi)
+	}
+}
+
+func TestCostEffectiveRangeValidates(t *testing.T) {
+	base := stg.Square(1, 15, 20, 5)
+	if _, err := CostEffectiveRange(base, SweepMu1, 5, 5, 1, 0.05); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := CostEffectiveRange(base, SweepMu1, 1, 10, 0, 0.05); err == nil {
+		t.Error("zero step accepted")
+	}
+}

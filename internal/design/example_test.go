@@ -1,0 +1,36 @@
+package design_test
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal/internal/design"
+	"selfheal/internal/stg"
+)
+
+// Example runs the §VI design procedure: pick the smallest buffer meeting an
+// ε-convergence target at the expected attack rate.
+func Example() {
+	req := design.Requirements{Lambda: 1, Epsilon: 1e-3, MaxBuffer: 30}
+	c, err := design.Choose(req, 15, 20, stg.DegradeLinear, stg.DegradeLinear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("buffer %d meets ε=%g (achieved %.1e, P(NORMAL)=%.2f)\n",
+		c.Buffer, req.Epsilon, c.Epsilon, c.Metrics.PNormal)
+	// Output:
+	// buffer 4 meets ε=0.001 (achieved 4.8e-04, P(NORMAL)=0.87)
+}
+
+// ExampleResistanceTime asks the paper's Case 6 question: how long does an
+// underprovisioned system withstand a 10× attack peak?
+func ExampleResistanceTime() {
+	p := stg.Square(0.1, 2, 3, 15)
+	t, exceeded, err := design.ResistanceTime(p, 1, 0.01, 100, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loss exceeds 1%%: %v after ≈%.0f time units\n", exceeded, t)
+	// Output:
+	// loss exceeds 1%: true after ≈9 time units
+}

@@ -1,0 +1,370 @@
+// Package dist implements de-centralized workflow processing (§VII of the
+// paper; Figure 1 itself shows two workflows spread over three processors):
+// a cluster of processing nodes, each executing the tasks assigned to it,
+// with the control token of every workflow run handed from node to node as
+// a message. Each node persists its own log segment stamped with a global
+// commit counter ("the committing time is distinguishable", §II.A), and
+// recovery merges the segments into the global system log before running
+// the standard dependency-based analysis — exactly the deployment the
+// paper's footnote and related-work discussion describe.
+//
+// Data objects live in a shared versioned store (the paper's model has
+// cross-processor data dependences: t8 on one processor reads what t1 wrote
+// on another). Commits are serialized by the cluster so commit stamps are
+// unique and totally ordered.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"selfheal/internal/data"
+	"selfheal/internal/recovery"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Assignment maps each task of a workflow to the node that executes it.
+type Assignment map[wf.TaskID]string
+
+// token is the control message passed between nodes: "run r is ready to
+// execute task t".
+type token struct {
+	run  string
+	task wf.TaskID
+}
+
+// Attack corrupts one distributed task instance, mirroring engine.Attack.
+type Attack struct {
+	Run     string
+	Task    wf.TaskID
+	Visit   int
+	Compute wf.ComputeFunc
+	Choose  wf.ChooseFunc
+}
+
+// Node is one processing node.
+type Node struct {
+	name    string
+	inbox   chan token
+	cluster *Cluster
+
+	mu      sync.Mutex
+	segment []wlog.StampedEntry
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Segment returns a copy of the node's log segment.
+func (n *Node) Segment() []wlog.StampedEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]wlog.StampedEntry, len(n.segment))
+	copy(out, n.segment)
+	return out
+}
+
+// Cluster is a set of nodes processing workflows over a shared store.
+type Cluster struct {
+	mu       sync.Mutex
+	store    *data.Store
+	stamp    float64
+	nodes    map[string]*Node
+	specs    map[string]*wf.Spec
+	assign   map[string]Assignment
+	attacks  map[wlog.InstanceID]*Attack
+	visits   map[string]map[wf.TaskID]int
+	inflight sync.WaitGroup
+	done     map[string]chan error
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewCluster builds a cluster with the given node names over the store.
+func NewCluster(store *data.Store, nodeNames ...string) (*Cluster, error) {
+	if store == nil {
+		store = data.NewStore()
+	}
+	if len(nodeNames) == 0 {
+		return nil, errors.New("dist: need at least one node")
+	}
+	c := &Cluster{
+		store:   store,
+		nodes:   make(map[string]*Node, len(nodeNames)),
+		specs:   make(map[string]*wf.Spec),
+		assign:  make(map[string]Assignment),
+		attacks: make(map[wlog.InstanceID]*Attack),
+		visits:  make(map[string]map[wf.TaskID]int),
+		done:    make(map[string]chan error),
+	}
+	for _, name := range nodeNames {
+		if name == "" {
+			return nil, errors.New("dist: empty node name")
+		}
+		if _, dup := c.nodes[name]; dup {
+			return nil, fmt.Errorf("dist: duplicate node %q", name)
+		}
+		n := &Node{name: name, inbox: make(chan token, 64), cluster: c}
+		c.nodes[name] = n
+		c.wg.Add(1)
+		go n.serve()
+	}
+	return c, nil
+}
+
+// AddAttack registers a task corruption.
+func (c *Cluster) AddAttack(a Attack) {
+	if a.Visit == 0 {
+		a.Visit = 1
+	}
+	cp := a
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attacks[wlog.FormatInstance(a.Run, a.Task, a.Visit)] = &cp
+}
+
+// Submit starts a run of spec with the given task assignment. The returned
+// channel receives the run's terminal error (nil on success) exactly once.
+func (c *Cluster) Submit(run string, spec *wf.Spec, assign Assignment) (<-chan error, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	for id := range spec.Tasks {
+		node, ok := assign[id]
+		if !ok {
+			return nil, fmt.Errorf("dist: task %s of run %s has no node assignment", id, run)
+		}
+		if _, ok := c.nodes[node]; !ok {
+			return nil, fmt.Errorf("dist: task %s assigned to unknown node %q", id, node)
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("dist: cluster closed")
+	}
+	if _, dup := c.specs[run]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dist: duplicate run %q", run)
+	}
+	c.specs[run] = spec
+	c.assign[run] = assign
+	c.visits[run] = make(map[wf.TaskID]int)
+	ch := make(chan error, 1)
+	c.done[run] = ch
+	start := c.nodes[assign[spec.Start]]
+	c.inflight.Add(1)
+	c.mu.Unlock()
+
+	start.inbox <- token{run: run, task: spec.Start}
+	return ch, nil
+}
+
+// serve is the node's message loop.
+func (n *Node) serve() {
+	defer n.cluster.wg.Done()
+	for tok := range n.inbox {
+		n.execute(tok)
+	}
+}
+
+// execute commits one task instance and forwards the control token.
+func (n *Node) execute(tok token) {
+	c := n.cluster
+	c.mu.Lock()
+	spec := c.specs[tok.run]
+	task := spec.Tasks[tok.task]
+	visit := c.visits[tok.run][tok.task] + 1
+	c.visits[tok.run][tok.task] = visit
+	inst := wlog.FormatInstance(tok.run, tok.task, visit)
+	attack := c.attacks[inst]
+
+	// Commit under the cluster lock: reads, compute and writes are one
+	// distinguishable committing instant (§II.A).
+	entry := &wlog.Entry{
+		Run:   tok.run,
+		Task:  tok.task,
+		Visit: visit,
+		Reads: make(map[data.Key]wlog.ReadObs, len(task.Reads)),
+	}
+	reads := make(map[data.Key]data.Value, len(task.Reads))
+	for _, k := range task.Reads {
+		if v, ok := c.store.Get(k); ok {
+			entry.Reads[k] = wlog.ReadObs{Value: v.Value, Writer: v.Writer, WriterPos: v.Pos}
+			reads[k] = v.Value
+		} else {
+			entry.Reads[k] = wlog.ReadObs{WriterPos: wlog.MissingPos}
+			reads[k] = 0
+		}
+	}
+	compute := task.Compute
+	if attack != nil && attack.Compute != nil {
+		compute = attack.Compute
+	}
+	entry.Writes = make(map[data.Key]data.Value, len(task.Writes))
+	if compute != nil {
+		out := compute(reads)
+		for _, k := range task.Writes {
+			entry.Writes[k] = out[k]
+		}
+	} else {
+		for _, k := range task.Writes {
+			entry.Writes[k] = 0
+		}
+	}
+
+	var next wf.TaskID
+	var failure error
+	switch {
+	case len(task.Next) == 0:
+		// End node.
+	case len(task.Next) == 1:
+		next = task.Next[0]
+	default:
+		choose := task.Choose
+		if attack != nil && attack.Choose != nil {
+			choose = attack.Choose
+		}
+		next = choose(reads)
+		if !valid(task.Next, next) {
+			failure = fmt.Errorf("dist: %s chose invalid successor %q", inst, next)
+		}
+		entry.Chosen = next
+	}
+
+	if failure == nil {
+		c.stamp++
+		stamp := c.stamp
+		entry.LSN = int(stamp) // provisional; the merge reassigns dense LSNs
+		for k, v := range entry.Writes {
+			c.store.Write(k, v, stamp, string(inst), false)
+		}
+		n.mu.Lock()
+		n.segment = append(n.segment, wlog.StampedEntry{Stamp: stamp, Entry: entry})
+		n.mu.Unlock()
+	}
+
+	doneCh := c.done[tok.run]
+	var forward *Node
+	if failure == nil && next != "" {
+		forward = c.nodes[c.assign[tok.run][next]]
+	}
+	c.mu.Unlock()
+
+	switch {
+	case failure != nil:
+		doneCh <- failure
+		c.inflight.Done()
+	case forward != nil:
+		forward.inbox <- token{run: tok.run, task: next}
+	default:
+		doneCh <- nil
+		c.inflight.Done()
+	}
+}
+
+func valid(ids []wf.TaskID, id wf.TaskID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Quiesce blocks until every submitted run has terminated.
+func (c *Cluster) Quiesce() {
+	c.inflight.Wait()
+}
+
+// Close shuts the node loops down. The cluster must be quiescent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, n := range c.nodes {
+		close(n.inbox)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Store returns the shared store.
+func (c *Cluster) Store() *data.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
+}
+
+// MergedLog gathers every node's segment and merges them into the global
+// system log (stamp order). The cluster should be quiescent.
+func (c *Cluster) MergedLog() (*wlog.Log, error) {
+	c.mu.Lock()
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	segs := make([][]wlog.StampedEntry, 0, len(nodes))
+	for _, n := range nodes {
+		segs = append(segs, n.Segment())
+	}
+	return wlog.MergeSegments(segs...)
+}
+
+// Recover performs distributed attack recovery: gather segments, merge,
+// analyze and repair with the standard engine, then install the repaired
+// store cluster-wide. The cluster must be quiescent. The merged log the
+// repair ran against is returned with the result for inspection.
+func (c *Cluster) Recover(bad []wlog.InstanceID, opts recovery.Options) (*recovery.Result, *wlog.Log, error) {
+	c.Quiesce()
+	merged, err := c.MergedLog()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The merge renumbers LSNs densely in stamp order, but the store's
+	// version positions are the raw stamps. Rebuild a store whose
+	// positions match the merged LSNs so positional recovery semantics
+	// hold, by re-applying the merged log onto the initial versions.
+	c.mu.Lock()
+	specs := make(map[string]*wf.Spec, len(c.specs))
+	for run, spec := range c.specs {
+		specs[run] = spec
+	}
+	rebased := rebase(c.store, merged)
+	c.mu.Unlock()
+
+	res, err := recovery.Repair(rebased, merged, specs, bad, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.store = res.Store
+	c.mu.Unlock()
+	return res, merged, nil
+}
+
+// rebase rebuilds the store with version positions equal to the merged
+// log's dense LSNs: initial versions are kept, and every logged write is
+// re-applied at its entry's LSN.
+func rebase(st *data.Store, merged *wlog.Log) *data.Store {
+	out := data.NewStore()
+	for _, k := range st.Keys() {
+		for _, v := range st.Chain(k) {
+			if v.Writer == "" && v.Pos == data.InitPos {
+				out.Init(k, v.Value)
+			}
+		}
+	}
+	for _, e := range merged.Entries() {
+		for k, v := range e.Writes {
+			out.Write(k, v, float64(e.LSN), string(e.ID()), false)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"selfheal/internal/deps"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/stg"
+	"selfheal/internal/wf"
+)
+
+func TestWorkflowShapes(t *testing.T) {
+	wf1, _ := wf.Fig1Specs()
+	out := Workflow(wf1)
+	for _, want := range []string{
+		`digraph "wf1"`,
+		`"t2" [label="t2", shape=diamond]`,         // choice node
+		`"t6" [label="t6", shape=doublecircle]`,    // end node
+		`"t1" [label="t1", shape=box, style=bold]`, // start
+		`"t2" -> "t3";`,
+		`"t2" -> "t5";`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkflowDeterministic(t *testing.T) {
+	wf1, _ := wf.Fig1Specs()
+	if Workflow(wf1) != Workflow(wf1) {
+		t.Error("non-deterministic output")
+	}
+}
+
+func TestDependences(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Dependences(deps.Build(s.Log()))
+	for _, want := range []string{
+		`"r1/t1#1" -> "r1/t2#1" [style=solid, label="a"];`,
+		`"r1/t1#1" -> "r2/t8#1" [style=solid, label="a"];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Schedule(res)
+	for _, want := range []string{"color=red", "color=blue", "color=green", "digraph recovery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Chain length: one edge fewer than actions.
+	if got, want := strings.Count(out, " -> "), len(res.Schedule)-1; got != want {
+		t.Errorf("chain has %d edges, want %d", got, want)
+	}
+}
+
+func TestSTG(t *testing.T) {
+	m, err := stg.New(stg.Square(1, 15, 20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := STG(m)
+	for _, want := range []string{
+		`"N"`,           // the NORMAL state
+		`"R:1"`,         // a recovery state
+		`"S:1/0"`,       // a scan state
+		"doubleoctagon", // the loss edge
+		`[label="1"]`,   // a λ transition
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in STG dot:\n%s", want, out)
+		}
+	}
+	// 3x3 grid: 9 states.
+	if got := strings.Count(out, "shape="); got != 9 {
+		t.Errorf("state count = %d, want 9", got)
+	}
+}

@@ -1,0 +1,373 @@
+// Package engine executes workflow instances against the versioned store,
+// committing every task execution to the system log. It is the normal-
+// processing substrate of the paper's architecture (Fig 2): the scheduler
+// picks minimal(S, ≺) among runnable tasks, tasks read the latest committed
+// versions, and every commit records the exact versions read so the recovery
+// analyzer can compute precise dependencies later.
+//
+// The engine is also the attack-injection point: an Attack replaces a task
+// instance's compute (and, for choice nodes, branch selection) with
+// malicious versions, and InjectForged commits a task that is not part of
+// any workflow specification at all.
+package engine
+
+import (
+	"fmt"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Run is one in-flight workflow instance.
+type Run struct {
+	// ID identifies the run in the system log.
+	ID string
+	// Spec is the workflow being executed.
+	Spec *wf.Spec
+
+	cur    wf.TaskID
+	visits map[wf.TaskID]int
+	done   bool
+	failed bool
+}
+
+// Done reports whether the run reached an end node.
+func (r *Run) Done() bool { return r.done }
+
+// Current returns the task the run will execute next.
+func (r *Run) Current() wf.TaskID { return r.cur }
+
+// Attack describes a corruption of one task instance: when the engine
+// executes the matching instance, it uses the malicious Compute (and Choose,
+// for choice nodes) instead of the specification's.
+type Attack struct {
+	Run   string
+	Task  wf.TaskID
+	Visit int
+	// Compute overrides the task's compute function; nil keeps the
+	// benign computation (an attack may corrupt only the branch choice).
+	Compute wf.ComputeFunc
+	// Choose overrides branch selection for choice nodes; nil keeps the
+	// specification's selection.
+	Choose wf.ChooseFunc
+	// Crash makes the instance fail before committing: nothing is
+	// written, nothing is logged, and the run aborts. The paper's §VII
+	// distinction between failure handling and attack recovery rests on
+	// this: a malicious task that fails has no effects, so attack
+	// recovery has nothing to do for it.
+	Crash bool
+}
+
+// TaskFailure is returned by Step when the executing instance crashed
+// before committing.
+type TaskFailure struct {
+	Inst wlog.InstanceID
+}
+
+func (e *TaskFailure) Error() string {
+	return fmt.Sprintf("engine: task %s failed before committing", e.Inst)
+}
+
+// Failed reports whether the run aborted due to a task failure.
+func (r *Run) Failed() bool { return r.failed }
+
+// Engine executes runs against a store and a log.
+type Engine struct {
+	store   *data.Store
+	log     *wlog.Log
+	attacks map[wlog.InstanceID]*Attack
+}
+
+// New returns an engine committing to the given store and log.
+func New(store *data.Store, log *wlog.Log) *Engine {
+	return &Engine{
+		store:   store,
+		log:     log,
+		attacks: make(map[wlog.InstanceID]*Attack),
+	}
+}
+
+// Store returns the engine's store.
+func (e *Engine) Store() *data.Store { return e.store }
+
+// SwapStore replaces the engine's store. The recovery scheduler installs the
+// repaired store this way after executing a recovery unit; the engine must
+// be quiescent (no Step in flight) during the swap.
+func (e *Engine) SwapStore(s *data.Store) { e.store = s }
+
+// Log returns the engine's log.
+func (e *Engine) Log() *wlog.Log { return e.log }
+
+// AddAttack registers an attack. Visit numbers are 1-based; Visit 0 means
+// visit 1.
+func (e *Engine) AddAttack(a Attack) {
+	if a.Visit == 0 {
+		a.Visit = 1
+	}
+	cp := a
+	e.attacks[wlog.FormatInstance(a.Run, a.Task, a.Visit)] = &cp
+}
+
+// NewRun starts a run of spec under the given ID.
+func (e *Engine) NewRun(id string, spec *wf.Spec) (*Run, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: run %s: %w", id, err)
+	}
+	if id == "" {
+		return nil, fmt.Errorf("engine: empty run ID")
+	}
+	return &Run{ID: id, Spec: spec, cur: spec.Start, visits: make(map[wf.TaskID]int)}, nil
+}
+
+// Resync repositions an in-flight run at a new frontier after recovery
+// rewrote its execution path. Visit counters are rebuilt from the log so
+// future instance IDs never collide with committed entries — a task whose
+// first instance was undone as wrong-path work re-executes later under the
+// next visit number.
+func (e *Engine) Resync(r *Run, cur wf.TaskID, done bool) error {
+	if !done {
+		if _, ok := r.Spec.Tasks[cur]; !ok {
+			return fmt.Errorf("engine: resync of %s to unknown task %q", r.ID, cur)
+		}
+	}
+	visits := make(map[wf.TaskID]int)
+	for _, entry := range e.log.Trace(r.ID, true) {
+		if entry.Visit > visits[entry.Task] {
+			visits[entry.Task] = entry.Visit
+		}
+	}
+	r.visits = visits
+	r.cur = cur
+	r.done = done
+	return nil
+}
+
+// Step executes the run's next task and commits it. It returns true when the
+// run has completed (including when it was already complete).
+func (e *Engine) Step(r *Run) (bool, error) {
+	if r.done {
+		return true, nil
+	}
+	task := r.Spec.Tasks[r.cur]
+	r.visits[r.cur]++
+	visit := r.visits[r.cur]
+	inst := wlog.FormatInstance(r.ID, r.cur, visit)
+	attack := e.attacks[inst]
+	if attack != nil && attack.Crash {
+		r.done = true
+		r.failed = true
+		return true, &TaskFailure{Inst: inst}
+	}
+
+	entry := &wlog.Entry{
+		Run:   r.ID,
+		Task:  r.cur,
+		Visit: visit,
+		Reads: make(map[data.Key]wlog.ReadObs, len(task.Reads)),
+	}
+	// The commit position is the next LSN; reads observe everything
+	// committed before it. Reserve the LSN by appending at the end, so
+	// compute the read view first against "latest".
+	reads := make(map[data.Key]data.Value, len(task.Reads))
+	for _, k := range task.Reads {
+		v, ok := e.store.Get(k)
+		if !ok {
+			entry.Reads[k] = wlog.ReadObs{Value: 0, WriterPos: wlog.MissingPos}
+			reads[k] = 0
+			continue
+		}
+		entry.Reads[k] = wlog.ReadObs{Value: v.Value, Writer: v.Writer, WriterPos: v.Pos}
+		reads[k] = v.Value
+	}
+
+	compute := task.Compute
+	if attack != nil && attack.Compute != nil {
+		compute = attack.Compute
+	}
+	written := make(map[data.Key]data.Value, len(task.Writes))
+	if compute != nil {
+		out := compute(reads)
+		for _, k := range task.Writes {
+			written[k] = out[k]
+		}
+	} else {
+		for _, k := range task.Writes {
+			written[k] = 0
+		}
+	}
+	entry.Writes = written
+
+	// Branch selection for choice nodes.
+	var next wf.TaskID
+	switch {
+	case len(task.Next) == 0:
+		r.done = true
+	case len(task.Next) == 1:
+		next = task.Next[0]
+	default:
+		choose := task.Choose
+		if attack != nil && attack.Choose != nil {
+			choose = attack.Choose
+		}
+		next = choose(reads)
+		if !validNext(task, next) {
+			return false, fmt.Errorf("engine: %s chose invalid successor %q", inst, next)
+		}
+		entry.Chosen = next
+	}
+
+	lsn, err := e.log.Append(entry)
+	if err != nil {
+		return false, fmt.Errorf("engine: commit %s: %w", inst, err)
+	}
+	for k, v := range written {
+		e.store.Write(k, v, float64(lsn), string(inst), false)
+	}
+	if !r.done {
+		r.cur = next
+	}
+	return r.done, nil
+}
+
+func validNext(task *wf.Task, next wf.TaskID) bool {
+	for _, n := range task.Next {
+		if n == next {
+			return true
+		}
+	}
+	return false
+}
+
+// ResumeRuns reconstructs the in-flight runs of a (reloaded) log: for every
+// run recorded in the engine's log that has a spec, a Run positioned at its
+// committed frontier is returned — complete runs come back Done. Together
+// with wlogio this lets a workflow system continue exactly where it stopped
+// after a restart. Forged entries are ignored when deriving frontiers.
+func (e *Engine) ResumeRuns(specs map[string]*wf.Spec) ([]*Run, error) {
+	var out []*Run
+	for _, runID := range e.log.Runs() {
+		spec, ok := specs[runID]
+		if !ok {
+			// Spec-less runs (forged-only pseudo-runs) have nothing to
+			// resume; a real run without a spec is the caller's bug.
+			for _, entry := range e.log.Trace(runID, true) {
+				if !entry.Forged {
+					return nil, fmt.Errorf("engine: run %s in log has no spec", runID)
+				}
+			}
+			continue
+		}
+		r, err := e.NewRun(runID, spec)
+		if err != nil {
+			return nil, err
+		}
+		trace := e.log.Trace(runID, false)
+		if len(trace) == 0 {
+			out = append(out, r)
+			continue
+		}
+		last := trace[len(trace)-1]
+		task := spec.Tasks[last.Task]
+		var cur wf.TaskID
+		done := false
+		switch {
+		case len(task.Next) == 0:
+			done = true
+		case len(task.Next) == 1:
+			cur = task.Next[0]
+		default:
+			cur = last.Chosen
+			if cur == "" {
+				return nil, fmt.Errorf("engine: run %s frontier %s has no recorded choice", runID, last.ID())
+			}
+		}
+		if err := e.Resync(r, cur, done); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Interleave executes the runs following an explicit schedule: order[i]
+// names the index of the run to step next. Completed runs are skipped. After
+// the schedule is exhausted, remaining runs are completed round-robin. A
+// step budget guards against non-terminating cyclic workflows.
+func (e *Engine) Interleave(runs []*Run, order []int, maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	steps := 0
+	step := func(r *Run) error {
+		if r.Done() {
+			return nil
+		}
+		if steps++; steps > maxSteps {
+			return fmt.Errorf("engine: exceeded %d steps; cyclic workflow not terminating?", maxSteps)
+		}
+		_, err := e.Step(r)
+		return err
+	}
+	for _, idx := range order {
+		if idx < 0 || idx >= len(runs) {
+			return fmt.Errorf("engine: interleave index %d out of range", idx)
+		}
+		if err := step(runs[idx]); err != nil {
+			return err
+		}
+	}
+	for {
+		active := false
+		for _, r := range runs {
+			if r.Done() {
+				continue
+			}
+			active = true
+			if err := step(r); err != nil {
+				return err
+			}
+		}
+		if !active {
+			return nil
+		}
+	}
+}
+
+// RunAll completes all runs with round-robin interleaving.
+func (e *Engine) RunAll(runs ...*Run) error {
+	return e.Interleave(runs, nil, 0)
+}
+
+// InjectForged commits a forged task: an execution injected by the attacker
+// that belongs to no workflow specification. It reads the given keys
+// (recording observations like a normal task) and writes the given values.
+// Forged tasks are identified in the log and are undone — never redone —
+// during recovery.
+func (e *Engine) InjectForged(run string, task wf.TaskID, readKeys []data.Key, writes map[data.Key]data.Value) (wlog.InstanceID, error) {
+	entry := &wlog.Entry{
+		Run:    run,
+		Task:   task,
+		Visit:  1,
+		Forged: true,
+		Reads:  make(map[data.Key]wlog.ReadObs, len(readKeys)),
+		Writes: writes,
+	}
+	for _, k := range readKeys {
+		v, ok := e.store.Get(k)
+		if !ok {
+			entry.Reads[k] = wlog.ReadObs{Value: 0, WriterPos: wlog.MissingPos}
+			continue
+		}
+		entry.Reads[k] = wlog.ReadObs{Value: v.Value, Writer: v.Writer, WriterPos: v.Pos}
+	}
+	inst := entry.ID()
+	lsn, err := e.log.Append(entry)
+	if err != nil {
+		return "", fmt.Errorf("engine: inject forged %s: %w", inst, err)
+	}
+	for k, v := range writes {
+		e.store.Write(k, v, float64(lsn), string(inst), false)
+	}
+	return inst, nil
+}

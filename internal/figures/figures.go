@@ -1,0 +1,387 @@
+// Package figures regenerates every figure of the paper's evaluation (§V):
+// the loss-probability-vs-buffer-size curves of Figure 4, the steady-state
+// sweeps of Figure 5, and the transient analyses of Figure 6. Each figure is
+// a set of named series over a common x axis, renderable as an aligned text
+// table or CSV. The same code paths back cmd/ctmc-solve, the benchmark
+// harness and EXPERIMENTS.md.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"selfheal/internal/stg"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a reproduced figure: an x axis and one or more series over it.
+type Figure struct {
+	// ID is the paper's figure identifier, e.g. "4a", "5c", "6d".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// X holds the x-axis values shared by all series.
+	X []float64
+	// Series holds the curves.
+	Series []Series
+}
+
+// fig4Buffers is the buffer-size sweep of §V.A.1 (2..30).
+func fig4Buffers() []int {
+	out := make([]int, 0, 29)
+	for b := 2; b <= 30; b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Fig4 regenerates one panel of Figure 4: steady-state loss probability vs
+// buffer size at λ=1, μ₁=15, ξ₁=20, for the panel's degradation families
+// (DESIGN.md maps panels to families):
+//
+//	4a — slow degradation (none and sqrt): loss falls monotonically.
+//	4b — linear degradation: loss has a minimum, then rises.
+//	4c — quadratic degradation: the rise comes much earlier.
+//	4d — μ quadratic, ξ linear: better than 4c in the operating range.
+func Fig4(panel string) (*Figure, error) {
+	type combo struct {
+		name string
+		f, g stg.Degradation
+	}
+	var combos []combo
+	switch panel {
+	case "a":
+		combos = []combo{
+			{"f=g=none", stg.DegradeNone, stg.DegradeNone},
+			{"f=g=sqrt", stg.DegradeSqrt, stg.DegradeSqrt},
+		}
+	case "b":
+		combos = []combo{{"f=g=linear", stg.DegradeLinear, stg.DegradeLinear}}
+	case "c":
+		combos = []combo{{"f=g=quad", stg.DegradeQuad, stg.DegradeQuad}}
+	case "d":
+		combos = []combo{
+			{"f=quad g=linear", stg.DegradeQuad, stg.DegradeLinear},
+			{"f=g=quad (4c)", stg.DegradeQuad, stg.DegradeQuad},
+		}
+	default:
+		return nil, fmt.Errorf("figures: unknown Fig 4 panel %q (want a-d)", panel)
+	}
+	fig := &Figure{
+		ID:     "4" + panel,
+		Title:  fmt.Sprintf("Loss probability vs buffer size (λ=1, μ₁=15, ξ₁=20), panel %s", panel),
+		XLabel: "buffer size",
+		YLabel: "loss probability",
+	}
+	for _, b := range fig4Buffers() {
+		fig.X = append(fig.X, float64(b))
+	}
+	for _, c := range combos {
+		s := Series{Name: c.name}
+		for _, b := range fig4Buffers() {
+			p := stg.Square(1, 15, 20, b)
+			p.F, p.G = c.f, c.g
+			m, err := stg.New(p)
+			if err != nil {
+				return nil, err
+			}
+			met, err := m.SteadyMetrics()
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, met.Loss)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// fig5Metrics converts a sweep of models into the two Figure-5 panel kinds:
+// probability panels (a, c, e) and expected-value panels (b, d, f).
+func fig5Metrics(fig *Figure, expected bool, params []stg.Params) error {
+	var pN, pS, pR, loss, eA, eR []float64
+	for _, p := range params {
+		m, err := stg.New(p)
+		if err != nil {
+			return err
+		}
+		met, err := m.SteadyMetrics()
+		if err != nil {
+			return err
+		}
+		pN = append(pN, met.PNormal)
+		pS = append(pS, met.PScan)
+		pR = append(pR, met.PRecovery)
+		loss = append(loss, met.Loss)
+		eA = append(eA, met.EAlerts)
+		eR = append(eR, met.ERecovery)
+	}
+	if expected {
+		fig.YLabel = "expected queue length (loss probability for reference)"
+		fig.Series = []Series{
+			{Name: "E[alerts]", Y: eA},
+			{Name: "E[recovery units]", Y: eR},
+			{Name: "loss probability", Y: loss},
+		}
+	} else {
+		fig.YLabel = "steady-state probability"
+		fig.Series = []Series{
+			{Name: "P(NORMAL)", Y: pN},
+			{Name: "P(SCAN)", Y: pS},
+			{Name: "P(RECOVERY)", Y: pR},
+			{Name: "loss probability", Y: loss},
+		}
+	}
+	return nil
+}
+
+// Fig5 regenerates one panel of Figure 5 (steady-state sweeps with buffer 15
+// and μ_k=μ₁/k, ξ_k=ξ₁/k, §V.A.2):
+//
+//	5a/5b — λ from 0 to 4 at μ₁=15, ξ₁=20 (Case 2).
+//	5c/5d — μ₁ from ~0 to 20 at λ=1, ξ₁=20 (Case 3).
+//	5e/5f — ξ₁ from ~0 to 20 at λ=1, μ₁=15 (Case 4).
+func Fig5(panel string) (*Figure, error) {
+	const buf = 15
+	fig := &Figure{ID: "5" + panel}
+	var params []stg.Params
+	switch panel {
+	case "a", "b":
+		fig.Title = "Steady state vs λ (μ₁=15, ξ₁=20, buffer 15)"
+		fig.XLabel = "λ"
+		for x := 0.0; x <= 4.0+1e-9; x += 0.25 {
+			fig.X = append(fig.X, x)
+			params = append(params, stg.Square(x, 15, 20, buf))
+		}
+	case "c", "d":
+		fig.Title = "Steady state vs μ₁ (λ=1, ξ₁=20, buffer 15)"
+		fig.XLabel = "μ₁"
+		for x := 0.5; x <= 20+1e-9; x += 0.5 {
+			fig.X = append(fig.X, x)
+			params = append(params, stg.Square(1, x, 20, buf))
+		}
+	case "e", "f":
+		fig.Title = "Steady state vs ξ₁ (λ=1, μ₁=15, buffer 15)"
+		fig.XLabel = "ξ₁"
+		for x := 0.5; x <= 20+1e-9; x += 0.5 {
+			fig.X = append(fig.X, x)
+			params = append(params, stg.Square(1, 15, x, buf))
+		}
+	default:
+		return nil, fmt.Errorf("figures: unknown Fig 5 panel %q (want a-f)", panel)
+	}
+	expected := panel == "b" || panel == "d" || panel == "f"
+	if err := fig5Metrics(fig, expected, params); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig6 regenerates one panel of Figure 6 (transient behavior from the
+// NORMAL state, buffer 15, linear degradation):
+//
+//	6a/6b — Case 5, the good system (λ=1, μ₁=15, ξ₁=20) over 4 time units:
+//	        state probabilities and cumulative time per class.
+//	6c/6d — Case 6, the poor system (λ=1, μ₁=2, ξ₁=3) over 100 time units.
+func Fig6(panel string) (*Figure, error) {
+	var (
+		p       stg.Params
+		horizon float64
+		steps   int
+		caseNo  string
+	)
+	switch panel {
+	case "a", "b":
+		p, horizon, steps, caseNo = stg.Square(1, 15, 20, 15), 4, 40, "Case 5 (good system)"
+	case "c", "d":
+		p, horizon, steps, caseNo = stg.Square(1, 2, 3, 15), 100, 50, "Case 6 (poor system)"
+	default:
+		return nil, fmt.Errorf("figures: unknown Fig 6 panel %q (want a-d)", panel)
+	}
+	m, err := stg.New(p)
+	if err != nil {
+		return nil, err
+	}
+	cumulative := panel == "b" || panel == "d"
+	fig := &Figure{ID: "6" + panel, XLabel: "t"}
+	var pN, pS, pR, loss []float64
+	for i := 0; i <= steps; i++ {
+		t := horizon * float64(i) / float64(steps)
+		fig.X = append(fig.X, t)
+		var met stg.Metrics
+		if cumulative {
+			l, err := m.CumulativeTime(t)
+			if err != nil {
+				return nil, err
+			}
+			met = cumulativeMetrics(m, l)
+		} else {
+			pi, err := m.Transient(t)
+			if err != nil {
+				return nil, err
+			}
+			met = m.MetricsOf(pi)
+		}
+		pN = append(pN, met.PNormal)
+		pS = append(pS, met.PScan)
+		pR = append(pR, met.PRecovery)
+		loss = append(loss, met.Loss)
+	}
+	if cumulative {
+		fig.Title = fmt.Sprintf("Cumulative time per state class, %s", caseNo)
+		fig.YLabel = "cumulative time units"
+		fig.Series = []Series{
+			{Name: "time in NORMAL", Y: pN},
+			{Name: "time in SCAN", Y: pS},
+			{Name: "time in RECOVERY", Y: pR},
+			{Name: "time at right edge", Y: loss},
+		}
+	} else {
+		fig.Title = fmt.Sprintf("Transient state probability, %s", caseNo)
+		fig.YLabel = "probability"
+		fig.Series = []Series{
+			{Name: "P(NORMAL)", Y: pN},
+			{Name: "P(SCAN)", Y: pS},
+			{Name: "P(RECOVERY)", Y: pR},
+			{Name: "loss probability", Y: loss},
+		}
+	}
+	return fig, nil
+}
+
+// cumulativeMetrics aggregates a cumulative-time vector by state class,
+// reusing the Metrics field names (values are time units, not probabilities).
+func cumulativeMetrics(m *stg.Model, l []float64) stg.Metrics {
+	var out stg.Metrics
+	for i, s := range m.States() {
+		switch s.Classify() {
+		case stg.Normal:
+			out.PNormal += l[i]
+		case stg.Scan:
+			out.PScan += l[i]
+		case stg.Recovery:
+			out.PRecovery += l[i]
+		}
+		if s.Alerts == m.Params().AlertBuf {
+			out.Loss += l[i]
+		}
+	}
+	return out
+}
+
+// FigE1 is an extension experiment evaluating §VI's buffer-sizing advice
+// ("the buffer size of IDS alerts may be less than the buffer size of
+// recovery tasks according to its expected value… to reduce the buffer size
+// of IDS alerts is worthless"): steady-state loss probability over the
+// (alert buffer, recovery buffer) grid at λ=1, μ₁=15, ξ₁=20 with linear
+// degradation. One series per recovery-buffer size; x is the alert buffer.
+func FigE1() (*Figure, error) {
+	recBufs := []int{4, 8, 12, 15}
+	alertBufs := []int{1, 2, 3, 4, 6, 8, 10, 12, 15}
+	fig := &Figure{
+		ID:     "e1",
+		Title:  "Loss probability vs alert-buffer size per recovery-buffer size (λ=1, μ₁=15, ξ₁=20)",
+		XLabel: "alert buffer size",
+		YLabel: "loss probability",
+	}
+	for _, a := range alertBufs {
+		fig.X = append(fig.X, float64(a))
+	}
+	for _, r := range recBufs {
+		s := Series{Name: fmt.Sprintf("recovery buffer %d", r)}
+		for _, a := range alertBufs {
+			p := stg.Params{Lambda: 1, Mu1: 15, Xi1: 20, AlertBuf: a, RecoveryBuf: r}
+			m, err := stg.New(p)
+			if err != nil {
+				return nil, err
+			}
+			met, err := m.SteadyMetrics()
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, met.Loss)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ByID regenerates any figure by its identifier ("4a".."4d", "5a".."5f",
+// "6a".."6d", and the extension "e1").
+func ByID(id string) (*Figure, error) {
+	if id == "e1" {
+		return FigE1()
+	}
+	if len(id) != 2 {
+		return nil, fmt.Errorf("figures: bad figure id %q", id)
+	}
+	panel := string(id[1])
+	switch id[0] {
+	case '4':
+		return Fig4(panel)
+	case '5':
+		return Fig5(panel)
+	case '6':
+		return Fig6(panel)
+	default:
+		return nil, fmt.Errorf("figures: unknown figure %q", id)
+	}
+}
+
+// IDs lists every reproducible figure identifier.
+func IDs() []string {
+	out := []string{
+		"4a", "4b", "4c", "4d",
+		"5a", "5b", "5c", "5d", "5e", "5f",
+		"6a", "6b", "6c", "6d",
+		"e1",
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table renders the figure as an aligned text table.
+func (f *Figure) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %22s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&sb, "%-10.4g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&sb, " %22.6g", s.Y[i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		sb.WriteByte(',')
+		sb.WriteString(s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&sb, ",%g", s.Y[i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,264 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsAllResolve(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("got %d figure IDs, want 15", len(ids))
+	}
+	for _, id := range ids {
+		// Only check resolution and shape here; heavyweight panels are
+		// exercised individually below and by the benchmarks.
+		if id[0] == '5' || id == "6c" || id == "6d" {
+			continue
+		}
+		fig, err := ByID(id)
+		if err != nil {
+			t.Errorf("ByID(%s): %v", id, err)
+			continue
+		}
+		checkShape(t, fig)
+	}
+}
+
+func checkShape(t *testing.T, fig *Figure) {
+	t.Helper()
+	if len(fig.X) == 0 {
+		t.Errorf("fig %s: empty x axis", fig.ID)
+	}
+	if len(fig.Series) == 0 {
+		t.Errorf("fig %s: no series", fig.ID)
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != len(fig.X) {
+			t.Errorf("fig %s series %q: %d points, want %d", fig.ID, s.Name, len(s.Y), len(fig.X))
+		}
+	}
+}
+
+func TestByIDErrors(t *testing.T) {
+	for _, id := range []string{"", "4", "9a", "4z", "5g", "6e", "falcon"} {
+		if _, err := ByID(id); err == nil {
+			t.Errorf("ByID(%q) accepted", id)
+		}
+	}
+}
+
+func TestFig4aMonotone(t *testing.T) {
+	fig, err := Fig4("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, fig)
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-12 {
+				t.Errorf("fig 4a %q: loss rises at buffer %g", s.Name, fig.X[i])
+			}
+		}
+	}
+}
+
+func TestFig4dBeatsFig4c(t *testing.T) {
+	fig, err := Fig4("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dSeries, cSeries []float64
+	for _, s := range fig.Series {
+		if strings.Contains(s.Name, "4c") {
+			cSeries = s.Y
+		} else {
+			dSeries = s.Y
+		}
+	}
+	if dSeries == nil || cSeries == nil {
+		t.Fatal("fig 4d missing comparison series")
+	}
+	// In the low-loss operating range, the μ-faster assignment is at
+	// least as good as the symmetric fast case.
+	better := 0
+	for i := range dSeries {
+		if dSeries[i] <= cSeries[i]+1e-12 {
+			better++
+		}
+	}
+	if better < len(dSeries)*3/4 {
+		t.Errorf("fig 4d better at only %d/%d buffers", better, len(dSeries))
+	}
+}
+
+func TestFig5aThreshold(t *testing.T) {
+	fig, err := Fig5("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, fig)
+	var pn, loss []float64
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "P(NORMAL)":
+			pn = s.Y
+		case "loss probability":
+			loss = s.Y
+		}
+	}
+	// §V.A.2: λ ≤ 1 keeps P(NORMAL) > 0.8; λ ≥ 1.5 collapses it and
+	// drives loss up quickly.
+	for i, x := range fig.X {
+		switch {
+		case x <= 1 && pn[i] <= 0.8:
+			t.Errorf("λ=%g: P(NORMAL)=%g, want > 0.8", x, pn[i])
+		case x >= 1.5 && pn[i] >= 0.5:
+			t.Errorf("λ=%g: P(NORMAL)=%g, want collapse", x, pn[i])
+		}
+		if x <= 1 && loss[i] >= 0.01 {
+			t.Errorf("λ=%g: loss=%g, want <1%%", x, loss[i])
+		}
+		if x >= 2 && loss[i] <= 0.3 {
+			t.Errorf("λ=%g: loss=%g, want large", x, loss[i])
+		}
+	}
+}
+
+func TestFig5cCostEffectiveKnee(t *testing.T) {
+	fig, err := Fig5("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pn []float64
+	for _, s := range fig.Series {
+		if s.Name == "P(NORMAL)" {
+			pn = s.Y
+		}
+	}
+	// Case 3: beyond μ₁ ≈ 15 further improvement is marginal.
+	last := pn[len(pn)-1]
+	var at15 float64
+	for i, x := range fig.X {
+		if x >= 15 {
+			at15 = pn[i]
+			break
+		}
+	}
+	if last-at15 > 0.05 {
+		t.Errorf("P(NORMAL) still improving past μ₁=15: %g → %g", at15, last)
+	}
+	// And μ₁ near zero is catastrophic.
+	if pn[0] > 0.2 {
+		t.Errorf("P(NORMAL)=%g at μ₁=%g, want collapse", pn[0], fig.X[0])
+	}
+}
+
+func TestFig6aGoodSystem(t *testing.T) {
+	fig, err := Fig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, fig)
+	for _, s := range fig.Series {
+		if s.Name != "loss probability" {
+			continue
+		}
+		for i, v := range s.Y {
+			if v > 1e-6 {
+				t.Errorf("fig 6a: visible loss %g at t=%g", v, fig.X[i])
+			}
+		}
+	}
+}
+
+func TestFig6bCumulativeSums(t *testing.T) {
+	fig, err := Fig6("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At each t, time in NORMAL+SCAN+RECOVERY = t.
+	var n, s, r []float64
+	for _, sr := range fig.Series {
+		switch sr.Name {
+		case "time in NORMAL":
+			n = sr.Y
+		case "time in SCAN":
+			s = sr.Y
+		case "time in RECOVERY":
+			r = sr.Y
+		}
+	}
+	for i, t0 := range fig.X {
+		sum := n[i] + s[i] + r[i]
+		if diff := sum - t0; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("t=%g: class times sum to %g", t0, sum)
+		}
+	}
+}
+
+func TestTableAndCSV(t *testing.T) {
+	fig, err := Fig4("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fig.Table()
+	if !strings.Contains(tbl, "Figure 4b") || !strings.Contains(tbl, "buffer size") {
+		t.Errorf("table missing headers:\n%s", tbl[:100])
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(fig.X)+1 {
+		t.Errorf("csv has %d lines, want %d", len(lines), len(fig.X)+1)
+	}
+	if !strings.HasPrefix(lines[0], "buffer size,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+// TestFigE1BufferAdvice encodes the §VI buffer-sizing discussion measured by
+// the extension experiment: a tiny alert buffer is the bottleneck no matter
+// how large the recovery buffer is; once the alert buffer reaches a modest
+// size (≈6 at these rates), further enlargement buys nothing.
+func TestFigE1BufferAdvice(t *testing.T) {
+	fig, err := FigE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, fig)
+	idx := func(x float64) int {
+		for i, v := range fig.X {
+			if v == x {
+				return i
+			}
+		}
+		t.Fatalf("x=%g not in figure", x)
+		return -1
+	}
+	i2, i6 := idx(2), idx(6)
+	for _, s := range fig.Series {
+		// Tiny alert buffers dominate the loss...
+		if s.Y[i2] < 50*s.Y[i6] {
+			t.Errorf("%s: loss(2)=%g not ≫ loss(6)=%g", s.Name, s.Y[i2], s.Y[i6])
+		}
+		// ...and at the tiny end the recovery buffer is irrelevant: all
+		// series coincide within 1%.
+		if rel := s.Y[i2]/fig.Series[0].Y[i2] - 1; rel > 0.01 || rel < -0.01 {
+			t.Errorf("%s: loss(2) spread %g, want coincident series", s.Name, rel)
+		}
+	}
+	// Past the knee, enlarging the alert buffer never helps much: for
+	// every series the minimum over [6..15] is within 10x of loss(6)
+	// (i.e. no order-of-magnitude gains remain).
+	for _, s := range fig.Series {
+		min := s.Y[i6]
+		for i := i6; i < len(s.Y); i++ {
+			if s.Y[i] < min {
+				min = s.Y[i]
+			}
+		}
+		if s.Y[i6] > 10*min {
+			t.Errorf("%s: loss(6)=%g still 10x above the best %g", s.Name, s.Y[i6], min)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newServer(t)
+	code, body, _ := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+}
+
+func TestFiguresList(t *testing.T) {
+	srv := newServer(t)
+	code, body, hdr := get(t, srv, "/figures")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var ids []string
+	if err := json.Unmarshal([]byte(body), &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 15 {
+		t.Errorf("got %d figure IDs", len(ids))
+	}
+}
+
+func TestFigureFormats(t *testing.T) {
+	srv := newServer(t)
+	code, body, _ := get(t, srv, "/figure/4b")
+	if code != http.StatusOK || !strings.Contains(body, "Figure 4b") {
+		t.Errorf("table: %d", code)
+	}
+	code, body, hdr := get(t, srv, "/figure/4b?format=csv")
+	if code != http.StatusOK || !strings.HasPrefix(body, "buffer size,") {
+		t.Errorf("csv: %d %q", code, body[:40])
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("csv content type %q", ct)
+	}
+	code, body, _ = get(t, srv, "/figure/4b?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("json: %d", code)
+	}
+	var fig struct {
+		ID     string `json:"ID"`
+		Series []struct {
+			Name string
+			Y    []float64
+		}
+	}
+	if err := json.Unmarshal([]byte(body), &fig); err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "4b" || len(fig.Series) == 0 {
+		t.Errorf("json figure = %+v", fig)
+	}
+}
+
+func TestFigureErrors(t *testing.T) {
+	srv := newServer(t)
+	if code, _, _ := get(t, srv, "/figure/9z"); code != http.StatusNotFound {
+		t.Errorf("unknown figure: %d", code)
+	}
+	if code, _, _ := get(t, srv, "/figure/4b?format=xml"); code != http.StatusBadRequest {
+		t.Errorf("bad format: %d", code)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	srv := newServer(t)
+	code, body, _ := get(t, srv, "/solve?lambda=1&mu=15&xi=20&buf=15")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		States int `json:"states"`
+		Steady struct {
+			PNormal float64
+			Loss    float64
+		} `json:"steady"`
+		MeanTimeToLoss *float64 `json:"meanTimeToLoss"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.States != 256 {
+		t.Errorf("states = %d, want 256", resp.States)
+	}
+	if resp.Steady.PNormal < 0.8 {
+		t.Errorf("P(NORMAL) = %g", resp.Steady.PNormal)
+	}
+	if resp.MeanTimeToLoss == nil || *resp.MeanTimeToLoss < 1000 {
+		t.Errorf("mean time to loss = %v", resp.MeanTimeToLoss)
+	}
+}
+
+func TestSolveWithTransient(t *testing.T) {
+	srv := newServer(t)
+	code, body, _ := get(t, srv, "/solve?lambda=1&mu=2&xi=3&buf=15&t=100")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var resp struct {
+		Transient *struct {
+			Loss float64
+		} `json:"transient"`
+		TransientAt *float64 `json:"transientAt"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Transient == nil || resp.TransientAt == nil {
+		t.Fatal("transient missing")
+	}
+	if resp.Transient.Loss < 0.85 {
+		t.Errorf("transient loss = %g, want Case 6's ~0.9", resp.Transient.Loss)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	srv := newServer(t)
+	for _, path := range []string{
+		"/solve?lambda=abc",
+		"/solve?mu=abc",
+		"/solve?buf=abc",
+		"/solve?f=cubic",
+		"/solve?mu=0",
+		"/solve?t=-1",
+	} {
+		if code, _, _ := get(t, srv, path); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+}
+
+func TestSTGDot(t *testing.T) {
+	srv := newServer(t)
+	code, body, hdr := get(t, srv, "/stg.dot?buf=2")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/vnd.graphviz" {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(body, "digraph stg") || !strings.Contains(body, `"N"`) {
+		t.Errorf("dot body missing structure")
+	}
+	if code, _, _ := get(t, srv, "/stg.dot?buf=abc"); code != http.StatusBadRequest {
+		t.Errorf("bad buf: %d", code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := newServer(t)
+	resp, err := srv.Client().Post(srv.URL+"/solve", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /solve: %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,102 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"selfheal/internal/recovery"
+	"selfheal/internal/wf"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+	"selfheal/internal/wlogio"
+)
+
+// repairRequest is the POST /repair document: a wlogio snapshot of the
+// attacked history, declarative workflow specifications (wfjson), the
+// run→spec assignment, and the IDS report.
+type repairRequest struct {
+	// Snapshot is the wlogio-encoded log and store.
+	Snapshot json.RawMessage `json:"snapshot"`
+	// Specs declares the workflows by name.
+	Specs []wfjson.SpecJSON `json:"specs"`
+	// Runs maps each run ID in the log to a spec name.
+	Runs map[string]string `json:"runs"`
+	// Bad lists the malicious instance IDs.
+	Bad []string `json:"bad"`
+}
+
+// repairResponse summarizes the repair.
+type repairResponse struct {
+	Undone      []wlog.InstanceID `json:"undone"`
+	Redone      []wlog.InstanceID `json:"redone"`
+	NewExecuted []wlog.InstanceID `json:"newExecuted"`
+	Dropped     []wlog.InstanceID `json:"droppedNotRedone"`
+	Iterations  int               `json:"iterations"`
+	Verified    bool              `json:"verified"`
+	FinalState  map[string]int64  `json:"finalState"`
+}
+
+func handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req repairRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
+		return
+	}
+	if len(req.Snapshot) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing snapshot"))
+		return
+	}
+	log, store, err := wlogio.Decode(bytes.NewReader(req.Snapshot))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	byName := make(map[string]*wf.Spec, len(req.Specs))
+	for i := range req.Specs {
+		spec, _, err := wfjson.Build(&req.Specs[i])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		byName[spec.Name] = spec
+	}
+	specs := make(map[string]*wf.Spec, len(req.Runs))
+	for run, name := range req.Runs {
+		spec, ok := byName[name]
+		if !ok {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("run %q references unknown spec %q", run, name))
+			return
+		}
+		specs[run] = spec
+	}
+	bad := make([]wlog.InstanceID, len(req.Bad))
+	for i, b := range req.Bad {
+		bad[i] = wlog.InstanceID(b)
+	}
+
+	res, err := recovery.Repair(store, log, specs, bad, recovery.Options{})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := repairResponse{
+		Undone:      res.Undone,
+		Redone:      res.Redone,
+		NewExecuted: res.NewExecuted,
+		Dropped:     res.DroppedNotRedone,
+		Iterations:  res.Iterations,
+		Verified:    len(recovery.VerifyResult(res, log, specs)) == 0,
+		FinalState:  make(map[string]int64),
+	}
+	for k, v := range res.Store.Snapshot() {
+		resp.FinalState[string(k)] = int64(v)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}

@@ -1,0 +1,166 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+	"selfheal/internal/wlogio"
+)
+
+// fig1SpecJSON is the declarative form of the Figure 1 main workflow (the
+// same data flow wfjson's SumCompute/ThresholdChoose semantics produce).
+var fig1SpecJSON = wfjson.SpecJSON{
+	Name: "wf1", Start: "t1",
+	Init: map[string]int64{"e": 0},
+	Tasks: []wfjson.TaskJSON{
+		{ID: "t1", Writes: []string{"a"}, Bias: 1, Next: []string{"t2"}},
+		{ID: "t2", Reads: []string{"a"}, Writes: []string{"b"}, Bias: 1, Next: []string{"t3", "t5"},
+			Choose: &wfjson.ChooseJSON{Key: "a", Threshold: 50, Low: "t5", High: "t3"}},
+		{ID: "t3", Writes: []string{"c"}, Bias: 42, Next: []string{"t4"}},
+		{ID: "t4", Reads: []string{"b", "c"}, Writes: []string{"d"}, Next: []string{"t6"}},
+		{ID: "t5", Reads: []string{"b"}, Writes: []string{"e"}, Bias: 5, Next: []string{"t6"}},
+		{ID: "t6", Reads: []string{"e"}, Writes: []string{"f"}, Bias: 7},
+	},
+}
+
+// buildAttackedSnapshot executes the JSON spec under attack and snapshots it.
+func buildAttackedSnapshot(t *testing.T) []byte {
+	t.Helper()
+	spec, init, err := wfjson.Build(&fig1SpecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := data.NewStore()
+	for k, v := range init {
+		st.Init(k, v)
+	}
+	eng := engine.New(st, wlog.New())
+	eng.AddAttack(engine.Attack{
+		Run: "main", Task: "t1",
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"a": 100}
+		},
+	})
+	r, err := eng.NewRun("main", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wlogio.Encode(&buf, eng.Log(), eng.Store()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postRepair(t *testing.T, srv *httptest.Server, body any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/repair", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestRepairEndpoint(t *testing.T) {
+	srv := newServer(t)
+	snapshot := buildAttackedSnapshot(t)
+	code, body := postRepair(t, srv, map[string]any{
+		"snapshot": json.RawMessage(snapshot),
+		"specs":    []wfjson.SpecJSON{fig1SpecJSON},
+		"runs":     map[string]string{"main": "wf1"},
+		"bad":      []string{"main/t1#1"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Undone      []string         `json:"undone"`
+		NewExecuted []string         `json:"newExecuted"`
+		Verified    bool             `json:"verified"`
+		FinalState  map[string]int64 `json:"finalState"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Verified {
+		t.Error("remote repair not verified")
+	}
+	if len(resp.Undone) != 5 {
+		t.Errorf("undone = %v, want 5 instances", resp.Undone)
+	}
+	if len(resp.NewExecuted) != 1 || resp.NewExecuted[0] != "main/t5#1" {
+		t.Errorf("newExecuted = %v", resp.NewExecuted)
+	}
+	if resp.FinalState["f"] != 14 || resp.FinalState["a"] != 1 {
+		t.Errorf("final state = %v", resp.FinalState)
+	}
+	if _, stale := resp.FinalState["c"]; stale {
+		t.Error("wrong-path output survived remote repair")
+	}
+}
+
+func TestRepairEndpointErrors(t *testing.T) {
+	srv := newServer(t)
+	snapshot := buildAttackedSnapshot(t)
+
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"missing snapshot", map[string]any{
+			"specs": []wfjson.SpecJSON{fig1SpecJSON},
+			"runs":  map[string]string{"main": "wf1"},
+		}, http.StatusBadRequest},
+		{"unknown spec name", map[string]any{
+			"snapshot": json.RawMessage(snapshot),
+			"specs":    []wfjson.SpecJSON{fig1SpecJSON},
+			"runs":     map[string]string{"main": "ghost"},
+		}, http.StatusBadRequest},
+		{"unknown bad instance", map[string]any{
+			"snapshot": json.RawMessage(snapshot),
+			"specs":    []wfjson.SpecJSON{fig1SpecJSON},
+			"runs":     map[string]string{"main": "wf1"},
+			"bad":      []string{"main/ghost#1"},
+		}, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, body := postRepair(t, srv, c.body)
+			if code != c.want {
+				t.Errorf("status %d, want %d (%s)", code, c.want, body)
+			}
+		})
+	}
+
+	// Malformed JSON body.
+	resp, err := srv.Client().Post(srv.URL+"/repair", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,77 @@
+// Package ids simulates the intrusion detection system of the paper's
+// architecture (Fig 2, §IV.D): attacks occur as a Poisson process, and each
+// malicious task instance is reported after an exponential detection delay.
+// The paper deliberately abstracts IDS quality (no false alarms, eventual
+// detection guaranteed by the administrator); this package therefore models
+// only arrival and delay timing.
+package ids
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"selfheal/internal/wlog"
+)
+
+// Event is one timed IDS report.
+type Event struct {
+	// Time is the (virtual) report time.
+	Time float64
+	// Bad lists the instances reported malicious.
+	Bad []wlog.InstanceID
+}
+
+// PoissonTimes returns the arrival times of a Poisson process with the given
+// rate on [0, horizon).
+func PoissonTimes(rate, horizon float64, rng *rand.Rand) ([]float64, error) {
+	if rate < 0 || horizon <= 0 {
+		return nil, fmt.Errorf("ids: bad Poisson parameters rate=%g horizon=%g", rate, horizon)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ids: nil rng")
+	}
+	var out []float64
+	if rate == 0 {
+		return out, nil
+	}
+	t := rng.ExpFloat64() / rate
+	for t < horizon {
+		out = append(out, t)
+		t += rng.ExpFloat64() / rate
+	}
+	return out, nil
+}
+
+// Schedule assigns report times to known-malicious instances: attack i
+// becomes visible at the i-th Poisson arrival plus an exponential detection
+// delay with the given mean. Events are returned sorted by report time, one
+// instance per event (the IDS reports intrusions one at a time, §IV.A).
+// Instances beyond the number of arrivals within the horizon are dropped —
+// the attacker stopped attacking.
+func Schedule(bad []wlog.InstanceID, rate, meanDelay, horizon float64, rng *rand.Rand) ([]Event, error) {
+	arrivals, err := PoissonTimes(rate, horizon, rng)
+	if err != nil {
+		return nil, err
+	}
+	if meanDelay < 0 {
+		return nil, fmt.Errorf("ids: negative mean delay %g", meanDelay)
+	}
+	n := len(bad)
+	if len(arrivals) < n {
+		n = len(arrivals)
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		delay := 0.0
+		if meanDelay > 0 {
+			delay = rng.ExpFloat64() * meanDelay
+		}
+		out = append(out, Event{
+			Time: arrivals[i] + delay,
+			Bad:  []wlog.InstanceID{bad[i]},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}

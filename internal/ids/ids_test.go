@@ -1,0 +1,127 @@
+package ids
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selfheal/internal/wlog"
+)
+
+func TestPoissonTimesValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := PoissonTimes(-1, 10, rng); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := PoissonTimes(1, 0, rng); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := PoissonTimes(1, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPoissonTimesZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts, err := PoissonTimes(0, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 0 {
+		t.Errorf("rate 0 produced %d arrivals", len(ts))
+	}
+}
+
+func TestPoissonTimesStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const rate, horizon = 2.0, 10000.0
+	ts, err := PoissonTimes(rate, horizon, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected count rate·horizon = 20000 ± a few hundred.
+	got := float64(len(ts))
+	if math.Abs(got-rate*horizon) > 4*math.Sqrt(rate*horizon) {
+		t.Errorf("got %d arrivals, want ≈%g", len(ts), rate*horizon)
+	}
+	// Sorted, in range.
+	for i, x := range ts {
+		if x < 0 || x >= horizon {
+			t.Fatalf("arrival %d out of range: %g", i, x)
+		}
+		if i > 0 && ts[i-1] > x {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestScheduleAssignsAllWithinArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bad := []wlog.InstanceID{"r/a#1", "r/b#1", "r/c#1"}
+	evs, err := Schedule(bad, 5, 0.1, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	seen := map[wlog.InstanceID]bool{}
+	for i, e := range evs {
+		if len(e.Bad) != 1 {
+			t.Errorf("event %d reports %d instances, want 1", i, len(e.Bad))
+		}
+		seen[e.Bad[0]] = true
+		if i > 0 && evs[i-1].Time > e.Time {
+			t.Error("events not sorted by time")
+		}
+	}
+	for _, b := range bad {
+		if !seen[b] {
+			t.Errorf("instance %s never reported", b)
+		}
+	}
+}
+
+func TestScheduleDropsBeyondHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bad := []wlog.InstanceID{"r/a#1", "r/b#1", "r/c#1"}
+	// Rate so low that essentially no arrivals land within the horizon.
+	evs, err := Schedule(bad, 1e-9, 0, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Errorf("got %d events, want 0", len(evs))
+	}
+}
+
+func TestScheduleValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Schedule(nil, 1, -1, 10, rng); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := Schedule(nil, -1, 0, 10, rng); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestScheduleZeroDelayReportsAtArrival(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	arrRng := rand.New(rand.NewSource(6))
+	arr, err := PoissonTimes(2, 50, arrRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := Schedule([]wlog.InstanceID{"r/a#1", "r/b#1"}, 2, 0, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := range evs {
+		if math.Abs(evs[i].Time-arr[i]) > 1e-12 {
+			t.Errorf("event %d at %g, arrival at %g (delay should be 0)", i, evs[i].Time, arr[i])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPoissonWeights: any finite non-negative rate must produce a normalized
+// non-negative weight vector without panicking.
+func FuzzPoissonWeights(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.0)
+	f.Add(15.5)
+	f.Add(800.0)
+	f.Add(1e-12)
+	f.Fuzz(func(t *testing.T, qt float64) {
+		if math.IsNaN(qt) || math.IsInf(qt, 0) || qt < 0 || qt > 1e5 {
+			return
+		}
+		w := PoissonWeights(qt, 1e-10)
+		if len(w) == 0 {
+			t.Fatal("empty weights")
+		}
+		var sum float64
+		for _, v := range w {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad weight %g at qt=%g", v, qt)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("weights sum %g at qt=%g", sum, qt)
+		}
+	})
+}
+
+// FuzzSolveRoundTrip: for any diagonally dominant system built from the
+// fuzzed seed, Solve must reproduce a planted solution.
+func FuzzSolveRoundTrip(f *testing.F) {
+	f.Add(int64(1), 3)
+	f.Add(int64(42), 8)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 1 || n > 25 {
+			return
+		}
+		rng := newTestRand(seed)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(2*n))
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("solve failed: %v", err)
+		}
+		if L1Dist(got, want) > 1e-7*float64(n) {
+			t.Fatalf("residual %g", L1Dist(got, want))
+		}
+	})
+}
+
+// newTestRand isolates the fuzz harness from the global rand.
+func newTestRand(seed int64) *testRand {
+	return &testRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+type testRand struct{ state uint64 }
+
+func (r *testRand) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// NormFloat64 returns an approximately normal variate (sum of uniforms).
+func (r *testRand) NormFloat64() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += float64(r.next()>>11) / (1 << 53)
+	}
+	return s - 6
+}

@@ -1,0 +1,363 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseFrom(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("got %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %g, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewDenseFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged input")
+		}
+	}()
+	NewDenseFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	got := Identity(3).Mul(m)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("I·M differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Errorf("at (%d,%d): got %g want %g", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 {
+		t.Errorf("Tᵀ(2,1) = %g, want 6", tr.At(2, 1))
+	}
+}
+
+func TestVecMulMatchesMulVecOfTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		x := make([]float64, r)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a := VecMul(x, m)
+		b := MulVec(m.Transpose(), x)
+		if L1Dist(a, b) > 1e-12 {
+			t.Fatalf("trial %d: x·M != Mᵀ·x (dist %g)", trial, L1Dist(a, b))
+		}
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Error("Row shares storage with matrix")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, -2}})
+	m.Scale(-3)
+	if m.At(0, 0) != -3 || m.At(0, 1) != 6 {
+		t.Errorf("scale result %v", m.Row(0))
+	}
+}
+
+func TestDotAXPYSum(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	want := []float64{3, 5, 7}
+	if L1Dist(y, want) != 0 {
+		t.Errorf("AXPY = %v, want %v", y, want)
+	}
+	if Sum(a) != 6 {
+		t.Errorf("Sum = %g", Sum(a))
+	}
+	if MaxAbs([]float64{-5, 3}) != 5 {
+		t.Error("MaxAbs wrong")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewDenseFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	if L1Dist(x, want) > 1e-10 {
+		t.Errorf("x = %v, want %v", x, want)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := NewDenseFrom([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if L1Dist(x, []float64{3, 2}) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance keeps it well conditioned
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if L1Dist(got, want) > 1e-8*float64(n) {
+			t.Fatalf("trial %d: residual %g", trial, L1Dist(got, want))
+		}
+	}
+}
+
+func TestNullVectorStochasticTwoState(t *testing.T) {
+	// Birth-death with rates a=2 (0→1) and b=3 (1→0): π = (b, a)/(a+b).
+	q := NewDenseFrom([][]float64{
+		{-2, 2},
+		{3, -3},
+	})
+	pi, err := NullVectorStochastic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.6, 0.4}
+	if L1Dist(pi, want) > 1e-12 {
+		t.Errorf("π = %v, want %v", pi, want)
+	}
+}
+
+func TestNullVectorStochasticMM1K(t *testing.T) {
+	// M/M/1/K queue, λ=1, μ=2, K=5: π_i ∝ ρ^i with ρ=1/2.
+	const k = 5
+	lambda, mu := 1.0, 2.0
+	q := NewDense(k+1, k+1)
+	for i := 0; i <= k; i++ {
+		if i < k {
+			q.Add(i, i+1, lambda)
+			q.Add(i, i, -lambda)
+		}
+		if i > 0 {
+			q.Add(i, i-1, mu)
+			q.Add(i, i, -mu)
+		}
+	}
+	pi, err := NullVectorStochastic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	var norm float64
+	for i := 0; i <= k; i++ {
+		norm += math.Pow(rho, float64(i))
+	}
+	for i := 0; i <= k; i++ {
+		want := math.Pow(rho, float64(i)) / norm
+		if math.Abs(pi[i]-want) > 1e-12 {
+			t.Errorf("π[%d] = %g, want %g", i, pi[i], want)
+		}
+	}
+}
+
+func TestNullVectorStochasticSumsToOne(t *testing.T) {
+	// Property: for random irreducible generators the solution is a
+	// probability distribution with π·Q ≈ 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		q := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				// Strictly positive rates guarantee irreducibility.
+				q.Set(i, j, 0.1+rng.Float64()*5)
+			}
+		}
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				if j != i {
+					s += q.At(i, j)
+				}
+			}
+			q.Set(i, i, -s)
+		}
+		pi, err := NullVectorStochastic(q)
+		if err != nil {
+			return false
+		}
+		if math.Abs(Sum(pi)-1) > 1e-9 {
+			return false
+		}
+		res := VecMul(pi, q)
+		return MaxAbs(res) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRK4Exponential(t *testing.T) {
+	// dy/dt = -y, y(0)=1 → y(t) = e^{-t}.
+	f := func(_ float64, y, dst []float64) { dst[0] = -y[0] }
+	y := RK4(f, []float64{1}, 0, 2, 200)
+	if math.Abs(y[0]-math.Exp(-2)) > 1e-8 {
+		t.Errorf("y(2) = %g, want %g", y[0], math.Exp(-2))
+	}
+}
+
+func TestRK4LinearSystem(t *testing.T) {
+	// Harmonic oscillator: y'' = -y encoded as a 2-dim system; energy conserved.
+	f := func(_ float64, y, dst []float64) {
+		dst[0] = y[1]
+		dst[1] = -y[0]
+	}
+	y := RK4(f, []float64{1, 0}, 0, 2*math.Pi, 1000)
+	if math.Abs(y[0]-1) > 1e-6 || math.Abs(y[1]) > 1e-6 {
+		t.Errorf("full period: y = %v, want [1 0]", y)
+	}
+}
+
+func TestPoissonWeightsSmall(t *testing.T) {
+	w := PoissonWeights(0, 1e-12)
+	if len(w) != 1 || w[0] != 1 {
+		t.Fatalf("qt=0 weights = %v", w)
+	}
+	w = PoissonWeights(1, 1e-12)
+	if math.Abs(Sum(w)-1) > 1e-9 {
+		t.Errorf("weights sum %g", Sum(w))
+	}
+	// w_0 should be close to e^{-1} (slightly scaled by renormalization).
+	if math.Abs(w[0]-math.Exp(-1)) > 1e-6 {
+		t.Errorf("w0 = %g, want ~%g", w[0], math.Exp(-1))
+	}
+}
+
+func TestPoissonWeightsLargeRateStable(t *testing.T) {
+	// qt large enough that e^{-qt} underflows float64 if computed naively.
+	w := PoissonWeights(800, 1e-12)
+	if math.Abs(Sum(w)-1) > 1e-8 {
+		t.Fatalf("weights sum %g", Sum(w))
+	}
+	// Mass should be concentrated near the mode.
+	var mean float64
+	for k, v := range w {
+		mean += float64(k) * v
+	}
+	if math.Abs(mean-800) > 1 {
+		t.Errorf("mean %g, want ≈800", mean)
+	}
+}
+
+func TestPoissonWeightsProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		qt := math.Mod(math.Abs(raw), 200)
+		w := PoissonWeights(qt, 1e-10)
+		if math.Abs(Sum(w)-1) > 1e-8 {
+			return false
+		}
+		for _, v := range w {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package mat
+
+import "fmt"
+
+// Derivative computes dy/dt at time t for state y, writing into dst.
+// dst and y never alias.
+type Derivative func(t float64, y, dst []float64)
+
+// RK4 integrates dy/dt = f(t, y) from t0 to t1 with the classical
+// fourth-order Runge-Kutta method using steps fixed steps. It returns the
+// state at t1. y0 is not modified.
+func RK4(f Derivative, y0 []float64, t0, t1 float64, steps int) []float64 {
+	if steps <= 0 {
+		panic(fmt.Sprintf("mat: RK4 needs positive steps, got %d", steps))
+	}
+	n := len(y0)
+	y := make([]float64, n)
+	copy(y, y0)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	h := (t1 - t0) / float64(steps)
+	t := t0
+	for s := 0; s < steps; s++ {
+		f(t, y, k1)
+		for i := range tmp {
+			tmp[i] = y[i] + h/2*k1[i]
+		}
+		f(t+h/2, tmp, k2)
+		for i := range tmp {
+			tmp[i] = y[i] + h/2*k2[i]
+		}
+		f(t+h/2, tmp, k3)
+		for i := range tmp {
+			tmp[i] = y[i] + h*k3[i]
+		}
+		f(t+h, tmp, k4)
+		for i := range y {
+			y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += h
+	}
+	return y
+}

@@ -1,0 +1,60 @@
+package mat
+
+import "math"
+
+// PoissonWeights returns the Poisson(qt) probabilities w_k = e^{-qt}(qt)^k/k!
+// for k = 0..K, where K is chosen so the truncated tail mass is below eps.
+// The weights are computed in a numerically stable way (log-space seed, then
+// multiplicative recurrence) so large qt does not underflow.
+func PoissonWeights(qt, eps float64) []float64 {
+	if qt < 0 {
+		panic("mat: negative Poisson rate")
+	}
+	if qt == 0 {
+		return []float64{1}
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	// Start at the mode in log space to avoid e^{-qt} underflow.
+	mode := int(qt)
+	logMode := -qt + float64(mode)*math.Log(qt) - lgammaInt(mode+1)
+	// Walk outwards from the mode until the accumulated mass ≥ 1−eps.
+	lo, hi := mode, mode
+	wMode := math.Exp(logMode)
+	// Collect in maps of offsets; we cap the support generously.
+	maxK := mode + 20 + int(12*math.Sqrt(qt+1))
+	w := make([]float64, maxK+1)
+	w[mode] = wMode
+	total := wMode
+	for total < 1-eps && (lo > 0 || hi < maxK) {
+		if hi < maxK {
+			hi++
+			w[hi] = w[hi-1] * qt / float64(hi)
+			total += w[hi]
+		}
+		if total >= 1-eps {
+			break
+		}
+		if lo > 0 {
+			w[lo-1] = w[lo] * float64(lo) / qt
+			lo--
+			total += w[lo]
+		}
+	}
+	out := w[:hi+1]
+	// Renormalize the truncation so downstream probabilities sum to one.
+	if total > 0 {
+		inv := 1 / total
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}
+
+// lgammaInt returns ln Γ(n), so lgammaInt(k+1) = ln(k!).
+func lgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}

@@ -1,0 +1,116 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// Solve solves A·x = b by Gaussian elimination with partial pivoting.
+// A and b are not modified.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: solve needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("mat: rhs length %d != %d", len(b), a.rows)
+	}
+	n := a.rows
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: the largest magnitude in this column, at or
+		// below the diagonal.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			m.Set(r, col, 0)
+			for c := col + 1; c < n; c++ {
+				m.Add(r, c, -f*m.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= m.At(r, c) * x[c]
+		}
+		x[r] = s / m.At(r, r)
+	}
+	return x, nil
+}
+
+func swapRows(m *Dense, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// NullVectorStochastic solves π·Q = 0 with Σπ = 1 for an irreducible CTMC
+// generator Q (rows sum to zero). It replaces one balance equation with the
+// normalization constraint, which is the standard full-rank reformulation.
+func NullVectorStochastic(q *Dense) ([]float64, error) {
+	if q.rows != q.cols {
+		return nil, fmt.Errorf("mat: generator must be square, got %dx%d", q.rows, q.cols)
+	}
+	n := q.rows
+	// Solve Aᵀ·π = e_last where A is Q with its last column replaced by ones:
+	// π·Q = 0 (first n−1 columns) plus π·1 = 1 (last column).
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n-1; j++ {
+			a.Set(j, i, q.At(i, j)) // transposed
+		}
+		a.Set(n-1, i, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("steady state: %w", err)
+	}
+	// Clamp tiny negative round-off and renormalize.
+	var sum float64
+	for i, v := range pi {
+		if v < 0 {
+			if v < -1e-8 {
+				return nil, fmt.Errorf("steady state: negative probability %g at state %d", v, i)
+			}
+			pi[i] = 0
+		}
+		sum += pi[i]
+	}
+	if sum == 0 {
+		return nil, errors.New("steady state: zero distribution")
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}

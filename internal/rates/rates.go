@@ -1,0 +1,192 @@
+// Package rates implements step 1 of the paper's design procedure (§VI):
+// "design and evaluate the performance degradation of the analyzing
+// algorithm and scheduling algorithm. Evaluate μ_k and ξ_k, where 1 ≤ k ≤ n".
+//
+// MeasureAnalyzer and MeasureRepair time the real recovery analyzer and the
+// real repair engine on workloads with k damaged units queued and convert
+// the durations to rates (units/second). FitDegradation classifies a
+// measured rate curve into the degradation family (none, sqrt, linear,
+// quadratic) that the STG model consumes, closing the loop between the
+// implementation and the analytical model.
+package rates
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/stg"
+	"selfheal/internal/wf"
+)
+
+// Measurement is one μ_k or ξ_k estimate.
+type Measurement struct {
+	// K is the queue length the rate was measured at (1-based).
+	K int
+	// Rate is the estimated processing rate (operations/second).
+	Rate float64
+	// Duration is the mean measured duration of one operation.
+	Duration time.Duration
+}
+
+// Config controls workload construction for the measurements.
+type Config struct {
+	// MaxK is the largest queue length to evaluate (the paper suggests
+	// trying up to the maximum buffer size of interest, e.g. 30).
+	MaxK int
+	// Repeats averages each point over this many runs.
+	Repeats int
+	// Tasks sizes each generated workflow.
+	Tasks int
+	// Seed makes the workloads reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale measurement configuration.
+func DefaultConfig() Config {
+	return Config{MaxK: 8, Repeats: 3, Tasks: 12, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.MaxK < 1 {
+		return fmt.Errorf("rates: MaxK must be ≥ 1, got %d", c.MaxK)
+	}
+	if c.Repeats < 1 {
+		return fmt.Errorf("rates: Repeats must be ≥ 1, got %d", c.Repeats)
+	}
+	if c.Tasks < 2 {
+		return fmt.Errorf("rates: Tasks must be ≥ 2, got %d", c.Tasks)
+	}
+	return nil
+}
+
+// workloadAt builds an attacked workload whose damage is spread over k
+// units (k attacked runs), so analyzing the k-th alert checks dependences
+// across k units of queued recovery work. An attack aimed at a task on an
+// untaken branch never commits; seeds are retried until damage exists.
+func workloadAt(cfg Config, k int) (*scenario.Scenario, error) {
+	rc := scenario.RandomConfig{
+		Runs:    k,
+		Gen:     wf.GenConfig{Tasks: cfg.Tasks, Keys: cfg.Tasks/2 + 1, MaxReads: 3, BranchProb: 0.3},
+		Attacks: k + 2,
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		s, err := scenario.Random(cfg.Seed+int64(k)+int64(attempt)*1009, rc, true)
+		if err != nil {
+			return nil, err
+		}
+		if len(s.Bad) > 0 {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("rates: no seed produced a committed attack at k=%d", k)
+}
+
+// MeasureAnalyzer estimates μ_k for k = 1..MaxK: the rate at which the
+// recovery analyzer processes one alert when the damage spans k units.
+func MeasureAnalyzer(cfg Config) ([]Measurement, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Measurement, 0, cfg.MaxK)
+	for k := 1; k <= cfg.MaxK; k++ {
+		s, err := workloadAt(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		for r := 0; r < cfg.Repeats; r++ {
+			start := time.Now()
+			recovery.Analyze(s.Log(), s.Specs, s.Bad)
+			total += time.Since(start)
+		}
+		out = append(out, toMeasurement(k, total, cfg.Repeats))
+	}
+	return out, nil
+}
+
+// MeasureRepair estimates ξ_k for k = 1..MaxK: the rate at which the
+// scheduler executes one unit of recovery tasks with k units of damage
+// present.
+func MeasureRepair(cfg Config) ([]Measurement, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Measurement, 0, cfg.MaxK)
+	for k := 1; k <= cfg.MaxK; k++ {
+		s, err := workloadAt(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		for r := 0; r < cfg.Repeats; r++ {
+			start := time.Now()
+			if _, err := recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{}); err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+		}
+		out = append(out, toMeasurement(k, total, cfg.Repeats))
+	}
+	return out, nil
+}
+
+func toMeasurement(k int, total time.Duration, repeats int) Measurement {
+	mean := total / time.Duration(repeats)
+	if mean <= 0 {
+		mean = time.Nanosecond
+	}
+	return Measurement{K: k, Rate: float64(time.Second) / float64(mean), Duration: mean}
+}
+
+// Family names a degradation family for FitDegradation.
+type Family struct {
+	Name string
+	Fn   stg.Degradation
+}
+
+// Families lists the candidate degradation families, slowest first.
+func Families() []Family {
+	return []Family{
+		{"none", stg.DegradeNone},
+		{"sqrt", stg.DegradeSqrt},
+		{"linear", stg.DegradeLinear},
+		{"quad", stg.DegradeQuad},
+	}
+}
+
+// FitDegradation picks the family whose shape best matches the measured
+// rates (least squared error on the log of the normalized curve, so the
+// fit is scale free). It returns the winning family and the per-family
+// errors. At least two measurements are required.
+func FitDegradation(ms []Measurement) (Family, map[string]float64, error) {
+	if len(ms) < 2 {
+		return Family{}, nil, fmt.Errorf("rates: need ≥ 2 measurements, got %d", len(ms))
+	}
+	base := ms[0].Rate
+	if base <= 0 {
+		return Family{}, nil, fmt.Errorf("rates: non-positive base rate %g", base)
+	}
+	errs := make(map[string]float64, 4)
+	best := Family{}
+	bestErr := math.Inf(1)
+	for _, fam := range Families() {
+		var sse float64
+		for _, m := range ms {
+			want := fam.Fn(base, m.K)
+			if want <= 0 || m.Rate <= 0 {
+				sse = math.Inf(1)
+				break
+			}
+			d := math.Log(m.Rate) - math.Log(want)
+			sse += d * d
+		}
+		errs[fam.Name] = sse
+		if sse < bestErr {
+			bestErr, best = sse, fam
+		}
+	}
+	return best, errs, nil
+}

@@ -1,0 +1,147 @@
+package rates
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/stg"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MaxK: 0, Repeats: 1, Tasks: 5},
+		{MaxK: 2, Repeats: 0, Tasks: 5},
+		{MaxK: 2, Repeats: 1, Tasks: 1},
+	}
+	for _, c := range bad {
+		if _, err := MeasureAnalyzer(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestMeasureAnalyzerProducesPositiveRates(t *testing.T) {
+	cfg := Config{MaxK: 4, Repeats: 2, Tasks: 8, Seed: 3}
+	ms, err := MeasureAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("got %d measurements, want 4", len(ms))
+	}
+	for i, m := range ms {
+		if m.K != i+1 {
+			t.Errorf("measurement %d has K=%d", i, m.K)
+		}
+		if m.Rate <= 0 || m.Duration <= 0 {
+			t.Errorf("K=%d: non-positive rate/duration: %+v", m.K, m)
+		}
+	}
+}
+
+func TestMeasureRepairProducesPositiveRates(t *testing.T) {
+	cfg := Config{MaxK: 3, Repeats: 2, Tasks: 8, Seed: 5}
+	ms, err := MeasureRepair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d measurements, want 3", len(ms))
+	}
+	for _, m := range ms {
+		if m.Rate <= 0 {
+			t.Errorf("K=%d: non-positive rate", m.K)
+		}
+	}
+}
+
+// TestFitDegradationExact: exact synthetic curves must classify to their own
+// family.
+func TestFitDegradationExact(t *testing.T) {
+	const base = 1000.0
+	for _, fam := range Families() {
+		ms := make([]Measurement, 0, 8)
+		for k := 1; k <= 8; k++ {
+			ms = append(ms, Measurement{K: k, Rate: fam.Fn(base, k)})
+		}
+		got, errs, err := FitDegradation(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != fam.Name {
+			t.Errorf("exact %s curve classified as %s (errors %v)", fam.Name, got.Name, errs)
+		}
+		if errs[fam.Name] > 1e-18 {
+			t.Errorf("exact %s curve has nonzero error %g", fam.Name, errs[fam.Name])
+		}
+	}
+}
+
+// TestFitDegradationNoisy: multiplicative noise of ±10% must not flip the
+// classification between well-separated families.
+func TestFitDegradationNoisy(t *testing.T) {
+	const base = 500.0
+	noise := []float64{1.1, 0.9, 1.05, 0.95, 1.08, 0.92, 1.02, 0.98}
+	for _, fam := range []Family{{"none", stg.DegradeNone}, {"quad", stg.DegradeQuad}} {
+		ms := make([]Measurement, 0, 8)
+		for k := 1; k <= 8; k++ {
+			ms = append(ms, Measurement{K: k, Rate: fam.Fn(base, k) * noise[k-1]})
+		}
+		got, _, err := FitDegradation(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != fam.Name {
+			t.Errorf("noisy %s classified as %s", fam.Name, got.Name)
+		}
+	}
+}
+
+func TestFitDegradationValidation(t *testing.T) {
+	if _, _, err := FitDegradation(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := FitDegradation([]Measurement{{K: 1, Rate: 1}}); err == nil {
+		t.Error("single measurement accepted")
+	}
+	if _, _, err := FitDegradation([]Measurement{{K: 1, Rate: 0}, {K: 2, Rate: 1}}); err == nil {
+		t.Error("zero base rate accepted")
+	}
+}
+
+// TestMeasuredRatesFeedTheModel: the end-to-end §VI step — measure the real
+// analyzer, fit a family, and build an STG model from the result.
+func TestMeasuredRatesFeedTheModel(t *testing.T) {
+	cfg := Config{MaxK: 3, Repeats: 1, Tasks: 6, Seed: 9}
+	mu, err := MeasureAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, err := MeasureRepair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	famMu, _, err := FitDegradation(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	famXi, _, err := FitDegradation(xi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize rates to model units (λ=1 attack per time unit) so the
+	// model stays well-conditioned regardless of wall-clock speed.
+	p := stg.Square(1, 10, 10, 8)
+	p.F, p.G = famMu.Fn, famXi.Fn
+	m, err := stg.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(met.Loss) || met.Loss < 0 || met.Loss > 1 {
+		t.Errorf("model from measured families produced loss %g", met.Loss)
+	}
+}

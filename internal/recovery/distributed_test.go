@@ -1,0 +1,50 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wlog"
+)
+
+// TestRecoveryOverMergedSegments: a de-centralized deployment stores the log
+// in per-node segments (§II.A footnote, §VII); recovery over the
+// stamp-ordered merge must produce exactly the same result as recovery over
+// the original centralized log.
+func TestRecoveryOverMergedSegments(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := wlog.SegmentByRun(attacked.Log())
+	merged, err := wlog.MergeSegments(segs["r1"], segs["r2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	central, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distributed, err := recovery.Repair(attacked.Store(), merged, attacked.Specs, attacked.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := recovery.CheckStrictCorrectness(central.Store, distributed.Store); err != nil {
+		t.Errorf("distributed recovery diverged: %v", err)
+	}
+	if len(central.Undone) != len(distributed.Undone) ||
+		len(central.Redone) != len(distributed.Redone) ||
+		len(central.NewExecuted) != len(distributed.NewExecuted) {
+		t.Errorf("set sizes differ: central %d/%d/%d, distributed %d/%d/%d",
+			len(central.Undone), len(central.Redone), len(central.NewExecuted),
+			len(distributed.Undone), len(distributed.Redone), len(distributed.NewExecuted))
+	}
+	for i := range central.Undone {
+		if central.Undone[i] != distributed.Undone[i] {
+			t.Errorf("undo sets differ at %d: %s vs %s", i, central.Undone[i], distributed.Undone[i])
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package recovery_test
+
+import (
+	"strings"
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+func TestRepairRejectsUnknownBadInstance(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = recovery.Repair(s.Store(), s.Log(), s.Specs,
+		[]wlog.InstanceID{"r9/ghost#1"}, recovery.Options{})
+	if err == nil || !strings.Contains(err.Error(), "not in log") {
+		t.Fatalf("err = %v, want unknown-instance rejection", err)
+	}
+}
+
+func TestRepairRejectsMissingSpec(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]*wf.Spec{"r1": s.Specs["r1"]} // r2 missing
+	_, err = recovery.Repair(s.Store(), s.Log(), specs, s.Bad, recovery.Options{})
+	if err == nil || !strings.Contains(err.Error(), "no workflow spec") {
+		t.Fatalf("err = %v, want missing-spec rejection", err)
+	}
+}
+
+func TestRepairForgedOnlyRunNeedsNoSpec(t *testing.T) {
+	// A run consisting solely of forged entries (an attacker-invented run
+	// ID) must be repairable without a spec for it.
+	st := data.NewStore()
+	st.Init("e", 0)
+	wf1, _ := wf.Fig1Specs()
+	eng := engine.New(st, wlog.New())
+	r, err := eng.NewRun("r1", wf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step(r); err != nil { // t1 writes a=1
+		t.Fatal(err)
+	}
+	forged, err := eng.InjectForged("ghost-run", "evil", nil,
+		map[data.Key]data.Value{"a": -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(r); err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(eng.Store(), eng.Log(),
+		map[string]*wf.Spec{"r1": wf1}, []wlog.InstanceID{forged}, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	undone := idSet(res.Undone)
+	if !undone[forged] {
+		t.Error("forged instance not undone")
+	}
+	// t2 read the forged a and must be repaired; the repaired a is t1's.
+	if v, _ := res.Store.Get("a"); v.Value != 1 {
+		t.Errorf("a = %d after recovery, want 1", v.Value)
+	}
+	if v, _ := res.Store.Get("b"); v.Value != 2 {
+		t.Errorf("b = %d after recovery, want 2", v.Value)
+	}
+}
+
+// TestRepairNonTerminatingCorrectedExecution: the corrected branch decision
+// loops forever — the repair must fail with the step budget, not hang.
+func TestRepairNonTerminatingCorrectedExecution(t *testing.T) {
+	// check loops back to body while n < 100; body adds 0 each pass
+	// after correction, so the corrected execution never terminates.
+	// The attacked execution terminated because the corrupted init set
+	// n = 100 directly.
+	spec, err := wf.NewBuilder("hang", "init").
+		Task("init").Writes("n").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"n": 0} // benign start
+		}).Then("body").End().
+		Task("body").Reads("n").Writes("n").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"n": r["n"]} // no progress
+		}).Then("check").End().
+		Task("check").Reads("n").Writes("m").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"m": r["n"]}
+		}).Then("body", "done").
+		ChooseBy(wf.ThresholdChoose("n", 100, "body", "done")).End().
+		Task("done").Reads("m").End().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(data.NewStore(), wlog.New())
+	eng.AddAttack(engine.Attack{
+		Run: "r", Task: "init",
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"n": 100}
+		},
+	})
+	r, err := eng.NewRun("r", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(r); err != nil {
+		t.Fatal(err)
+	}
+	_, err = recovery.Repair(eng.Store(), eng.Log(),
+		map[string]*wf.Spec{"r": spec},
+		[]wlog.InstanceID{wlog.FormatInstance("r", "init", 1)},
+		recovery.Options{MaxWalkSteps: 64})
+	if err == nil || !strings.Contains(err.Error(), "not terminating") {
+		t.Fatalf("err = %v, want non-termination budget error", err)
+	}
+}
+
+// TestRepairIncompleteRunStopsAtFrontier: repairing a run that has not
+// finished must not execute work beyond the original progress.
+func TestRepairIncompleteRunStopsAtFrontier(t *testing.T) {
+	wf1, _ := wf.Fig1Specs()
+	st := data.NewStore()
+	st.Init("e", 0)
+	eng := engine.New(st, wlog.New())
+	eng.AddAttack(engine.Attack{
+		Run: "r1", Task: "t1",
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"a": 100}
+		},
+	})
+	r, err := eng.NewRun("r1", wf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute only t1 t2 t3: the run is mid-flight on the wrong path.
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Step(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := recovery.Repair(eng.Store(), eng.Log(),
+		map[string]*wf.Spec{"r1": wf1},
+		[]wlog.InstanceID{wlog.FormatInstance("r1", "t1", 1)},
+		recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrected path is t1 t2 t5…; with three original commits, the
+	// replay executes at most three actions: t1, t2, t5. t6 must NOT run.
+	for _, a := range res.Schedule {
+		if a.Task == "t6" {
+			t.Errorf("repair executed %s beyond the incomplete run's frontier", a.Inst)
+		}
+	}
+	cur, done, ok := res.Frontier("r1", wf1)
+	if !ok || done {
+		t.Fatalf("frontier = %v/%v/%v", cur, done, ok)
+	}
+	if cur != "t6" {
+		t.Errorf("frontier task = %s, want t6 (after corrected t5)", cur)
+	}
+	// t3 was wrong-path and is gone; the corrected prefix ends with t5.
+	if v, ok := res.Store.Get("e"); !ok || v.Value != 7 {
+		t.Errorf("e = %v (ok=%v), want 7 from the corrected t5", v.Value, ok)
+	}
+	if _, ok := res.Store.Get("c"); ok {
+		t.Error("wrong-path t3 output survived")
+	}
+}
+
+// TestFrontierUntouchedRun: even an empty repair verifies (keeps) every
+// committed instance, so the frontier of a complete run is "done" — a
+// no-op resynchronization.
+func TestFrontierUntouchedRun(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(s.Store(), s.Log(), s.Specs, nil, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, ok := res.Frontier("r1", s.Specs["r1"]); !ok || !done {
+		t.Errorf("frontier = done=%v ok=%v, want the completed state back", done, ok)
+	}
+	// A run absent from the log has no frontier.
+	if _, _, ok := res.Frontier("never-ran", s.Specs["r1"]); ok {
+		t.Error("nonexistent run reported a frontier")
+	}
+}
+
+// TestFrontierCompletedRun: a repaired complete run reports done.
+func TestFrontierCompletedRun(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, ok := res.Frontier("r1", s.Specs["r1"]); !ok || !done {
+		t.Errorf("frontier of completed run: done=%v ok=%v, want true/true", done, ok)
+	}
+}
+
+// TestRepairConvergenceBudget: an artificially tiny iteration budget fails
+// loudly instead of looping.
+func TestRepairConvergenceBudget(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad,
+		recovery.Options{MaxIterations: 1})
+	if err == nil || !strings.Contains(err.Error(), "converge") {
+		t.Fatalf("err = %v, want convergence budget error", err)
+	}
+}
+
+// TestMultipleGuardsNestedChoices: damage upstream of two nested choice
+// nodes re-decides both and prunes both wrong branches.
+func TestMultipleGuardsNestedChoices(t *testing.T) {
+	spec, err := wf.NewBuilder("nested", "src").
+		Task("src").Writes("x").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"x": 1}
+		}).Then("c1").End().
+		Task("c1").Reads("x").Writes("y").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"y": r["x"] * 2}
+		}).Then("left", "right").
+		ChooseBy(wf.ThresholdChoose("x", 10, "left", "right")).End().
+		Task("left").Reads("y").Writes("l").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"l": r["y"]}
+		}).Then("c2").End().
+		Task("right").Reads("y").Writes("r").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"r": r["y"]}
+		}).Then("end").End().
+		Task("c2").Reads("l").Writes("z").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"z": r["l"]}
+		}).Then("deep1", "deep2").
+		ChooseBy(wf.ThresholdChoose("l", 5, "deep1", "deep2")).End().
+		Task("deep1").Reads("z").Writes("out").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"out": r["z"] + 100}
+		}).Then("end").End().
+		Task("deep2").Reads("z").Writes("out").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"out": r["z"] + 200}
+		}).Then("end").End().
+		Task("end").Reads("out").Writes("final").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"final": r["out"]}
+		}).End().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runOnce := func(attack bool) *engine.Engine {
+		eng := engine.New(data.NewStore(), wlog.New())
+		if attack {
+			eng.AddAttack(engine.Attack{
+				Run: "r", Task: "src",
+				Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+					return map[data.Key]data.Value{"x": 1000}
+				},
+			})
+		}
+		r, err := eng.NewRun("r", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunAll(r); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	attacked := runOnce(true) // x=1000 → right branch
+	clean := runOnce(false)   // x=1 → left → deep1
+
+	res, err := recovery.Repair(attacked.Store(), attacked.Log(),
+		map[string]*wf.Spec{"r": spec},
+		[]wlog.InstanceID{wlog.FormatInstance("r", "src", 1)},
+		recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Fatal(err)
+	}
+	// The corrected path introduces left, c2 and deep1 as new work.
+	newSet := idSet(res.NewExecuted)
+	for _, want := range []wlog.InstanceID{"r/left#1", "r/c2#1", "r/deep1#1"} {
+		if !newSet[want] {
+			t.Errorf("new executed missing %s: %v", want, res.NewExecuted)
+		}
+	}
+	if v, _ := res.Store.Get("final"); v.Value != 102 {
+		t.Errorf("final = %d, want 102", v.Value)
+	}
+}

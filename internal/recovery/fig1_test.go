@@ -1,0 +1,231 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wlog"
+)
+
+func idSet(ids []wlog.InstanceID) map[wlog.InstanceID]bool {
+	out := make(map[wlog.InstanceID]bool, len(ids))
+	for _, id := range ids {
+		out[id] = true
+	}
+	return out
+}
+
+func sameIDs(t *testing.T, what string, got []wlog.InstanceID, want ...wlog.InstanceID) {
+	t.Helper()
+	g, w := idSet(got), idSet(want)
+	for id := range w {
+		if !g[id] {
+			t.Errorf("%s: missing %s (got %v)", what, id, got)
+		}
+	}
+	for id := range g {
+		if !w[id] {
+			t.Errorf("%s: unexpected %s (want %v)", what, id, want)
+		}
+	}
+}
+
+// TestFig1LogShape checks that the attacked scenario reproduces the paper's
+// system log L1 = t1 t7 t2 t8 t3 t4 t9 t6 t10.
+func TestFig1LogShape(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t1", "t7", "t2", "t8", "t3", "t4", "t9", "t6", "t10"}
+	entries := s.Log().Entries()
+	if len(entries) != len(want) {
+		t.Fatalf("log has %d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		if string(e.Task) != want[i] {
+			t.Errorf("log[%d] = %s, want %s", i, e.Task, want[i])
+		}
+	}
+	// The attack must have driven r1 down P1 (t2 chose t3).
+	e, _ := s.Log().Get(wlog.FormatInstance("r1", "t2", 1))
+	if e.Chosen != "t3" {
+		t.Errorf("attacked t2 chose %s, want t3", e.Chosen)
+	}
+}
+
+// TestFig1CleanPath checks the attack-free twin follows P2 = t1 t2 t5 t6.
+func TestFig1CleanPath(t *testing.T) {
+	s, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Log().Get(wlog.FormatInstance("r1", "t2", 1))
+	if !ok || e.Chosen != "t5" {
+		t.Fatalf("clean t2 chose %v, want t5", e)
+	}
+	if _, ok := s.Log().Get(wlog.FormatInstance("r1", "t3", 1)); ok {
+		t.Error("clean run executed t3")
+	}
+}
+
+// TestFig1Analysis asserts the static damage assessment matches §III.B's
+// walkthrough of Theorem 1 and Theorem 2.
+func TestFig1Analysis(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := recovery.Analyze(s.Log(), s.Specs, s.Bad)
+
+	t1 := wlog.FormatInstance("r1", "t1", 1)
+	t2 := wlog.FormatInstance("r1", "t2", 1)
+	t3 := wlog.FormatInstance("r1", "t3", 1)
+	t4 := wlog.FormatInstance("r1", "t4", 1)
+	t6 := wlog.FormatInstance("r1", "t6", 1)
+	t8 := wlog.FormatInstance("r2", "t8", 1)
+	t10 := wlog.FormatInstance("r2", "t10", 1)
+
+	sameIDs(t, "Bad", a.Bad, t1)
+	// Condition 3: t2, t4, t8, t10 read corrupted data (the paper's "A"
+	// marks).
+	sameIDs(t, "FlowDamaged", a.FlowDamaged, t2, t4, t8, t10)
+	sameIDs(t, "DefiniteUndo", a.DefiniteUndo, t1, t2, t4, t8, t10)
+
+	// Condition 2: t3 is a candidate undo guarded by the damaged choice
+	// node t2 (t4 is control dependent too but already definite).
+	if cands, ok := a.CandidateUndo[t2]; !ok {
+		t.Error("no candidate-undo set for guard t2")
+	} else {
+		sameIDs(t, "CandidateUndo[t2]", cands, t3)
+	}
+
+	// Condition 4: t6 read a key the unexecuted t5 writes.
+	if len(a.Cond4) != 1 {
+		t.Fatalf("Cond4 = %v, want exactly one candidate", a.Cond4)
+	}
+	c4 := a.Cond4[0]
+	if c4.Guard != t2 || string(c4.Unexecuted) != "t5" || c4.Reader != t6 {
+		t.Errorf("Cond4 = %+v, want guard t2, unexecuted t5, reader t6", c4)
+	}
+
+	// Theorem 2: t1, t2, t8, t10 are definite redos; t4 is a candidate
+	// redo under guard t2 (and will be dismissed).
+	sameIDs(t, "DefiniteRedo", a.DefiniteRedo, t1, t2, t8, t10)
+	if cands, ok := a.CandidateRedo[t2]; !ok {
+		t.Error("no candidate-redo set for guard t2")
+	} else {
+		sameIDs(t, "CandidateRedo[t2]", cands, t4)
+	}
+	if len(a.NeverRedo) != 0 {
+		t.Errorf("NeverRedo = %v, want empty (no forged tasks)", a.NeverRedo)
+	}
+	if len(a.Orders) == 0 {
+		t.Error("no Theorem-3 order edges derived")
+	}
+}
+
+// TestFig1Repair asserts the full recovery outcome of the paper's worked
+// example: undo {t1,t2,t3,t4,t6,t8,t10}, redo {t1,t2,t6,t8,t10}, execute t5
+// for the first time, drop t3 and t4 without redoing them — and end in
+// exactly the clean execution's state.
+func TestFig1Repair(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := wlog.FormatInstance("r1", "t1", 1)
+	t2 := wlog.FormatInstance("r1", "t2", 1)
+	t3 := wlog.FormatInstance("r1", "t3", 1)
+	t4 := wlog.FormatInstance("r1", "t4", 1)
+	t5 := wlog.FormatInstance("r1", "t5", 1)
+	t6 := wlog.FormatInstance("r1", "t6", 1)
+	t8 := wlog.FormatInstance("r2", "t8", 1)
+	t10 := wlog.FormatInstance("r2", "t10", 1)
+
+	sameIDs(t, "Undone", res.Undone, t1, t2, t3, t4, t6, t8, t10)
+	sameIDs(t, "Redone", res.Redone, t1, t2, t6, t8, t10)
+	sameIDs(t, "NewExecuted", res.NewExecuted, t5)
+	sameIDs(t, "DroppedNotRedone", res.DroppedNotRedone, t3, t4)
+
+	if res.Iterations != 2 {
+		t.Errorf("Iterations = %d, want 2 (one discovery round, one stable round)", res.Iterations)
+	}
+
+	// Strict correctness: the repaired store equals the clean execution.
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Error(err)
+	}
+
+	// Spot-check repaired values from the paper's data flow.
+	for _, c := range []struct {
+		key  data.Key
+		want data.Value
+	}{
+		{"a", 1}, {"b", 2}, {"e", 7}, {"f", 14}, {"h", 4}, {"j", 8},
+	} {
+		v, ok := res.Store.Get(c.key)
+		if !ok || v.Value != c.want {
+			t.Errorf("repaired %s = %v (ok=%v), want %d", c.key, v.Value, ok, c.want)
+		}
+	}
+	// Wrong-path outputs c and d must be gone entirely.
+	for _, k := range []data.Key{"c", "d"} {
+		if _, ok := res.Store.Get(k); ok {
+			t.Errorf("wrong-path output %s still present after recovery", k)
+		}
+	}
+
+	// The schedule must satisfy the Theorem-3 partial orders.
+	if errs := recovery.AuditSchedule(res); len(errs) != 0 {
+		for _, e := range errs {
+			t.Errorf("audit: %v", e)
+		}
+	}
+	// And the corrected history must be intrinsically valid.
+	if errs := recovery.VerifyResult(res, attacked.Log(), attacked.Specs); len(errs) != 0 {
+		for _, e := range errs {
+			t.Errorf("verify: %v", e)
+		}
+	}
+
+	// The input store must not have been modified.
+	if v, _ := attacked.Store().Get("a"); v.Value != 100 {
+		t.Error("Repair modified the input store")
+	}
+}
+
+// TestFig1RepairIdempotent runs a second repair on an already-clean history:
+// reporting nothing must change nothing.
+func TestFig1RepairNothingReported(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, nil, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undone) != 0 || len(res.Redone) != 0 || len(res.NewExecuted) != 0 {
+		t.Errorf("empty report changed history: undo=%v redo=%v new=%v",
+			res.Undone, res.Redone, res.NewExecuted)
+	}
+	if !data.Equal(attacked.Store(), res.Store) {
+		t.Error("store changed despite empty report")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("Iterations = %d, want 1", res.Iterations)
+	}
+}

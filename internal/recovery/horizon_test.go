@@ -1,0 +1,129 @@
+package recovery_test
+
+import (
+	"errors"
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// TestCompactionWithinHorizonStillRecovers: compaction that preserves every
+// version recovery needs does not affect the repair.
+func TestCompactionWithinHorizonStillRecovers(t *testing.T) {
+	attacked, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing before position 0.5 except initial versions, all still
+	// observable; compacting there discards nothing recovery needs.
+	attacked.Store().CompactBefore(0.25)
+	// (Repair below is told about the horizon through the twin test in
+	// TestCompactionPartialHorizonOK; here we leave it at 0 to also cover
+	// the never-compacted default.)
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactionBeyondHorizonRefused: compacting away a version an undo
+// depends on must fail loudly with ErrHorizon, not silently expose a wrong
+// value. The loop workflow overwrites its counter every iteration, so
+// compacting at the end discards exactly the intermediate versions an undo
+// of a later iteration must re-expose.
+func TestCompactionBeyondHorizonRefused(t *testing.T) {
+	// w1 (clean) writes k; t2 (attacked) overwrites k; compaction keeps
+	// only the latest version of k, discarding w1's. Undoing t2 must
+	// re-expose w1's version — impossible, and detected.
+	spec, err := wf.NewBuilder("hz", "w1").
+		Task("w1").Writes("k").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"k": 7}
+		}).Then("t2").End().
+		Task("t2").Reads("src").Writes("k").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"k": r["src"] + 1}
+		}).Then("t3").End().
+		Task("t3").Reads("k").Writes("out").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"out": r["k"] * 2}
+		}).End().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := data.NewStore()
+	st.Init("src", 1)
+	eng := engine.New(st, wlog.New())
+	eng.AddAttack(engine.Attack{
+		Run: "r", Task: "t2",
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"k": -999}
+		},
+	})
+	run, err := eng.NewRun("r", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(run); err != nil {
+		t.Fatal(err)
+	}
+	horizon := float64(eng.Log().Len())
+	eng.Store().CompactBefore(horizon)
+	_, err = recovery.Repair(eng.Store(), eng.Log(),
+		map[string]*wf.Spec{"r": spec},
+		[]wlog.InstanceID{wlog.FormatInstance("r", "t2", 1)},
+		recovery.Options{CompactionHorizon: horizon})
+	if !errors.Is(err, recovery.ErrHorizon) {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+}
+
+// TestCompactionPartialHorizonOK: compacting only history that precedes the
+// whole log leaves recovery intact on the same loop workload.
+func TestCompactionPartialHorizonOK(t *testing.T) {
+	spec := loopSpec(10, 30)
+	corrupt := data.Value(-20)
+	attacked := runLoop(t, spec, &corrupt)
+	clean := runLoop(t, spec, nil)
+	attacked.Store().CompactBefore(0.25) // nothing but pre-history
+	res, err := recovery.Repair(attacked.Store(), attacked.Log(),
+		map[string]*wf.Spec{"r": spec},
+		[]wlog.InstanceID{wlog.FormatInstance("r", "init", 1)},
+		recovery.Options{CompactionHorizon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactionOfUntouchedHistoryIsFine: compacting a fully-clean store
+// then repairing with an empty report is a no-op.
+func TestCompactionOfUntouchedHistoryIsFine(t *testing.T) {
+	s, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store().CompactBefore(100)
+	res, err := recovery.Repair(s.Store(), s.Log(), s.Specs, nil, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undone) != 0 {
+		t.Errorf("undone = %v", res.Undone)
+	}
+}

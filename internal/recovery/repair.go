@@ -1,0 +1,589 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"selfheal/internal/data"
+	"selfheal/internal/deps"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// ErrHorizon reports that an undo needs a data-object version that store
+// compaction (data.Store.CompactBefore) has discarded: the recovery horizon
+// has been exceeded and the damage cannot be repaired from local state.
+var ErrHorizon = errors.New("recovery: undo needs a version beyond the compaction horizon")
+
+// Action is one step of the committed recovery schedule.
+type Action struct {
+	Kind  ActionKind
+	Inst  wlog.InstanceID
+	Run   string
+	Task  wf.TaskID
+	Visit int
+	// Epos is the action's effective position in the corrected history
+	// (0 for undos, which are staged before the replay).
+	Epos float64
+	// Next is the successor the task selected (empty for end nodes and
+	// undo actions); the corrected frontier of an in-flight run is the
+	// Next of its last scheduled action.
+	Next wf.TaskID
+}
+
+// Options tunes Repair.
+type Options struct {
+	// MaxWalkSteps caps the re-execution steps per run; 0 means
+	// 10×trace length + 100. Exceeding the cap returns an error (a
+	// cyclic workflow whose corrected execution does not terminate).
+	MaxWalkSteps int
+	// MaxIterations caps undo-set fixpoint iterations; 0 means log
+	// length + 2 (the theoretical bound: the undo set grows every
+	// non-final iteration).
+	MaxIterations int
+	// EposDelta is the position increment for instances inserted into
+	// the corrected history; 0 means 1e-7.
+	EposDelta float64
+	// CompactionHorizon is the position below which the store owner has
+	// compacted version history away (data.Store.CompactBefore). Undos
+	// that need a missing version at or below the horizon are refused
+	// with ErrHorizon; 0 means the store was never compacted, and
+	// missing old versions are attributed to earlier repairs (whose
+	// drops the replay re-derives deterministically).
+	CompactionHorizon float64
+}
+
+func (o Options) withDefaults(logLen int) Options {
+	if o.MaxWalkSteps <= 0 {
+		o.MaxWalkSteps = 10*logLen + 100
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = logLen + 2
+	}
+	if o.EposDelta <= 0 {
+		o.EposDelta = 1e-7
+	}
+	return o
+}
+
+// Result reports a completed repair.
+type Result struct {
+	// Store is the repaired store (the input store is not modified).
+	Store *data.Store
+	// Analysis is the first-round static assessment (what the recovery
+	// analyzer knew before any re-execution).
+	Analysis *Analysis
+	// Undone is the final undo set (Theorem 1 at the fixpoint).
+	Undone []wlog.InstanceID
+	// Redone lists instances re-executed at their original positions.
+	Redone []wlog.InstanceID
+	// NewExecuted lists instances executed for the first time during
+	// recovery (tasks on the corrected path that never ran, e.g. t5).
+	NewExecuted []wlog.InstanceID
+	// DroppedNotRedone lists undone instances that are not part of the
+	// corrected execution (wrong-path work, e.g. t3 and t4, and forged
+	// tasks).
+	DroppedNotRedone []wlog.InstanceID
+	// KeptVerified counts undamaged instances whose recorded reads were
+	// re-verified against the corrected history.
+	KeptVerified int
+	// Iterations is the number of fixpoint iterations performed.
+	Iterations int
+	// Schedule is the committed recovery schedule of the final iteration.
+	Schedule []Action
+}
+
+// Repair recovers the system from the malicious instances in bad. It returns
+// a repaired copy of store; the input store, the log and the specs are read
+// but never modified. specs maps run IDs to their workflow specifications;
+// every non-forged logged run must have a spec.
+func Repair(store *data.Store, log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID, opts Options) (*Result, error) {
+	opts = opts.withDefaults(log.Len())
+	for _, id := range bad {
+		if _, ok := log.Get(id); !ok {
+			return nil, fmt.Errorf("recovery: reported instance %s not in log", id)
+		}
+	}
+	for _, run := range log.Runs() {
+		if _, ok := specs[run]; !ok {
+			// Runs made only of forged entries need no spec.
+			for _, e := range log.Trace(run, true) {
+				if !e.Forged {
+					return nil, fmt.Errorf("recovery: run %s has no workflow spec", run)
+				}
+			}
+		}
+	}
+
+	g := deps.Build(log)
+	analysis := Analyze(log, specs, bad)
+
+	undo := make(map[wlog.InstanceID]bool)
+	for _, id := range analysis.DefiniteUndo {
+		undo[id] = true
+	}
+	// Forged entries are always damage even if the IDS report named only
+	// some of them? No: the IDS decides what is malicious. Forged entries
+	// not reported stay until reported. (Undetected forgeries are the
+	// administrator's responsibility, §IV.D.)
+
+	var (
+		last *iterationResult
+		err  error
+	)
+	iterations := 0
+	for {
+		iterations++
+		if iterations > opts.MaxIterations {
+			return nil, fmt.Errorf("recovery: undo set did not converge after %d iterations", opts.MaxIterations)
+		}
+		last, err = replayOnce(store, log, specs, g, undo, opts)
+		if err != nil {
+			return nil, err
+		}
+		grew := false
+		for id := range last.newUndo {
+			if !undo[id] {
+				undo[id] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	res := &Result{
+		Store:        last.store,
+		Analysis:     analysis,
+		Undone:       sortedIDs(undo),
+		Redone:       last.redone,
+		NewExecuted:  last.newExecuted,
+		KeptVerified: last.keptVerified,
+		Iterations:   iterations,
+		Schedule:     last.schedule,
+	}
+	redone := make(map[wlog.InstanceID]bool, len(last.redone))
+	for _, id := range last.redone {
+		redone[id] = true
+	}
+	for id := range undo {
+		if !redone[id] {
+			res.DroppedNotRedone = append(res.DroppedNotRedone, id)
+		}
+	}
+	sortIDs(res.DroppedNotRedone)
+	return res, nil
+}
+
+// Frontier returns the corrected execution frontier of a run: the task it
+// should execute next and whether the corrected history already completed
+// the workflow. ok is false when the repair never touched the run (its
+// engine state is still valid). Used to resynchronize in-flight runs after
+// a recovery unit executes.
+func (res *Result) Frontier(run string, spec *wf.Spec) (cur wf.TaskID, done, ok bool) {
+	var last *Action
+	for i := range res.Schedule {
+		a := &res.Schedule[i]
+		if a.Run != run || a.Kind == ActUndo {
+			continue
+		}
+		if last == nil || a.Epos > last.Epos {
+			last = a
+		}
+	}
+	if last == nil {
+		return "", false, false
+	}
+	if len(spec.Tasks[last.Task].Next) == 0 {
+		return "", true, true
+	}
+	return last.Next, false, true
+}
+
+// iterationResult carries the outcome of one replay pass.
+type iterationResult struct {
+	store        *data.Store
+	newUndo      map[wlog.InstanceID]bool
+	redone       []wlog.InstanceID
+	newExecuted  []wlog.InstanceID
+	keptVerified int
+	schedule     []Action
+}
+
+// replayOnce stages all undos and replays the corrected history once,
+// executing the walkers of all runs merged in ascending effective-position
+// order. It reports instances discovered to need undoing (wrong-path work,
+// dirty kept reads) closed under →_f*.
+func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, g *deps.Graph, undo map[wlog.InstanceID]bool, opts Options) (*iterationResult, error) {
+	st := pristine.Clone()
+	// Strip versions written by earlier repairs: the replay reconstructs
+	// every still-valid recovery version deterministically from the
+	// original committed history, so cumulative repairs (one per alert in
+	// the runtime) never collide on version positions.
+	st.DeleteRecoveryVersions()
+	it := &iterationResult{store: st, newUndo: make(map[wlog.InstanceID]bool)}
+
+	// Stage undos, most recent first (Theorem 3 rule 5 order; with
+	// version-chain deletion the result is order independent, but the
+	// schedule records the rule-compliant order).
+	staged := make([]*wlog.Entry, 0, len(undo))
+	for id := range undo {
+		if e, ok := log.Get(id); ok {
+			staged = append(staged, e)
+		}
+	}
+	sort.Slice(staged, func(i, j int) bool { return staged[i].LSN > staged[j].LSN })
+	for _, e := range staged {
+		// The horizon check runs against the pristine store: versions
+		// replaced by earlier repairs (stripped above) are
+		// deterministically reconstructed by the replay and are not
+		// horizon violations — only versions the caller declared
+		// compacted (below CompactionHorizon) are really gone.
+		if err := checkUndoHorizon(pristine, log, undo, e, opts.CompactionHorizon); err != nil {
+			return nil, err
+		}
+		st.DeleteWrites(string(e.ID()))
+		it.schedule = append(it.schedule, Action{
+			Kind: ActUndo, Inst: e.ID(), Run: e.Run, Task: e.Task, Visit: e.Visit,
+		})
+	}
+
+	// One walker per specified run.
+	var walkers []*walker
+	for _, run := range log.Runs() {
+		spec, ok := specs[run]
+		if !ok {
+			continue
+		}
+		walkers = append(walkers, newWalker(run, spec, log, opts))
+	}
+
+	// Globally merged replay: always advance the walker with the smallest
+	// next effective position.
+	for {
+		var best *walker
+		bestPos := 0.0
+		for _, w := range walkers {
+			pos, ok := w.peek()
+			if !ok {
+				continue
+			}
+			if best == nil || pos < bestPos {
+				best, bestPos = w, pos
+			}
+		}
+		if best == nil {
+			break
+		}
+		if err := best.step(st, log, undo, it); err != nil {
+			return nil, err
+		}
+	}
+
+	// Unconsumed trace entries are wrong-path work: undo them and close
+	// under →_f* (their outputs were consumed by later reads).
+	var wrong []wlog.InstanceID
+	for _, w := range walkers {
+		for _, e := range w.remaining {
+			wrong = append(wrong, e.ID())
+		}
+	}
+	if len(wrong) > 0 || len(it.newUndo) > 0 {
+		seed := make(map[wlog.InstanceID]bool, len(wrong)+len(it.newUndo))
+		for _, id := range wrong {
+			seed[id] = true
+		}
+		for id := range it.newUndo {
+			seed[id] = true
+		}
+		it.newUndo = g.ReadersClosure(seed)
+	}
+	sortIDs(it.redone)
+	sortIDs(it.newExecuted)
+	return it, nil
+}
+
+// checkUndoHorizon verifies that undoing e still exposes the version a
+// reader would have observed before e: for every key e wrote, the latest
+// surviving prior writer recorded in the log must still have its version in
+// the store, and an initial version observed by any logged read must still
+// exist. Store compaction may have discarded either, in which case the undo
+// would silently expose the wrong (older or missing) value.
+func checkUndoHorizon(st *data.Store, log *wlog.Log, undo map[wlog.InstanceID]bool, e *wlog.Entry, horizon float64) error {
+	if horizon <= 0 {
+		return nil
+	}
+	entries := log.Entries()
+	for k := range e.Writes {
+		// Latest prior writer of k that is not itself being undone.
+		var prev *wlog.Entry
+		initialObserved := false
+		for _, w := range entries {
+			if w.LSN >= e.LSN {
+				break
+			}
+			if _, wrote := w.Writes[k]; wrote && !undo[w.ID()] {
+				prev = w
+			}
+			if obs, ok := w.Reads[k]; ok && obs.Writer == "" && obs.WriterPos == data.InitPos {
+				initialObserved = true
+			}
+		}
+		if obs, ok := e.Reads[k]; ok && obs.Writer == "" && obs.WriterPos == data.InitPos {
+			initialObserved = true
+		}
+		switch {
+		case prev != nil && float64(prev.LSN) <= horizon:
+			if _, ok := st.VersionAt(k, float64(prev.LSN)); !ok {
+				return fmt.Errorf("%w: undo(%s) needs %s@%d written by %s",
+					ErrHorizon, e.ID(), k, prev.LSN, prev.ID())
+			}
+		case prev == nil && initialObserved:
+			if _, ok := st.GetBefore(k, 0.5); !ok {
+				return fmt.Errorf("%w: undo(%s) needs the initial version of %s",
+					ErrHorizon, e.ID(), k)
+			}
+		}
+	}
+	return nil
+}
+
+// instKey identifies a task instance within one run.
+type instKey struct {
+	task  wf.TaskID
+	visit int
+}
+
+// walker replays the corrected execution of one run.
+type walker struct {
+	run  string
+	spec *wf.Spec
+	opts Options
+
+	remaining map[instKey]*wlog.Entry // unconsumed original instances
+	cur       wf.TaskID
+	visits    map[wf.TaskID]int
+	prevEpos  float64
+	newCount  int // inserted instances so far (fresh-position allocator)
+	finished  bool
+	complete  bool // original run had reached an end node
+	trLen     int  // original trace length
+	executed  int  // actions performed (kept + redo + inserted)
+	steps     int
+}
+
+func newWalker(run string, spec *wf.Spec, log *wlog.Log, opts Options) *walker {
+	trace := log.Trace(run, false)
+	w := &walker{
+		run:       run,
+		spec:      spec,
+		opts:      opts,
+		remaining: make(map[instKey]*wlog.Entry, len(trace)),
+		cur:       spec.Start,
+		visits:    make(map[wf.TaskID]int),
+	}
+	for _, e := range trace {
+		w.remaining[instKey{e.Task, e.Visit}] = e
+	}
+	w.trLen = len(trace)
+	if len(trace) == 0 {
+		// Nothing committed: nothing to repair, nothing to continue.
+		w.finished = true
+		return w
+	}
+	lastTask := trace[len(trace)-1].Task
+	w.complete = len(spec.Tasks[lastTask].Next) == 0
+	return w
+}
+
+// peek returns the effective position of the walker's next action.
+func (w *walker) peek() (float64, bool) {
+	if w.finished {
+		return 0, false
+	}
+	key := instKey{w.cur, w.visits[w.cur] + 1}
+	if e, ok := w.remaining[key]; ok && float64(e.LSN) > w.prevEpos {
+		return float64(e.LSN), true
+	}
+	// Inserted instance (new path, or an original instance revisited out
+	// of commit order through a cycle).
+	if _, ok := w.remaining[key]; !ok && !w.complete && w.executed >= w.trLen {
+		// Frontier of an incomplete run: recovery replays at most as
+		// many actions as the run had originally committed; beyond
+		// that the work is normal execution, resumed by the engine
+		// from the corrected frontier. Remaining unconsumed entries
+		// (work the corrected path no longer justifies within the
+		// replay budget) are undone; if the run reaches them again it
+		// re-executes them as fresh instances.
+		return 0, false
+	}
+	return w.nextFreshPos(), true
+}
+
+func (w *walker) nextFreshPos() float64 {
+	return w.prevEpos + float64(w.newCount+1)*w.opts.EposDelta
+}
+
+// step executes the walker's next action against st.
+func (w *walker) step(st *data.Store, log *wlog.Log, undo map[wlog.InstanceID]bool, it *iterationResult) error {
+	if w.steps++; w.steps > w.opts.MaxWalkSteps {
+		return fmt.Errorf("recovery: run %s exceeded %d replay steps; corrected execution not terminating", w.run, w.opts.MaxWalkSteps)
+	}
+	// Re-check the frontier condition (peek returned an inserted action).
+	key := instKey{w.cur, w.visits[w.cur] + 1}
+	entry, matched := w.remaining[key]
+	repositioned := matched && float64(entry.LSN) <= w.prevEpos
+
+	task := w.spec.Tasks[w.cur]
+	w.visits[w.cur] = key.visit
+	inst := wlog.FormatInstance(w.run, w.cur, key.visit)
+
+	var epos float64
+	switch {
+	case matched && !repositioned:
+		epos = float64(entry.LSN)
+	default:
+		epos = w.nextFreshPos()
+		w.newCount++
+	}
+
+	var next wf.TaskID
+	switch {
+	case matched && !repositioned && !undo[inst]:
+		// KEPT: verify the recorded reads against the corrected history.
+		if !w.verifyKept(st, entry) {
+			it.newUndo[inst] = true
+		}
+		it.keptVerified++
+		switch {
+		case len(task.Next) == 1:
+			next = task.Next[0]
+		case len(task.Next) > 1:
+			// Re-derive the branch decision from the corrected reads:
+			// a decision that no longer matches the recorded one means
+			// the instance is damage (it will be redone next
+			// iteration), and the walk must follow the corrected path.
+			reads := make(map[data.Key]data.Value, len(task.Reads))
+			for _, k := range task.Reads {
+				if v, ok := st.GetBefore(k, epos); ok {
+					reads[k] = v.Value
+				} else {
+					reads[k] = 0
+				}
+			}
+			next = task.Choose(reads)
+			if !containsID(task.Next, next) {
+				return fmt.Errorf("recovery: %s re-derived invalid successor %q", inst, next)
+			}
+			if next != entry.Chosen {
+				it.newUndo[inst] = true
+			}
+		}
+		it.schedule = append(it.schedule, Action{
+			Kind: ActKeep, Inst: inst, Run: w.run, Task: w.cur, Visit: key.visit, Epos: epos, Next: next,
+		})
+	default:
+		// REDO at the original position, or an inserted execution
+		// (new-path instance, or a repositioned original).
+		reads := make(map[data.Key]data.Value, len(task.Reads))
+		for _, k := range task.Reads {
+			if v, ok := st.GetBefore(k, epos); ok {
+				reads[k] = v.Value
+			} else {
+				reads[k] = 0
+			}
+		}
+		written := make(map[data.Key]data.Value, len(task.Writes))
+		if task.Compute != nil {
+			out := task.Compute(reads)
+			for _, k := range task.Writes {
+				written[k] = out[k]
+			}
+		} else {
+			for _, k := range task.Writes {
+				written[k] = 0
+			}
+		}
+		for k, v := range written {
+			st.Write(k, v, epos, string(inst), true)
+		}
+		switch {
+		case len(task.Next) == 1:
+			next = task.Next[0]
+		case len(task.Next) > 1:
+			next = task.Choose(reads)
+			if !containsID(task.Next, next) {
+				return fmt.Errorf("recovery: %s redo chose invalid successor %q", inst, next)
+			}
+		}
+		kind := ActRedo
+		if !matched {
+			kind = ActExecNew
+			it.newExecuted = append(it.newExecuted, inst)
+		} else {
+			it.redone = append(it.redone, inst)
+			if repositioned {
+				// The original commit is out of order with respect to
+				// the corrected history; it must be undone so the next
+				// iteration replays it cleanly at the fresh position.
+				it.newUndo[inst] = true
+			}
+		}
+		it.schedule = append(it.schedule, Action{
+			Kind: kind, Inst: inst, Run: w.run, Task: w.cur, Visit: key.visit, Epos: epos, Next: next,
+		})
+	}
+
+	if matched {
+		delete(w.remaining, key)
+	}
+	w.executed++
+	w.prevEpos = epos
+	if len(task.Next) == 0 {
+		w.finished = true
+	} else {
+		w.cur = next
+	}
+	return nil
+}
+
+// verifyKept checks that every read the entry recorded still observes the
+// same version in the corrected history, and that the entry's own writes are
+// still present (a prior repair may have replaced them with recovery
+// versions, which a fresh pass strips and must rebuild by re-executing the
+// task).
+func (w *walker) verifyKept(st *data.Store, e *wlog.Entry) bool {
+	for k := range e.Writes {
+		v, ok := st.VersionAt(k, float64(e.LSN))
+		if !ok || v.Writer != string(e.ID()) {
+			return false
+		}
+	}
+	for k, obs := range e.Reads {
+		v, ok := st.GetBefore(k, float64(e.LSN))
+		if !ok {
+			if obs.WriterPos != wlog.MissingPos {
+				return false
+			}
+			continue
+		}
+		if obs.WriterPos == wlog.MissingPos {
+			return false
+		}
+		if v.Pos != obs.WriterPos || v.Writer != obs.Writer || v.Value != obs.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func containsID(ids []wf.TaskID, id wf.TaskID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"selfheal/internal/wlog"
+)
+
+// ScheduleActions linearizes the definite recovery tasks of an analysis into
+// a serial order satisfying every Theorem-3 partial-order edge — the paper's
+// scheduler repeatedly picking minimal(S, ≺) (§II.B). Candidate undos and
+// redos are excluded: they resolve only during execution, after their
+// guard's redo commits. The result is deterministic (ties broken by commit
+// LSN, undos before redos). A cyclic constraint set is reported as an error;
+// Theorem 3's rules never produce one on real analyses, so a cycle always
+// indicates a corrupted edge set.
+func ScheduleActions(log *wlog.Log, a *Analysis) ([]ActionRef, error) {
+	// Node set: undo for every definite undo, redo for every definite redo.
+	type node struct {
+		ref  ActionRef
+		lsn  int
+		deps int // unsatisfied incoming edges
+	}
+	nodes := make(map[ActionRef]*node)
+	addNode := func(kind ActionKind, id wlog.InstanceID) {
+		ref := ActionRef{Kind: kind, Inst: id}
+		if _, ok := nodes[ref]; ok {
+			return
+		}
+		lsn := 0
+		if e, ok := log.Get(id); ok {
+			lsn = e.LSN
+		}
+		nodes[ref] = &node{ref: ref, lsn: lsn}
+	}
+	for _, id := range a.DefiniteUndo {
+		addNode(ActUndo, id)
+	}
+	for _, id := range a.DefiniteRedo {
+		addNode(ActRedo, id)
+	}
+
+	succ := make(map[ActionRef][]ActionRef)
+	for _, e := range a.Orders {
+		from, to := nodes[e.Before], nodes[e.After]
+		if from == nil || to == nil {
+			continue // edge touches a candidate; resolved dynamically
+		}
+		succ[e.Before] = append(succ[e.Before], e.After)
+		to.deps++
+	}
+
+	// Kahn's algorithm with a deterministic ready set: undos first (most
+	// recent first, rule 5's natural order), then redos in commit order.
+	less := func(x, y *node) bool {
+		if x.ref.Kind != y.ref.Kind {
+			return x.ref.Kind == ActUndo
+		}
+		if x.ref.Kind == ActUndo {
+			if x.lsn != y.lsn {
+				return x.lsn > y.lsn
+			}
+		} else if x.lsn != y.lsn {
+			return x.lsn < y.lsn
+		}
+		return x.ref.Inst < y.ref.Inst
+	}
+	var ready []*node
+	for _, n := range nodes {
+		if n.deps == 0 {
+			ready = append(ready, n)
+		}
+	}
+	out := make([]ActionRef, 0, len(nodes))
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n.ref)
+		for _, sref := range succ[n.ref] {
+			s := nodes[sref]
+			s.deps--
+			if s.deps == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != len(nodes) {
+		return nil, fmt.Errorf("recovery: partial orders are cyclic: scheduled %d of %d actions", len(out), len(nodes))
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package recovery_test
+
+import (
+	"strings"
+	"testing"
+
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wlog"
+)
+
+func TestScheduleActionsFig1(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := recovery.Analyze(s.Log(), s.Specs, s.Bad)
+	order, err := recovery.ScheduleActions(s.Log(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every definite undo and redo appears exactly once.
+	want := len(a.DefiniteUndo) + len(a.DefiniteRedo)
+	if len(order) != want {
+		t.Fatalf("scheduled %d actions, want %d", len(order), want)
+	}
+	index := make(map[recovery.ActionRef]int, len(order))
+	for i, r := range order {
+		if _, dup := index[r]; dup {
+			t.Fatalf("duplicate action %v", r)
+		}
+		index[r] = i
+	}
+	// Every applicable Theorem-3 edge is satisfied.
+	for _, e := range a.Orders {
+		bi, okB := index[e.Before]
+		ai, okA := index[e.After]
+		if !okB || !okA {
+			continue
+		}
+		if bi >= ai {
+			t.Errorf("rule %d violated: %v at %d not before %v at %d",
+				e.Rule, e.Before, bi, e.After, ai)
+		}
+	}
+	// Rule 3 sanity: every redone instance is undone earlier.
+	for _, id := range a.DefiniteRedo {
+		u := index[recovery.ActionRef{Kind: recovery.ActUndo, Inst: id}]
+		r := index[recovery.ActionRef{Kind: recovery.ActRedo, Inst: id}]
+		if u >= r {
+			t.Errorf("undo(%s) at %d not before redo at %d", id, u, r)
+		}
+	}
+	// Rule 1 sanity: redos appear in commit order.
+	var lastLSN int
+	for _, ref := range order {
+		if ref.Kind != recovery.ActRedo {
+			continue
+		}
+		e, _ := s.Log().Get(ref.Inst)
+		if e.LSN < lastLSN {
+			t.Errorf("redo order violates commit order at %s", ref.Inst)
+		}
+		lastLSN = e.LSN
+	}
+}
+
+func TestScheduleActionsDeterministic(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := recovery.Analyze(s.Log(), s.Specs, s.Bad)
+	o1, err := recovery.ScheduleActions(s.Log(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := recovery.ScheduleActions(s.Log(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1) != len(o2) {
+		t.Fatal("lengths differ")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, o1[i], o2[i])
+		}
+	}
+}
+
+func TestScheduleActionsCycleDetected(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := recovery.Analyze(s.Log(), s.Specs, s.Bad)
+	// Fabricate a cycle among two redos.
+	r1 := recovery.ActionRef{Kind: recovery.ActRedo, Inst: wlog.InstanceID("r1/t1#1")}
+	r2 := recovery.ActionRef{Kind: recovery.ActRedo, Inst: wlog.InstanceID("r1/t2#1")}
+	a.Orders = append(a.Orders,
+		recovery.OrderEdge{Before: r2, After: r1, Rule: recovery.RuleDependence})
+	_, err = recovery.ScheduleActions(s.Log(), a)
+	if err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("err = %v, want cycle detection", err)
+	}
+}
+
+func TestScheduleActionsEmptyAnalysis(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := recovery.Analyze(s.Log(), s.Specs, nil)
+	order, err := recovery.ScheduleActions(s.Log(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 0 {
+		t.Errorf("empty analysis scheduled %d actions", len(order))
+	}
+}
+
+// TestScheduleActionsPropertyAcyclic: over many random attacked workloads,
+// the Theorem-3 edge set is always satisfiable and the schedule respects
+// every applicable edge.
+func TestScheduleActionsPropertyAcyclic(t *testing.T) {
+	cfg := scenario.DefaultRandomConfig()
+	for seed := int64(0); seed < 80; seed++ {
+		s, err := scenario.Random(seed, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := recovery.Analyze(s.Log(), s.Specs, s.Bad)
+		order, err := recovery.ScheduleActions(s.Log(), a)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		index := make(map[recovery.ActionRef]int, len(order))
+		for i, r := range order {
+			index[r] = i
+		}
+		for _, e := range a.Orders {
+			bi, okB := index[e.Before]
+			ai, okA := index[e.After]
+			if okB && okA && bi >= ai {
+				t.Errorf("seed %d: rule %d violated (%v !< %v)", seed, e.Rule, e.Before, e.After)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"selfheal/internal/recovery"
+	"selfheal/internal/report"
+	"selfheal/internal/scenario"
+)
+
+func fig1Result(t *testing.T) (*recovery.Analysis, *recovery.Result) {
+	t.Helper()
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Analysis, res
+}
+
+func TestAnalysisReport(t *testing.T) {
+	a, _ := fig1Result(t)
+	out := report.Analysis(a)
+	for _, want := range []string{
+		"B = r1/t1#1",
+		"Theorem 1 cond 3",
+		"r1/t2#1",
+		"candidate undo under redo(r1/t2#1)",
+		"r1/t3#1",
+		"stale-read candidate (cond 4): r1/t6#1, if t5 ∈ succ(redo(r1/t2#1))",
+		"definite redo (Theorem 2 cond 1)",
+		"partial-order edges (Theorem 3)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultReport(t *testing.T) {
+	_, res := fig1Result(t)
+	out := report.Result(res)
+	for _, want := range []string{
+		"undone (Theorem 1)",
+		"redone (Theorem 2)",
+		"newly executed:            r1/t5#1",
+		"dropped without redo:",
+		"fixpoint iterations:       2",
+		"exec-new r1/t5#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("result report missing %q:\n%s", want, out)
+		}
+	}
+	// Keeps are omitted from the schedule listing.
+	if strings.Contains(out, "keep") {
+		t.Error("schedule listing includes keep actions")
+	}
+}
+
+func TestOrderEdgesReport(t *testing.T) {
+	a, _ := fig1Result(t)
+	out := report.OrderEdges(a)
+	for _, want := range []string{"rule 1", "rule 3", "≺"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("order report missing %q", want)
+		}
+	}
+}
+
+func TestEmptySetsRenderAsEmpty(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := recovery.Repair(s.Store(), s.Log(), s.Specs, nil, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.Result(res)
+	if !strings.Contains(out, "∅") {
+		t.Errorf("empty sets not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,190 @@
+// Package rtsim validates the self-healing runtime's queueing discipline
+// against the analytical STG model by driving the real selfheal.System — the
+// real analyzer, the real repair engine, the real bounded queues — in
+// virtual time: IDS alerts arrive as a Poisson process, and every SCAN and
+// RECOVERY action consumes an exponential virtual duration with the same
+// queue-length-dependent rates the CTMC assumes (μ_a = F(μ₁, a),
+// ξ_r = G(ξ₁, r)).
+//
+// Unlike internal/sim, which simulates the transition rules directly, rtsim
+// exercises the production code path end to end, so a divergence between the
+// implementation's state machine and the model (for example in the
+// full-buffer drain rule or the Theorem-4 gating) shows up as a loss or
+// occupancy mismatch.
+package rtsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selfheal/internal/scenario"
+	"selfheal/internal/selfheal"
+	"selfheal/internal/stg"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Result aggregates one virtual-time run of the real system.
+type Result struct {
+	// Horizon is the simulated virtual time.
+	Horizon float64
+	// TimeNormal, TimeScan, TimeRecovery split the horizon by the
+	// system's state.
+	TimeNormal, TimeScan, TimeRecovery float64
+	// TimeAlertFull is the time the alert buffer was full (arrivals in
+	// this window are lost): the loss probability estimate.
+	TimeAlertFull float64
+	// Reported and Lost count alerts delivered to the system.
+	Reported, Lost int
+	// Runtime is the system's own accounting.
+	Runtime selfheal.Metrics
+}
+
+// LossOccupancy returns the fraction of time the alert buffer was full.
+func (r *Result) LossOccupancy() float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	return r.TimeAlertFull / r.Horizon
+}
+
+// LostFraction returns the fraction of delivered alerts that were dropped.
+func (r *Result) LostFraction() float64 {
+	if r.Reported == 0 {
+		return 0
+	}
+	return float64(r.Lost) / float64(r.Reported)
+}
+
+// Run drives the real runtime for the given virtual horizon. The workload is
+// a completed randomized scenario (seeded); alerts cycle over its malicious
+// instances, so every analysis and repair is real work.
+func Run(p stg.Params, horizon float64, seed int64) (*Result, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("rtsim: horizon must be positive, got %g", horizon)
+	}
+	if _, err := stg.New(p); err != nil {
+		return nil, err
+	}
+	f, g := p.F, p.G
+	if f == nil {
+		f = stg.DegradeLinear
+	}
+	if g == nil {
+		g = stg.DegradeLinear
+	}
+
+	// A small attacked workload: its bad instances feed the alert stream.
+	sc, err := attackedWorkload(seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := selfheal.NewWithEngine(
+		selfheal.Config{AlertBuf: p.AlertBuf, RecoveryBuf: p.RecoveryBuf},
+		sc.Engine, sc.Specs)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{Horizon: horizon}
+	clock := 0.0
+	nextArrival := clock + rng.ExpFloat64()/p.Lambda
+	badIdx := 0
+
+	account := func(dt float64) {
+		switch sys.State() {
+		case stg.Normal:
+			res.TimeNormal += dt
+		case stg.Scan:
+			res.TimeScan += dt
+		case stg.Recovery:
+			res.TimeRecovery += dt
+		}
+		if a, _ := sys.QueueLengths(); a == p.AlertBuf {
+			res.TimeAlertFull += dt
+		}
+	}
+
+	for clock < horizon {
+		// Determine the system's next action and its virtual duration.
+		a, r := sys.QueueLengths()
+		var rate float64
+		switch {
+		case r >= p.RecoveryBuf: // forced drain
+			rate = g(p.Xi1, r)
+		case a > 0: // scan
+			rate = f(p.Mu1, a)
+		case r > 0: // recovery
+			rate = g(p.Xi1, r)
+		default:
+			// Idle: jump to the next arrival.
+			dt := nextArrival - clock
+			if clock+dt > horizon {
+				account(horizon - clock)
+				clock = horizon
+				continue
+			}
+			account(dt)
+			clock = nextArrival
+			deliver(sys, sc, &badIdx, res)
+			nextArrival = clock + rng.ExpFloat64()/p.Lambda
+			continue
+		}
+		dur := rng.ExpFloat64() / rate
+		end := clock + dur
+		// An arrival during the service interval changes the state — and
+		// with it which transition is enabled (recovery is disabled once
+		// an alert is queued, §IV.C). Mirror the CTMC exactly: deliver
+		// the alert and re-evaluate the action. Exponential
+		// memorylessness makes abandoning the in-flight service
+		// statistically identical to suspending it.
+		if nextArrival < end && nextArrival < horizon {
+			account(nextArrival - clock)
+			clock = nextArrival
+			deliver(sys, sc, &badIdx, res)
+			nextArrival = clock + rng.ExpFloat64()/p.Lambda
+			continue
+		}
+		if end > horizon {
+			account(horizon - clock)
+			clock = horizon
+			break
+		}
+		account(end - clock)
+		clock = end
+		if err := sys.Tick(); err != nil {
+			return nil, fmt.Errorf("rtsim: tick at t=%g: %w", clock, err)
+		}
+	}
+	res.Runtime = sys.Metrics()
+	return res, nil
+}
+
+func deliver(sys *selfheal.System, sc *scenario.Scenario, badIdx *int, res *Result) {
+	bad := sc.Bad[*badIdx%len(sc.Bad)]
+	*badIdx++
+	res.Reported++
+	if !sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{bad}}) {
+		res.Lost++
+	}
+}
+
+func attackedWorkload(seed int64) (*scenario.Scenario, error) {
+	cfg := scenario.RandomConfig{
+		Runs:    2,
+		Gen:     wf.GenConfig{Tasks: 8, Keys: 6, MaxReads: 2, BranchProb: 0.3},
+		Attacks: 3,
+		Forged:  1,
+	}
+	for attempt := int64(0); attempt < 20; attempt++ {
+		sc, err := scenario.Random(seed+attempt*7919, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		if len(sc.Bad) > 0 {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("rtsim: no committed attacks for seed %d", seed)
+}

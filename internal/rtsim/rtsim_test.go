@@ -1,0 +1,91 @@
+package rtsim
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/stg"
+)
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(stg.Square(1, 5, 6, 4), 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Run(stg.Square(1, 0, 6, 4), 10, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestTimeAccounting(t *testing.T) {
+	res, err := Run(stg.Square(1, 5, 6, 4), 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.TimeNormal + res.TimeScan + res.TimeRecovery
+	if math.Abs(total-res.Horizon) > 1e-9 {
+		t.Errorf("state times sum to %g of %g", total, res.Horizon)
+	}
+	if res.Reported == 0 {
+		t.Error("no alerts delivered in 500 time units at λ=1")
+	}
+	if res.Runtime.AlertsAnalyzed == 0 || res.Runtime.UnitsExecuted == 0 {
+		t.Errorf("real recovery work never ran: %+v", res.Runtime)
+	}
+}
+
+// TestRealRuntimeMatchesCTMC is the integration headline: the production
+// state machine under Poisson alerts must reproduce the analytical model's
+// occupancy and loss within statistical tolerance.
+func TestRealRuntimeMatchesCTMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon virtual-time simulation")
+	}
+	cases := []struct {
+		name string
+		p    stg.Params
+	}{
+		{"healthy", stg.Square(1, 6, 8, 4)},
+		{"overloaded", stg.Square(4, 6, 8, 4)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := stg.New(c.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			met, err := m.SteadyMetrics()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(c.p, 20000, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.TimeNormal/res.Horizon, met.PNormal; math.Abs(got-want) > 0.03 {
+				t.Errorf("P(NORMAL): runtime %g vs model %g", got, want)
+			}
+			if got, want := res.LossOccupancy(), met.Loss; math.Abs(got-want) > 0.03 {
+				t.Errorf("loss occupancy: runtime %g vs model %g", got, want)
+			}
+			// PASTA: dropped fraction ≈ loss occupancy.
+			if math.Abs(res.LostFraction()-res.LossOccupancy()) > 0.03 {
+				t.Errorf("lost fraction %g vs occupancy %g", res.LostFraction(), res.LossOccupancy())
+			}
+		})
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	p := stg.Square(2, 5, 6, 3)
+	a, err := Run(p, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reported != b.Reported || a.TimeScan != b.TimeScan {
+		t.Error("same seed diverged")
+	}
+}

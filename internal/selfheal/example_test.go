@@ -1,0 +1,56 @@
+package selfheal_test
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/selfheal"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Example shows the runtime's full loop: a workload executes under attack,
+// the IDS reports, and the system scans, recovers and resumes — the Fig 2
+// architecture in five calls.
+func Example() {
+	st := data.NewStore()
+	st.Init("e", 0)
+	sys, err := selfheal.New(selfheal.Config{AlertBuf: 8, RecoveryBuf: 8}, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wf1, wf2 := wf.Fig1Specs()
+	sys.Engine().AddAttack(engine.Attack{
+		Run: "r1", Task: "t1",
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"a": 100}
+		},
+	})
+	if err := sys.StartRun("r1", wf1); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.StartRun("r2", wf2); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RunToCompletion(100); err != nil {
+		log.Fatal(err)
+	}
+
+	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
+	fmt.Println("state after report:", sys.State())
+	if err := sys.DrainRecovery(10); err != nil {
+		log.Fatal(err)
+	}
+	m := sys.Metrics()
+	fmt.Println("state after recovery:", sys.State())
+	fmt.Printf("undone %d, redone %d, newly executed %d\n", m.Undone, m.Redone, m.NewExecuted)
+	v, _ := sys.Store().Get("f")
+	fmt.Println("f =", v.Value)
+	// Output:
+	// state after report: SCAN
+	// state after recovery: NORMAL
+	// undone 7, redone 5, newly executed 1
+	// f = 14
+}

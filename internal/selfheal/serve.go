@@ -1,0 +1,61 @@
+package selfheal
+
+import (
+	"context"
+	"errors"
+)
+
+// Serve runs the system as a goroutine-friendly loop: alerts arriving on the
+// channel are enqueued (and lost if the alert buffer is full, exactly like
+// Report), and the system ticks continuously — analyzing, recovering and
+// executing normal tasks per the state discipline. Serve returns the final
+// metrics when ctx is cancelled or the alert channel is closed and all work
+// has drained.
+//
+// Serve owns the System exclusively while it runs; callers must not invoke
+// other methods concurrently.
+func (s *System) Serve(ctx context.Context, alerts <-chan Alert) (Metrics, error) {
+	open := true
+	for {
+		// Drain any pending alerts without blocking.
+		for open {
+			select {
+			case a, ok := <-alerts:
+				if !ok {
+					open = false
+					break
+				}
+				s.Report(a)
+				continue
+			default:
+			}
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return s.metrics, ctx.Err()
+		default:
+		}
+
+		err := s.Tick()
+		switch {
+		case errors.Is(err, ErrIdle):
+			if !open {
+				return s.metrics, nil
+			}
+			// Nothing to do: block until an alert arrives or we stop.
+			select {
+			case <-ctx.Done():
+				return s.metrics, ctx.Err()
+			case a, ok := <-alerts:
+				if !ok {
+					open = false
+					continue
+				}
+				s.Report(a)
+			}
+		case err != nil:
+			return s.metrics, err
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package selfheal implements the attack-recovery system architecture of
+// Fig 2 of the paper as a running component: a bounded queue of IDS alerts,
+// the recovery analyzer that turns each alert into a unit of recovery tasks,
+// a bounded queue of recovery-task units, and a scheduler that executes
+// normal workflow tasks and recovery tasks under the state discipline of
+// §IV.C:
+//
+//   - NORMAL: no alerts and no recovery units queued; normal tasks execute.
+//   - SCAN: alerts queued; the analyzer processes them; recovery tasks and
+//     normal tasks wait (Theorem 4: a normal task cannot run before all
+//     recovery tasks are known).
+//   - RECOVERY: alert queue empty, recovery units queued; the scheduler
+//     executes recovery units; normal tasks still wait.
+//
+// When the recovery-unit buffer is full the analyzer blocks (§IV.E) and the
+// scheduler drains recovery units even though alerts are queued — the same
+// deadlock completion the STG model uses (DESIGN.md).
+//
+// The core is a deterministic Tick-driven state machine so tests and
+// simulations control time; Serve wraps it in a goroutine with channels for
+// production-style use.
+package selfheal
+
+import (
+	"errors"
+	"fmt"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/stg"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Alert is one IDS report: the set of instances found malicious.
+type Alert struct {
+	// Bad lists the malicious task instances.
+	Bad []wlog.InstanceID
+}
+
+// Unit is one unit of recovery tasks: the analysis produced for one alert
+// (§IV.C: "1 unit of recovery tasks corresponds to a set of tasks for
+// repairing damages caused by 1 attack").
+type Unit struct {
+	// Alert is the originating report.
+	Alert Alert
+	// Analysis is the static damage assessment for the alert.
+	Analysis *recovery.Analysis
+}
+
+// Config sizes the system.
+type Config struct {
+	// AlertBuf bounds the IDS-alert queue; alerts reported while it is
+	// full are lost.
+	AlertBuf int
+	// RecoveryBuf bounds the recovery-unit queue; a full buffer blocks
+	// the analyzer.
+	RecoveryBuf int
+	// Repair tunes the recovery executor.
+	Repair recovery.Options
+	// Concurrent selects the third recovery strategy of §III.D ("obtain
+	// concurrency while taking risks of corrupting only normal tasks"):
+	// normal tasks keep executing during SCAN and RECOVERY instead of
+	// waiting for the damage analysis (multi-version data makes this
+	// safe for the recovery itself). Normal tasks that consume corrupt
+	// data in the window are folded into the damage closure when the
+	// recovery unit executes, because the repair always analyzes the
+	// full log — so the final state converges to the strict-correct one,
+	// at the cost of some transiently wrong normal results and extra
+	// recovery work. The default (false) is the paper's strict
+	// correctness strategy: Theorem-4 gating.
+	Concurrent bool
+	// CoalesceAlerts makes the analyzer drain the whole alert queue into
+	// a single unit of recovery tasks (the union of the reported
+	// malicious sets) instead of one unit per alert. Under bursts this
+	// trades one larger analysis for several smaller ones — the §IV.D
+	// observation that analysis cost grows with queued work, turned into
+	// an optimization.
+	CoalesceAlerts bool
+	// EagerRecovery selects the second strategy of §III.D ("obtain
+	// concurrency while taking risks of corrupting tasks"): recovery
+	// units execute even while IDS alerts are still queued, instead of
+	// waiting for the SCAN phase to drain (§IV.C's restriction). A later
+	// alert can invalidate work an eager unit already repaired, which
+	// the paper warns "introduces more recovery tasks and costs"; here
+	// each unit re-analyzes the full log, so the system still converges
+	// — the risk materializes purely as redundant recovery work.
+	EagerRecovery bool
+}
+
+// Metrics counts the system's activity.
+type Metrics struct {
+	// AlertsReported, AlertsLost, AlertsAnalyzed count IDS reports.
+	AlertsReported, AlertsLost, AlertsAnalyzed int
+	// UnitsExecuted counts recovery units completed.
+	UnitsExecuted int
+	// NormalSteps counts normal workflow task executions.
+	NormalSteps int
+	// TicksNormal, TicksScan, TicksRecovery split the ticks by the state
+	// the system was in when the tick was processed.
+	TicksNormal, TicksScan, TicksRecovery int
+	// Undone, Redone, NewExecuted accumulate recovery work sizes.
+	Undone, Redone, NewExecuted int
+	// ConcurrentNormalSteps counts normal tasks executed while recovery
+	// work was pending (only nonzero in Concurrent mode).
+	ConcurrentNormalSteps int
+	// EagerUnits counts recovery units executed while alerts were still
+	// queued (only nonzero in EagerRecovery mode).
+	EagerUnits int
+}
+
+// System is the self-healing workflow system.
+type System struct {
+	cfg    Config
+	eng    *engine.Engine
+	specs  map[string]*wf.Spec
+	runs   []*engine.Run
+	nextRn int
+
+	alertQ    []Alert
+	recoveryQ []*Unit
+	metrics   Metrics
+	// flip alternates recovery and normal work in concurrent mode.
+	flip bool
+	// eagerFlip alternates analysis and unit execution in eager mode.
+	eagerFlip bool
+}
+
+// New builds a system over a fresh store and log.
+func New(cfg Config, store *data.Store) (*System, error) {
+	if store == nil {
+		store = data.NewStore()
+	}
+	return NewWithEngine(cfg, engine.New(store, wlog.New()), nil)
+}
+
+// NewWithEngine builds a system that adopts an existing engine (and its
+// committed history) together with the specs of the runs already in its
+// log. Used to put the self-healing runtime in charge of a workload that
+// executed before the runtime started.
+func NewWithEngine(cfg Config, eng *engine.Engine, specs map[string]*wf.Spec) (*System, error) {
+	if cfg.AlertBuf < 1 || cfg.RecoveryBuf < 1 {
+		return nil, fmt.Errorf("selfheal: buffers must be ≥ 1, got %d/%d", cfg.AlertBuf, cfg.RecoveryBuf)
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("selfheal: nil engine")
+	}
+	s := &System{cfg: cfg, eng: eng, specs: make(map[string]*wf.Spec)}
+	for run, spec := range specs {
+		s.specs[run] = spec
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying engine (attack injection in tests and
+// examples goes through it).
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// Store returns the current (possibly repaired) store.
+func (s *System) Store() *data.Store { return s.eng.Store() }
+
+// Log returns the system log.
+func (s *System) Log() *wlog.Log { return s.eng.Log() }
+
+// Metrics returns a copy of the counters.
+func (s *System) Metrics() Metrics { return s.metrics }
+
+// StartRun registers a workflow run for normal processing.
+func (s *System) StartRun(id string, spec *wf.Spec) error {
+	r, err := s.eng.NewRun(id, spec)
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, r)
+	s.specs[id] = spec
+	return nil
+}
+
+// State classifies the system per §IV.C.
+func (s *System) State() stg.Class {
+	switch {
+	case len(s.alertQ) > 0:
+		return stg.Scan
+	case len(s.recoveryQ) > 0:
+		return stg.Recovery
+	default:
+		return stg.Normal
+	}
+}
+
+// QueueLengths returns (alerts, recovery units) currently queued.
+func (s *System) QueueLengths() (int, int) {
+	return len(s.alertQ), len(s.recoveryQ)
+}
+
+// Report delivers an IDS alert. It returns false when the alert buffer is
+// full and the alert is lost.
+func (s *System) Report(a Alert) bool {
+	s.metrics.AlertsReported++
+	if len(s.alertQ) >= s.cfg.AlertBuf {
+		s.metrics.AlertsLost++
+		return false
+	}
+	s.alertQ = append(s.alertQ, a)
+	return true
+}
+
+// ErrIdle is returned by Tick when there is nothing to do: no alerts, no
+// recovery units, and no runnable normal task.
+var ErrIdle = errors.New("selfheal: idle")
+
+// Tick performs one unit of work according to the state discipline:
+// analyzing one alert in SCAN, executing one recovery unit in RECOVERY
+// (including the forced drain when the unit buffer is full), or stepping one
+// normal workflow task in NORMAL. In Concurrent mode (§III.D strategy 3),
+// ticks alternate between recovery work and normal work whenever both are
+// pending, instead of gating normal tasks.
+func (s *System) Tick() error {
+	if s.cfg.Concurrent && s.State() != stg.Normal {
+		s.flip = !s.flip
+		if s.flip && s.hasNormalWork() {
+			s.metrics.TicksNormal++
+			s.metrics.ConcurrentNormalSteps++
+			return s.stepNormal()
+		}
+	}
+	switch {
+	case len(s.recoveryQ) >= s.cfg.RecoveryBuf:
+		// Analyzer blocked: forced drain (§IV.E completion).
+		s.metrics.TicksScan++ // alerts may be queued; classified as SCAN when so
+		if len(s.alertQ) == 0 {
+			s.metrics.TicksScan--
+			s.metrics.TicksRecovery++
+		}
+		return s.executeUnit()
+	case s.cfg.EagerRecovery && len(s.recoveryQ) > 0 && len(s.alertQ) > 0:
+		// §III.D strategy 2: alternate unit execution with analysis
+		// instead of gating recovery behind an empty alert queue.
+		s.eagerFlip = !s.eagerFlip
+		if s.eagerFlip {
+			s.metrics.TicksScan++
+			s.metrics.EagerUnits++
+			return s.executeUnit()
+		}
+		s.metrics.TicksScan++
+		return s.analyzeAlert()
+	case len(s.alertQ) > 0:
+		s.metrics.TicksScan++
+		return s.analyzeAlert()
+	case len(s.recoveryQ) > 0:
+		s.metrics.TicksRecovery++
+		return s.executeUnit()
+	default:
+		s.metrics.TicksNormal++
+		return s.stepNormal()
+	}
+}
+
+// analyzeAlert turns the head alert (or, with CoalesceAlerts, the whole
+// alert queue) into a unit of recovery tasks.
+func (s *System) analyzeAlert() error {
+	take := 1
+	if s.cfg.CoalesceAlerts {
+		take = len(s.alertQ)
+	}
+	merged := Alert{}
+	seen := make(map[wlog.InstanceID]bool)
+	for _, a := range s.alertQ[:take] {
+		for _, id := range a.Bad {
+			if _, ok := s.eng.Log().Get(id); !ok {
+				return fmt.Errorf("selfheal: alert names unknown instance %s", id)
+			}
+			if !seen[id] {
+				seen[id] = true
+				merged.Bad = append(merged.Bad, id)
+			}
+		}
+	}
+	s.alertQ = s.alertQ[take:]
+	an := recovery.Analyze(s.eng.Log(), s.specs, merged.Bad)
+	s.recoveryQ = append(s.recoveryQ, &Unit{Alert: merged, Analysis: an})
+	s.metrics.AlertsAnalyzed += take
+	return nil
+}
+
+// executeUnit runs the repair for the head recovery unit and installs the
+// repaired store.
+func (s *System) executeUnit() error {
+	if len(s.recoveryQ) == 0 {
+		return ErrIdle
+	}
+	u := s.recoveryQ[0]
+	s.recoveryQ = s.recoveryQ[1:]
+	res, err := recovery.Repair(s.eng.Store(), s.eng.Log(), s.specs, u.Alert.Bad, s.cfg.Repair)
+	if err != nil {
+		return fmt.Errorf("selfheal: recovery unit failed: %w", err)
+	}
+	s.eng.SwapStore(res.Store)
+	s.metrics.UnitsExecuted++
+	s.metrics.Undone += len(res.Undone)
+	s.metrics.Redone += len(res.Redone)
+	s.metrics.NewExecuted += len(res.NewExecuted)
+
+	// Resynchronize in-flight runs whose execution path the repair
+	// rewrote: they must continue from the corrected frontier, not the
+	// stale one.
+	for _, r := range s.runs {
+		if r.Done() {
+			continue
+		}
+		cur, done, ok := res.Frontier(r.ID, s.specs[r.ID])
+		if !ok {
+			continue
+		}
+		if err := s.eng.Resync(r, cur, done); err != nil {
+			return fmt.Errorf("selfheal: resync %s: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// stepNormal advances one incomplete run round-robin.
+func (s *System) stepNormal() error {
+	n := len(s.runs)
+	if n == 0 {
+		return ErrIdle
+	}
+	for i := 0; i < n; i++ {
+		r := s.runs[(s.nextRn+i)%n]
+		if r.Done() {
+			continue
+		}
+		s.nextRn = (s.nextRn + i + 1) % n
+		if _, err := s.eng.Step(r); err != nil {
+			return err
+		}
+		s.metrics.NormalSteps++
+		return nil
+	}
+	return ErrIdle
+}
+
+// DrainRecovery ticks until the system returns to NORMAL (all alerts
+// analyzed, all units executed), with a tick budget.
+func (s *System) DrainRecovery(maxTicks int) error {
+	for i := 0; i < maxTicks; i++ {
+		if s.State() == stg.Normal {
+			return nil
+		}
+		if err := s.Tick(); err != nil && !errors.Is(err, ErrIdle) {
+			return err
+		}
+	}
+	return fmt.Errorf("selfheal: recovery did not drain within %d ticks", maxTicks)
+}
+
+// RunToCompletion ticks until every registered run is complete and the
+// system is back to NORMAL, with a tick budget.
+func (s *System) RunToCompletion(maxTicks int) error {
+	for i := 0; i < maxTicks; i++ {
+		err := s.Tick()
+		switch {
+		case errors.Is(err, ErrIdle):
+			if s.State() == stg.Normal && s.allDone() {
+				return nil
+			}
+		case err != nil:
+			return err
+		}
+	}
+	return fmt.Errorf("selfheal: did not complete within %d ticks", maxTicks)
+}
+
+// hasNormalWork reports whether any registered run is incomplete.
+func (s *System) hasNormalWork() bool {
+	for _, r := range s.runs {
+		if !r.Done() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *System) allDone() bool {
+	for _, r := range s.runs {
+		if !r.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+// Package sim is a discrete-event simulator of the attack-recovery system's
+// queueing semantics (§IV.C–E). It simulates the same transition rules the
+// STG model encodes analytically — Poisson alert arrivals, exponential scan
+// and recovery service times with queue-length-dependent rates, the blocked
+// analyzer at a full recovery buffer, and alert loss at a full alert buffer
+// — and estimates state occupancy, loss probability and queue lengths by
+// time averaging. Tests and benchmarks cross-validate the CTMC solutions of
+// §V against these estimates.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"selfheal/internal/stg"
+)
+
+// Result aggregates one simulation.
+type Result struct {
+	// Horizon is the simulated time.
+	Horizon float64
+	// TimeNormal, TimeScan, TimeRecovery split the horizon by class.
+	TimeNormal, TimeScan, TimeRecovery float64
+	// TimeLossEdge is the time spent with a full alert buffer.
+	TimeLossEdge float64
+	// TimeRecoveryFull is the time spent with a full recovery buffer.
+	TimeRecoveryFull float64
+	// ArrivalsTotal and ArrivalsLost count IDS alerts.
+	ArrivalsTotal, ArrivalsLost int
+	// AlertArea and RecoveryArea are ∫queue·dt, for expected lengths.
+	AlertArea, RecoveryArea float64
+	// StateTime maps (alerts, recovery) to occupancy time.
+	StateTime map[stg.State]float64
+}
+
+// Metrics converts the time averages into the same observables the STG
+// model computes analytically.
+func (r *Result) Metrics() stg.Metrics {
+	h := r.Horizon
+	if h == 0 {
+		return stg.Metrics{}
+	}
+	return stg.Metrics{
+		PNormal:      r.TimeNormal / h,
+		PScan:        r.TimeScan / h,
+		PRecovery:    r.TimeRecovery / h,
+		Loss:         r.TimeLossEdge / h,
+		RecoveryFull: r.TimeRecoveryFull / h,
+		EAlerts:      r.AlertArea / h,
+		ERecovery:    r.RecoveryArea / h,
+	}
+}
+
+// LostFraction returns the fraction of arrivals that were dropped.
+func (r *Result) LostFraction() float64 {
+	if r.ArrivalsTotal == 0 {
+		return 0
+	}
+	return float64(r.ArrivalsLost) / float64(r.ArrivalsTotal)
+}
+
+// Run simulates the system for the given horizon starting from the NORMAL
+// state (empty queues).
+func Run(p stg.Params, horizon float64, rng *rand.Rand) (*Result, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %g", horizon)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sim: nil rng")
+	}
+	// Validate parameters by building the model once.
+	if _, err := stg.New(p); err != nil {
+		return nil, err
+	}
+	f, g := p.F, p.G
+	if f == nil {
+		f = stg.DegradeLinear
+	}
+	if g == nil {
+		g = stg.DegradeLinear
+	}
+
+	res := &Result{Horizon: horizon, StateTime: make(map[stg.State]float64)}
+	var a, r int // queue lengths
+	t := 0.0
+	exp := func(rate float64) float64 {
+		return rng.ExpFloat64() / rate
+	}
+	for t < horizon {
+		// Enabled transitions and their rates, mirroring stg.New.
+		type trans struct {
+			rate  float64
+			apply func()
+		}
+		var ts []trans
+		if p.Lambda > 0 {
+			ts = append(ts, trans{p.Lambda, func() {
+				res.ArrivalsTotal++
+				if a < p.AlertBuf {
+					a++
+				} else {
+					res.ArrivalsLost++
+				}
+			}})
+		}
+		if a > 0 && r < p.RecoveryBuf {
+			ts = append(ts, trans{f(p.Mu1, a), func() { a--; r++ }})
+		}
+		if r > 0 && (a == 0 || r == p.RecoveryBuf) {
+			ts = append(ts, trans{g(p.Xi1, r), func() { r-- }})
+		}
+		if len(ts) == 0 {
+			// Absorbed (λ=0 and empty queues): spend the rest of the
+			// horizon here.
+			accumulate(res, a, r, horizon-t, p)
+			t = horizon
+			break
+		}
+		var total float64
+		for _, tr := range ts {
+			total += tr.rate
+		}
+		dwell := exp(total)
+		if t+dwell > horizon {
+			accumulate(res, a, r, horizon-t, p)
+			t = horizon
+			break
+		}
+		accumulate(res, a, r, dwell, p)
+		t += dwell
+		// Pick the transition proportionally to its rate.
+		u := rng.Float64() * total
+		for _, tr := range ts {
+			if u < tr.rate {
+				tr.apply()
+				break
+			}
+			u -= tr.rate
+		}
+	}
+	return res, nil
+}
+
+func accumulate(res *Result, a, r int, dt float64, p stg.Params) {
+	if dt <= 0 {
+		return
+	}
+	s := stg.State{Alerts: a, Recovery: r}
+	res.StateTime[s] += dt
+	switch s.Classify() {
+	case stg.Normal:
+		res.TimeNormal += dt
+	case stg.Scan:
+		res.TimeScan += dt
+	case stg.Recovery:
+		res.TimeRecovery += dt
+	}
+	if a == p.AlertBuf {
+		res.TimeLossEdge += dt
+	}
+	if r == p.RecoveryBuf {
+		res.TimeRecoveryFull += dt
+	}
+	res.AlertArea += float64(a) * dt
+	res.RecoveryArea += float64(r) * dt
+}
+
+// Distribution returns the time-average occupancy as a distribution over the
+// given model's state indexing, suitable for direct comparison with the
+// analytic steady state.
+func (r *Result) Distribution(m *stg.Model) []float64 {
+	pi := make([]float64, m.N())
+	for s, dt := range r.StateTime {
+		pi[m.Index(s.Alerts, s.Recovery)] = dt / r.Horizon
+	}
+	return pi
+}
+
+// TotalVariation returns ½·Σ|a_i − b_i|, the standard distance between two
+// distributions.
+func TotalVariation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sim: distribution length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / 2
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selfheal/internal/stg"
+)
+
+func TestRunValidatesInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Run(stg.Square(1, 15, 20, 4), 0, rng); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Run(stg.Square(1, 15, 20, 4), 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := Run(stg.Square(1, 0, 20, 4), 10, rng); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestTimeAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res, err := Run(stg.Square(1, 15, 20, 5), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TimeNormal + res.TimeScan + res.TimeRecovery; math.Abs(got-res.Horizon) > 1e-9 {
+		t.Errorf("class times sum to %g, want %g", got, res.Horizon)
+	}
+	var total float64
+	for _, dt := range res.StateTime {
+		total += dt
+	}
+	if math.Abs(total-res.Horizon) > 1e-9 {
+		t.Errorf("state times sum to %g", total)
+	}
+	if res.ArrivalsTotal == 0 {
+		t.Error("no arrivals simulated in 200 time units at λ=1")
+	}
+}
+
+func TestNoArrivalsStaysNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res, err := Run(stg.Square(0, 15, 20, 5), 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeNormal != res.Horizon {
+		t.Errorf("λ=0 spent %g NORMAL of %g", res.TimeNormal, res.Horizon)
+	}
+	if res.ArrivalsTotal != 0 || res.ArrivalsLost != 0 {
+		t.Error("λ=0 produced arrivals")
+	}
+}
+
+// TestMatchesCTMCSteadyState is the headline validation: the long-run
+// simulated occupancy must agree with the analytic steady state of the same
+// parameters, for both a healthy and an overloaded configuration.
+func TestMatchesCTMCSteadyState(t *testing.T) {
+	cases := []struct {
+		name string
+		p    stg.Params
+	}{
+		{"good", stg.Square(1, 15, 20, 8)},
+		{"overloaded", stg.Square(4, 15, 20, 8)},
+		{"poor", stg.Square(1, 2, 3, 8)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := stg.New(c.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := m.SteadyState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			res, err := Run(c.p, 60000, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simPi := res.Distribution(m)
+			if tv := TotalVariation(simPi, ss); tv > 0.02 {
+				t.Errorf("total variation sim vs CTMC = %g, want < 0.02", tv)
+			}
+			am, sm := m.MetricsOf(ss), res.Metrics()
+			if math.Abs(am.Loss-sm.Loss) > 0.02 {
+				t.Errorf("loss: analytic %g vs simulated %g", am.Loss, sm.Loss)
+			}
+			if math.Abs(am.PNormal-sm.PNormal) > 0.02 {
+				t.Errorf("P(NORMAL): analytic %g vs simulated %g", am.PNormal, sm.PNormal)
+			}
+			if math.Abs(am.EAlerts-sm.EAlerts) > 0.3 {
+				t.Errorf("E[alerts]: analytic %g vs simulated %g", am.EAlerts, sm.EAlerts)
+			}
+		})
+	}
+}
+
+// TestLostFractionTracksEdgeOccupancy: by PASTA, the fraction of dropped
+// Poisson arrivals equals the loss-edge occupancy in the long run.
+func TestLostFractionTracksEdgeOccupancy(t *testing.T) {
+	p := stg.Square(3, 4, 5, 4)
+	rng := rand.New(rand.NewSource(7))
+	res, err := Run(p, 50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := res.Metrics()
+	if math.Abs(res.LostFraction()-met.Loss) > 0.02 {
+		t.Errorf("lost fraction %g vs edge occupancy %g (PASTA)", res.LostFraction(), met.Loss)
+	}
+	if res.ArrivalsLost == 0 {
+		t.Error("overloaded system lost no arrivals")
+	}
+}
+
+// TestDeterministicPerSeed: the simulator is reproducible.
+func TestDeterministicPerSeed(t *testing.T) {
+	p := stg.Square(1, 15, 20, 5)
+	a, err := Run(p, 500, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, 500, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ArrivalsTotal != b.ArrivalsTotal || a.TimeNormal != b.TimeNormal {
+		t.Error("same seed produced different simulations")
+	}
+}
+
+func TestTotalVariationBasics(t *testing.T) {
+	if tv := TotalVariation([]float64{1, 0}, []float64{0, 1}); tv != 1 {
+		t.Errorf("disjoint distributions: tv = %g, want 1", tv)
+	}
+	if tv := TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5}); tv != 0 {
+		t.Errorf("identical distributions: tv = %g, want 0", tv)
+	}
+}

@@ -1,0 +1,59 @@
+package stg_test
+
+import (
+	"fmt"
+	"log"
+
+	"selfheal/internal/stg"
+)
+
+// Example solves the paper's Case 5 configuration: a healthy recovery
+// system at λ=1 with μ₁=15, ξ₁=20 and buffer 15.
+func Example() {
+	m, err := stg.New(stg.Square(1, 15, 20, 15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(NORMAL) = %.2f\n", met.PNormal)
+	fmt.Printf("loss probability = %.4f\n", met.Loss)
+	// Output:
+	// P(NORMAL) = 0.85
+	// loss probability = 0.0064
+}
+
+// ExampleModel_Transient inspects the poor system of Case 6 after 100 time
+// units of sustained overload.
+func ExampleModel_Transient() {
+	m, err := stg.New(stg.Square(1, 2, 3, 15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, err := m.Transient(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	met := m.MetricsOf(pi)
+	fmt.Printf("loss probability after 100 units = %.2f\n", met.Loss)
+	// Output:
+	// loss probability after 100 units = 0.91
+}
+
+// ExampleModel_MeanTimeToLoss answers Case 6's resistance question exactly:
+// how long until the first alert is expected to be lost.
+func ExampleModel_MeanTimeToLoss() {
+	m, err := stg.New(stg.Square(1, 2, 3, 15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mttl, err := m.MeanTimeToLoss()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected time to first lost alert = %.0f time units\n", mttl)
+	// Output:
+	// expected time to first lost alert = 27 time units
+}

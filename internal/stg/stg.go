@@ -1,0 +1,321 @@
+// Package stg builds the state-transition graph of the attack recovery
+// system (Fig 3 of the paper) and exposes the derived CTMC together with the
+// paper's metrics: loss probability (Definition 3), ε-convergence
+// (Definition 4), the NORMAL/SCAN/RECOVERY occupancy split, and expected
+// queue lengths.
+//
+// A state is a pair (a, r): a IDS alerts queued, r units of recovery tasks
+// queued. The transition rules follow §IV.C–E:
+//
+//   - Alert arrival, rate λ: (a, r) → (a+1, r) while a < AlertBuf; arrivals
+//     in states with a = AlertBuf are lost (the right edge of the STG).
+//   - Scan (the analyzer turns one alert into one unit of recovery tasks),
+//     rate μ_a = F(μ₁, a): (a, r) → (a−1, r+1) while a > 0 and
+//     r < RecoveryBuf. The rate index is the analyzer's own queue length
+//     (§IV.D: processing time grows with the number of queued items).
+//   - Recovery execution, rate ξ_r = G(ξ₁, r): (0, r) → (0, r−1) while
+//     r > 0 — recovery tasks do not execute in SCAN states (§IV.C).
+//   - Drain: when the recovery buffer is full the analyzer is blocked
+//     (§IV.E), and the scheduler executes recovery tasks even though alerts
+//     are queued: (a, RecoveryBuf) → (a, RecoveryBuf−1) at rate
+//     ξ_{RecoveryBuf}. The paper's prose leaves this corner implicit; without
+//     it the state (AlertBuf, RecoveryBuf) would be absorbing and every
+//     steady state would have loss probability 1, contradicting §V. See
+//     DESIGN.md ("STG deadlock completion").
+package stg
+
+import (
+	"fmt"
+	"math"
+
+	"selfheal/internal/ctmc"
+	"selfheal/internal/mat"
+)
+
+// Degradation maps the base rate and the queue-length index k (1-based) to
+// the effective processing rate: the paper's f(μ₁, k) and g(ξ₁, k).
+type Degradation func(base float64, k int) float64
+
+// Degradation families used across the paper's Figure 4 panels.
+var (
+	// DegradeNone keeps the rate constant: no performance degradation.
+	DegradeNone Degradation = func(base float64, _ int) float64 { return base }
+	// DegradeSqrt divides by √k: slow degradation (Fig 4(a) regime).
+	DegradeSqrt Degradation = func(base float64, k int) float64 { return base / math.Sqrt(float64(k)) }
+	// DegradeLinear divides by k: the μ_k = μ₁/k of §V.A.2.
+	DegradeLinear Degradation = func(base float64, k int) float64 { return base / float64(k) }
+	// DegradeQuad divides by k²: fast degradation (Fig 4(c) regime).
+	DegradeQuad Degradation = func(base float64, k int) float64 { return base / float64(k*k) }
+)
+
+// DegradationByName resolves a family name used by the CLI tools.
+func DegradationByName(name string) (Degradation, error) {
+	switch name {
+	case "none":
+		return DegradeNone, nil
+	case "sqrt":
+		return DegradeSqrt, nil
+	case "linear":
+		return DegradeLinear, nil
+	case "quad", "quadratic":
+		return DegradeQuad, nil
+	default:
+		return nil, fmt.Errorf("stg: unknown degradation family %q (want none, sqrt, linear, quad)", name)
+	}
+}
+
+// Params configures the recovery-system model.
+type Params struct {
+	// Lambda is the IDS-alert arrival rate λ.
+	Lambda float64
+	// Mu1 is the alert-analysis rate μ₁ with one item queued.
+	Mu1 float64
+	// Xi1 is the recovery-execution rate ξ₁ with one unit queued.
+	Xi1 float64
+	// AlertBuf is the IDS-alert buffer size (columns of the STG).
+	AlertBuf int
+	// RecoveryBuf is the recovery-task buffer size (rows of the STG).
+	RecoveryBuf int
+	// F degrades μ with the recovery-queue length; nil means linear.
+	F Degradation
+	// G degrades ξ with the recovery-queue length; nil means linear.
+	G Degradation
+}
+
+// Square returns the n-rows-by-n-columns parameterization of §IV.E with the
+// linear degradation of §V.A.2.
+func Square(lambda, mu1, xi1 float64, n int) Params {
+	return Params{Lambda: lambda, Mu1: mu1, Xi1: xi1, AlertBuf: n, RecoveryBuf: n}
+}
+
+// State is one node of the STG.
+type State struct {
+	// Alerts is the number of queued IDS alerts.
+	Alerts int
+	// Recovery is the number of queued recovery-task units.
+	Recovery int
+}
+
+// Class is the paper's three-way state classification (§IV.C).
+type Class int
+
+// State classes.
+const (
+	Normal Class = iota
+	Scan
+	Recovery
+)
+
+func (c Class) String() string {
+	switch c {
+	case Normal:
+		return "NORMAL"
+	case Scan:
+		return "SCAN"
+	case Recovery:
+		return "RECOVERY"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify returns the class of a state: NORMAL is (0,0), SCAN has alerts
+// queued, RECOVERY has only recovery units queued.
+func (s State) Classify() Class {
+	switch {
+	case s.Alerts > 0:
+		return Scan
+	case s.Recovery > 0:
+		return Recovery
+	default:
+		return Normal
+	}
+}
+
+// Model is the recovery-system STG with its derived CTMC.
+type Model struct {
+	p      Params
+	states []State
+	chain  *ctmc.Chain
+}
+
+// New validates the parameters and builds the model.
+func New(p Params) (*Model, error) {
+	if p.Lambda < 0 || p.Mu1 <= 0 || p.Xi1 <= 0 {
+		return nil, fmt.Errorf("stg: rates must be positive (λ≥0), got λ=%g μ₁=%g ξ₁=%g", p.Lambda, p.Mu1, p.Xi1)
+	}
+	if p.AlertBuf < 1 || p.RecoveryBuf < 1 {
+		return nil, fmt.Errorf("stg: buffer sizes must be ≥1, got alerts=%d recovery=%d", p.AlertBuf, p.RecoveryBuf)
+	}
+	if p.F == nil {
+		p.F = DegradeLinear
+	}
+	if p.G == nil {
+		p.G = DegradeLinear
+	}
+	m := &Model{p: p}
+	for a := 0; a <= p.AlertBuf; a++ {
+		for r := 0; r <= p.RecoveryBuf; r++ {
+			m.states = append(m.states, State{Alerts: a, Recovery: r})
+		}
+	}
+	n := len(m.states)
+	q := mat.NewDense(n, n)
+	add := func(from, to int, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		q.Add(from, to, rate)
+		q.Add(from, from, -rate)
+	}
+	for i, s := range m.states {
+		// Arrival.
+		if s.Alerts < p.AlertBuf {
+			add(i, m.Index(s.Alerts+1, s.Recovery), p.Lambda)
+		}
+		// Scan.
+		if s.Alerts > 0 && s.Recovery < p.RecoveryBuf {
+			add(i, m.Index(s.Alerts-1, s.Recovery+1), p.F(p.Mu1, s.Alerts))
+		}
+		// Recovery execution: only in RECOVERY states — or as the
+		// forced drain when the recovery buffer is full.
+		if s.Recovery > 0 && (s.Alerts == 0 || s.Recovery == p.RecoveryBuf) {
+			add(i, m.Index(s.Alerts, s.Recovery-1), p.G(p.Xi1, s.Recovery))
+		}
+	}
+	chain, err := ctmc.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("stg: %w", err)
+	}
+	m.chain = chain
+	return m, nil
+}
+
+// Params returns the model's parameters (with defaults applied).
+func (m *Model) Params() Params { return m.p }
+
+// N returns the number of STG states.
+func (m *Model) N() int { return len(m.states) }
+
+// States returns the states in index order.
+func (m *Model) States() []State { return append([]State(nil), m.states...) }
+
+// Index maps (alerts, recovery) to the state index.
+func (m *Model) Index(alerts, recovery int) int {
+	if alerts < 0 || alerts > m.p.AlertBuf || recovery < 0 || recovery > m.p.RecoveryBuf {
+		panic(fmt.Sprintf("stg: state (%d,%d) out of range", alerts, recovery))
+	}
+	return alerts*(m.p.RecoveryBuf+1) + recovery
+}
+
+// Chain returns the derived CTMC.
+func (m *Model) Chain() *ctmc.Chain { return m.chain }
+
+// InitialNormal returns the distribution concentrated on the NORMAL state.
+func (m *Model) InitialNormal() []float64 {
+	pi := make([]float64, len(m.states))
+	pi[m.Index(0, 0)] = 1
+	return pi
+}
+
+// SteadyState solves Equation 1 for the model.
+func (m *Model) SteadyState() ([]float64, error) {
+	return m.chain.SteadyState()
+}
+
+// Metrics are the paper's observables for one state distribution.
+type Metrics struct {
+	// PNormal, PScan, PRecovery is the class occupancy split.
+	PNormal, PScan, PRecovery float64
+	// Loss is Definition 3's loss probability: mass on the right edge of
+	// the STG (alert buffer full, arrivals lost).
+	Loss float64
+	// RecoveryFull is the mass on states with a full recovery-task
+	// buffer (the condition that blocks the analyzer, §IV.E).
+	RecoveryFull float64
+	// EAlerts and ERecovery are the expected queue lengths.
+	EAlerts, ERecovery float64
+}
+
+// MetricsOf computes the observables of a distribution over the STG states.
+func (m *Model) MetricsOf(pi []float64) Metrics {
+	if len(pi) != len(m.states) {
+		panic(fmt.Sprintf("stg: distribution length %d != %d states", len(pi), len(m.states)))
+	}
+	var out Metrics
+	for i, s := range m.states {
+		p := pi[i]
+		switch s.Classify() {
+		case Normal:
+			out.PNormal += p
+		case Scan:
+			out.PScan += p
+		case Recovery:
+			out.PRecovery += p
+		}
+		if s.Alerts == m.p.AlertBuf {
+			out.Loss += p
+		}
+		if s.Recovery == m.p.RecoveryBuf {
+			out.RecoveryFull += p
+		}
+		out.EAlerts += float64(s.Alerts) * p
+		out.ERecovery += float64(s.Recovery) * p
+	}
+	return out
+}
+
+// SteadyMetrics solves the steady state and returns its metrics.
+func (m *Model) SteadyMetrics() (Metrics, error) {
+	pi, err := m.SteadyState()
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.MetricsOf(pi), nil
+}
+
+// LossProbability is Definition 3 for an explicit distribution.
+func (m *Model) LossProbability(pi []float64) float64 {
+	return m.MetricsOf(pi).Loss
+}
+
+// EpsilonConvergence returns the ε of Definition 4: the steady-state loss
+// probability.
+func (m *Model) EpsilonConvergence() (float64, error) {
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		return 0, err
+	}
+	return met.Loss, nil
+}
+
+// MeanTimeToLoss returns the expected time, starting from the NORMAL state,
+// until the system first reaches the right edge of the STG (alert buffer
+// full — the first moment an arriving alert would be lost). This is the
+// exact formalization of the paper's Case 6 question "how long the system
+// can resist a specific high attacking rate". Lambda must be positive: a
+// system without arrivals never reaches the edge.
+func (m *Model) MeanTimeToLoss() (float64, error) {
+	if m.p.Lambda <= 0 {
+		return 0, fmt.Errorf("stg: mean time to loss undefined at λ=%g", m.p.Lambda)
+	}
+	target := make([]bool, len(m.states))
+	for i, s := range m.states {
+		target[i] = s.Alerts == m.p.AlertBuf
+	}
+	h, err := m.chain.MeanFirstPassage(target)
+	if err != nil {
+		return 0, err
+	}
+	return h[m.Index(0, 0)], nil
+}
+
+// Transient returns π(t) from the NORMAL state (Equation 2).
+func (m *Model) Transient(t float64) ([]float64, error) {
+	return m.chain.Transient(m.InitialNormal(), t, 1e-12)
+}
+
+// CumulativeTime returns l(t) from the NORMAL state (Equation 3).
+func (m *Model) CumulativeTime(t float64) ([]float64, error) {
+	return m.chain.CumulativeTime(m.InitialNormal(), t, 1e-12)
+}

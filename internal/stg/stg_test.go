@@ -1,0 +1,510 @@
+package stg
+
+import (
+	"math"
+	"testing"
+
+	"selfheal/internal/mat"
+)
+
+func mustModel(t *testing.T, p Params) *Model {
+	t.Helper()
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Params{Lambda: 1, Mu1: 0, Xi1: 1, AlertBuf: 2, RecoveryBuf: 2}); err == nil {
+		t.Error("μ₁=0 accepted")
+	}
+	if _, err := New(Params{Lambda: 1, Mu1: 1, Xi1: 1, AlertBuf: 0, RecoveryBuf: 2}); err == nil {
+		t.Error("zero alert buffer accepted")
+	}
+	if _, err := New(Square(1, 15, 20, 4)); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestStateSpaceAndIndex(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 3))
+	if m.N() != 16 {
+		t.Fatalf("N = %d, want 16 (4x4)", m.N())
+	}
+	states := m.States()
+	for i, s := range states {
+		if m.Index(s.Alerts, s.Recovery) != i {
+			t.Errorf("index mismatch at %v", s)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		s    State
+		want Class
+	}{
+		{State{0, 0}, Normal},
+		{State{1, 0}, Scan},
+		{State{3, 2}, Scan},
+		{State{0, 1}, Recovery},
+		{State{0, 5}, Recovery},
+	}
+	for _, c := range cases {
+		if got := c.s.Classify(); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if Normal.String() != "NORMAL" || Scan.String() != "SCAN" || Recovery.String() != "RECOVERY" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestDegradationFamilies(t *testing.T) {
+	if DegradeNone(10, 5) != 10 {
+		t.Error("none degrades")
+	}
+	if math.Abs(DegradeSqrt(10, 4)-5) > 1e-12 {
+		t.Error("sqrt(4) wrong")
+	}
+	if DegradeLinear(10, 5) != 2 {
+		t.Error("linear wrong")
+	}
+	if DegradeQuad(10, 2) != 2.5 {
+		t.Error("quad wrong")
+	}
+	for _, name := range []string{"none", "sqrt", "linear", "quad", "quadratic"} {
+		if _, err := DegradationByName(name); err != nil {
+			t.Errorf("family %q rejected: %v", name, err)
+		}
+	}
+	if _, err := DegradationByName("cubic"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestSteadyStateIsDistribution(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 10))
+	pi, err := m.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mat.Sum(pi)-1) > 1e-9 {
+		t.Errorf("Σπ = %g", mat.Sum(pi))
+	}
+	for i, p := range pi {
+		if p < 0 {
+			t.Errorf("π[%d] = %g < 0", i, p)
+		}
+	}
+	met := m.MetricsOf(pi)
+	if s := met.PNormal + met.PScan + met.PRecovery; math.Abs(s-1) > 1e-9 {
+		t.Errorf("class split sums to %g", s)
+	}
+}
+
+// TestGoodSystemSteadyState encodes the paper's Case 2 remark: with λ < 1,
+// μ₁ = 15, ξ₁ = 20 and buffer 15 the system stays NORMAL with probability
+// > 0.8 and the loss probability is very low.
+func TestGoodSystemSteadyState(t *testing.T) {
+	for _, lambda := range []float64{0.25, 0.5, 1} {
+		m := mustModel(t, Square(lambda, 15, 20, 15))
+		met, err := m.SteadyMetrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.PNormal <= 0.8 {
+			t.Errorf("λ=%g: P(NORMAL) = %g, want > 0.8", lambda, met.PNormal)
+		}
+		if met.Loss >= 0.01 {
+			t.Errorf("λ=%g: loss = %g, want < 1%%", lambda, met.Loss)
+		}
+		if met.EAlerts >= 1 || met.ERecovery >= 1 {
+			t.Errorf("λ=%g: E[alerts]=%g E[recovery]=%g, want < 1", lambda, met.EAlerts, met.ERecovery)
+		}
+	}
+}
+
+// TestOverloadedSystemSteadyState encodes the λ > 1.5 regime of Case 2: loss
+// grows and the NORMAL probability collapses.
+func TestOverloadedSystemSteadyState(t *testing.T) {
+	m := mustModel(t, Square(4, 15, 20, 15))
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PNormal >= 0.2 {
+		t.Errorf("P(NORMAL) = %g under λ=4, want collapse", met.PNormal)
+	}
+	if met.Loss <= 0.3 {
+		t.Errorf("loss = %g under λ=4, want large", met.Loss)
+	}
+	if met.RecoveryFull <= 0.3 {
+		t.Errorf("recovery-queue-full mass = %g, want substantial", met.RecoveryFull)
+	}
+	// Case 2's remark: the recovery queue is pinned near full.
+	if met.ERecovery <= 0.9*15 {
+		t.Errorf("E[recovery] = %g, want near buffer size 15", met.ERecovery)
+	}
+}
+
+// TestLossMonotoneInLambda: more attacks, more loss.
+func TestLossMonotoneInLambda(t *testing.T) {
+	prev := -1.0
+	for _, lambda := range []float64{0.25, 0.5, 1, 1.5, 2, 3, 4} {
+		m := mustModel(t, Square(lambda, 15, 20, 15))
+		met, err := m.SteadyMetrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.Loss < prev-1e-12 {
+			t.Errorf("loss not monotone at λ=%g: %g < %g", lambda, met.Loss, prev)
+		}
+		prev = met.Loss
+	}
+}
+
+// TestDegradationOrdering: faster degradation ⇒ at least as much loss, at a
+// fixed buffer size.
+func TestDegradationOrdering(t *testing.T) {
+	families := []Degradation{DegradeNone, DegradeSqrt, DegradeLinear, DegradeQuad}
+	prev := -1.0
+	for i, fam := range families {
+		p := Square(1, 15, 20, 12)
+		p.F, p.G = fam, fam
+		m := mustModel(t, p)
+		met, err := m.SteadyMetrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.Loss < prev-1e-12 {
+			t.Errorf("family %d: loss %g below previous %g", i, met.Loss, prev)
+		}
+		prev = met.Loss
+	}
+}
+
+// TestFig4Shapes encodes the Remark of §V.A.1: with slow degradation the
+// loss probability keeps falling as the buffer grows; with fast degradation
+// it reaches a minimum and then rises; degrading μ faster than ξ beats the
+// contrary assignment.
+func TestFig4Shapes(t *testing.T) {
+	loss := func(f, g Degradation, buf int) float64 {
+		p := Square(1, 15, 20, buf)
+		p.F, p.G = f, g
+		m := mustModel(t, p)
+		met, err := m.SteadyMetrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met.Loss
+	}
+
+	// Slow degradation: monotone decreasing in buffer size.
+	prev := math.Inf(1)
+	for _, buf := range []int{2, 4, 8, 16, 30} {
+		l := loss(DegradeSqrt, DegradeSqrt, buf)
+		if l > prev+1e-12 {
+			t.Errorf("sqrt family: loss rose from %g to %g at buf=%d", prev, l, buf)
+		}
+		prev = l
+	}
+
+	// Fast degradation: the large-buffer loss exceeds the best
+	// small-buffer loss (the "too large queues hurt" effect).
+	best := math.Inf(1)
+	bestBuf := 0
+	for buf := 2; buf <= 30; buf++ {
+		if l := loss(DegradeQuad, DegradeQuad, buf); l < best {
+			best, bestBuf = l, buf
+		}
+	}
+	l30 := loss(DegradeQuad, DegradeQuad, 30)
+	if !(bestBuf < 30 && l30 > best*1.05) {
+		t.Errorf("quad family: no interior optimum (best %g at buf=%d, loss(30)=%g)", best, bestBuf, l30)
+	}
+
+	// μ degrading faster than ξ is better than the contrary (Fig 4(d) vs
+	// its mirror) in the operating regime before saturation; at very
+	// large buffers both saturate above 0.9 and the distinction vanishes.
+	for _, buf := range []int{6, 8} {
+		muFaster := loss(DegradeQuad, DegradeLinear, buf)
+		xiFaster := loss(DegradeLinear, DegradeQuad, buf)
+		if muFaster >= xiFaster {
+			t.Errorf("buf=%d: μ-faster loss %g not better than ξ-faster %g", buf, muFaster, xiFaster)
+		}
+	}
+	// And μ-faster strictly beats the symmetric fast case of Fig 4(c).
+	if a, c := loss(DegradeQuad, DegradeLinear, 10), loss(DegradeQuad, DegradeQuad, 10); a >= c {
+		t.Errorf("Fig 4(d) %g not better than Fig 4(c) %g", a, c)
+	}
+}
+
+// TestCase6PoorSystemTransient encodes the paper's Case 6 (λ=1, μ₁=2, ξ₁=3,
+// buffer 15): the system resists the overload for about 5 time units, then
+// the loss probability climbs quickly (< 30 time units) and settles in the
+// 0.9–1 range; most cumulative time is eventually spent at the right edge.
+func TestCase6PoorSystemTransient(t *testing.T) {
+	m := mustModel(t, Square(1, 2, 3, 15))
+	at := func(tm float64) Metrics {
+		pi, err := m.Transient(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MetricsOf(pi)
+	}
+	if l := at(5).Loss; l >= 0.01 {
+		t.Errorf("loss(5) = %g, want still negligible (≈5 units of resistance)", l)
+	}
+	if l := at(30).Loss; l <= 0.3 {
+		t.Errorf("loss(30) = %g, want a fast climb", l)
+	}
+	m100 := at(100)
+	if m100.Loss < 0.9 || m100.Loss > 1 {
+		t.Errorf("loss(100) = %g, want in [0.9, 1]", m100.Loss)
+	}
+	if m100.PNormal > 0.001 {
+		t.Errorf("P(NORMAL)(100) = %g, want ≈0 (100%% degradation)", m100.PNormal)
+	}
+	// Cumulative time at the right edge dominates the horizon.
+	l, err := m.CumulativeTime(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edge float64
+	for i, s := range m.States() {
+		if s.Alerts == m.Params().AlertBuf {
+			edge += l[i]
+		}
+	}
+	if edge < 50 {
+		t.Errorf("right-edge cumulative time = %g of 100, want the majority", edge)
+	}
+}
+
+// TestCase5GoodSystemTransient encodes Case 5 (λ=1, μ₁=15, ξ₁=20): the
+// system enters its steady state very quickly, keeps P(NORMAL) high and has
+// an unnoticeable loss probability throughout the 4-unit horizon.
+func TestCase5GoodSystemTransient(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 15))
+	ss, err := m.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi1, err := m.Transient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.L1Dist(pi1, ss); d > 0.05 {
+		t.Errorf("π(1) is %g away from steady state, want fast convergence", d)
+	}
+	for _, tm := range []float64{0.5, 1, 2, 4} {
+		pi, err := m.Transient(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		met := m.MetricsOf(pi)
+		if met.Loss > 1e-6 {
+			t.Errorf("loss(%g) = %g, want unnoticeable", tm, met.Loss)
+		}
+		if met.PNormal < 0.8 {
+			t.Errorf("P(NORMAL)(%g) = %g, want > 0.8", tm, met.PNormal)
+		}
+	}
+	// Most of the 4 units are spent executing normal tasks.
+	l, err := m.CumulativeTime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := l[m.Index(0, 0)] / 4; frac < 0.8 {
+		t.Errorf("NORMAL cumulative share = %g, want > 0.8", frac)
+	}
+}
+
+// TestTransientStartsNormalAndReachesSteady: Equation 2 from the NORMAL
+// state converges to Equation 1's solution.
+func TestTransientStartsNormalAndReachesSteady(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 8))
+	pi0, err := m.Transient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi0[m.Index(0, 0)] != 1 {
+		t.Errorf("π(0) not concentrated on NORMAL: %v", pi0[m.Index(0, 0)])
+	}
+	long, err := m.Transient(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := m.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.L1Dist(long, ss); d > 1e-6 {
+		t.Errorf("π(500) vs steady distance %g", d)
+	}
+}
+
+// TestCumulativeTimeTotals: Σ l_i(t) = t, and the NORMAL share dominates for
+// a good system.
+func TestCumulativeTimeTotals(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 8))
+	const horizon = 4.0
+	l, err := m.CumulativeTime(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mat.Sum(l)-horizon) > 1e-8 {
+		t.Errorf("Σl = %g, want %g", mat.Sum(l), horizon)
+	}
+	if frac := l[m.Index(0, 0)] / horizon; frac < 0.75 {
+		t.Errorf("NORMAL got %g of the time, want most of it", frac)
+	}
+}
+
+// TestEpsilonConvergence: Definition 4 equals the steady-state loss.
+func TestEpsilonConvergence(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 15))
+	eps, err := m.EpsilonConvergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != met.Loss {
+		t.Errorf("ε = %g, loss = %g", eps, met.Loss)
+	}
+}
+
+// TestDrainRuleKeepsChainIrreducible: the corner state (AlertBuf,
+// RecoveryBuf) must not be absorbing — the DESIGN.md deadlock completion.
+func TestDrainRuleKeepsChainIrreducible(t *testing.T) {
+	m := mustModel(t, Square(2, 3, 4, 3))
+	q := m.Chain().Generator()
+	corner := m.Index(3, 3)
+	if q.At(corner, corner) >= 0 {
+		t.Fatal("corner state is absorbing; drain rule missing")
+	}
+	// Drain target is (3, 2).
+	if q.At(corner, m.Index(3, 2)) <= 0 {
+		t.Error("corner does not drain to (alerts, recovery-1)")
+	}
+	// And the steady state must put nonzero mass on NORMAL (the chain
+	// returns from the corner).
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PNormal <= 0 {
+		t.Error("steady state never returns to NORMAL")
+	}
+}
+
+// TestNoScanWhenRecoveryFull: §IV.E — a full recovery buffer blocks the
+// analyzer.
+func TestNoScanWhenRecoveryFull(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 3))
+	q := m.Chain().Generator()
+	from := m.Index(2, 3)
+	// No transition (2,3) → (1, 4): index would panic; check instead that
+	// the only outflows are arrival and drain.
+	wantOut := map[int]bool{
+		m.Index(3, 3): true, // arrival
+		m.Index(2, 2): true, // drain
+	}
+	for j := 0; j < m.N(); j++ {
+		if j == from {
+			continue
+		}
+		if q.At(from, j) > 0 && !wantOut[j] {
+			t.Errorf("unexpected transition from (2,3) to state %d (%v)", j, m.States()[j])
+		}
+	}
+}
+
+// TestNoRecoveryDuringScan: §IV.C — recovery tasks do not execute while
+// alerts are queued (below the full-buffer drain).
+func TestNoRecoveryDuringScan(t *testing.T) {
+	m := mustModel(t, Square(1, 15, 20, 3))
+	q := m.Chain().Generator()
+	from := m.Index(2, 1) // SCAN with recovery queued, buffer not full
+	if q.At(from, m.Index(2, 0)) > 0 {
+		t.Error("recovery executed during SCAN")
+	}
+}
+
+// TestMeanTimeToLoss formalizes Case 6's resistance question: the poor
+// system under λ=1 first fills its alert buffer in the tens of time units;
+// the good system's expected time to first loss is astronomically long; and
+// a higher attack rate shortens the time.
+func TestMeanTimeToLoss(t *testing.T) {
+	poor := mustModel(t, Square(1, 2, 3, 15))
+	tp, err := poor.MeanTimeToLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp < 5 || tp > 200 {
+		t.Errorf("poor system mean time to loss = %g, want tens of units", tp)
+	}
+	good := mustModel(t, Square(1, 15, 20, 15))
+	tg, err := good.MeanTimeToLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg < 1e3 {
+		t.Errorf("good system mean time to loss = %g, want very large", tg)
+	}
+	faster := mustModel(t, Square(2, 2, 3, 15))
+	tf, err := faster.MeanTimeToLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf >= tp {
+		t.Errorf("doubling λ did not shorten time to loss: %g vs %g", tf, tp)
+	}
+	if _, err := mustModel(t, Params{Lambda: 0, Mu1: 1, Xi1: 1, AlertBuf: 2, RecoveryBuf: 2}).MeanTimeToLoss(); err == nil {
+		t.Error("λ=0 accepted")
+	}
+}
+
+// TestAsymmetricBuffers: AlertBuf ≠ RecoveryBuf is supported directly; the
+// drain rule applies at the recovery buffer's own bound.
+func TestAsymmetricBuffers(t *testing.T) {
+	p := Params{Lambda: 1, Mu1: 15, Xi1: 20, AlertBuf: 6, RecoveryBuf: 3}
+	m := mustModel(t, p)
+	if m.N() != 7*4 {
+		t.Fatalf("N = %d, want 28", m.N())
+	}
+	q := m.Chain().Generator()
+	// Drain fires at r = 3 with alerts pending.
+	from := m.Index(2, 3)
+	if q.At(from, m.Index(2, 2)) <= 0 {
+		t.Error("drain missing at asymmetric recovery bound")
+	}
+	// No scan beyond the recovery bound.
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Loss < 0 || met.Loss > 1 {
+		t.Errorf("loss = %g", met.Loss)
+	}
+	// Loss states are defined by the alert bound, not the recovery bound.
+	pi, err := m.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edge float64
+	for i, s := range m.States() {
+		if s.Alerts == 6 {
+			edge += pi[i]
+		}
+	}
+	if diff := edge - met.Loss; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("loss %g != alert-edge mass %g", met.Loss, edge)
+	}
+}

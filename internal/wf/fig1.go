@@ -1,0 +1,75 @@
+package wf
+
+import "selfheal/internal/data"
+
+// Fig1Specs returns the two workflows of the paper's Figure 1.
+//
+// Workflow wf1: t1 → t2, t2 chooses t3 (attack path P1) or t5 (clean path
+// P2); t3 → t4 → t6 and t5 → t6; t6 is the end. Workflow wf2 is the linear
+// t7 → t8 → t9 → t10 processed concurrently. The data flow is arranged so
+// that the paper's narrative holds exactly:
+//
+//   - t1 writes a. The attack corrupts t1's execution (a = 100 instead of 1).
+//   - t2 reads a, writes b = a+1, and chooses t5 when a < 50, t3 otherwise:
+//     the corrupted a drives the execution down the wrong path P1.
+//   - t3 reads nothing and writes c = 42: it computes correctly and is only
+//     control dependent on t2, making it the paper's condition-2 candidate
+//     (undone because the re-execution leaves the path, yet never wrong in
+//     its own computation).
+//   - t4 reads b and c, writes d: infected through flow from t2 (cond 3).
+//   - t5 reads b, writes e (never executed in the attacked run).
+//   - t6 reads e, writes f: flow dependent on the unexecuted t5, so it is a
+//     condition-4 undo candidate.
+//   - t7 writes g; t8 reads a and g (infected by t1); t9 reads g (clean);
+//     t10 reads h from t8 (transitively infected).
+//
+// Initial values required: e = 0 (read by t6 when t5 never ran).
+func Fig1Specs() (wf1, wf2 *Spec) {
+	wf1 = NewBuilder("wf1", "t1").
+		Task("t1").Writes("a").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"a": 1}
+		}).Then("t2").
+		End().Task("t2").Reads("a").Writes("b").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"b": r["a"] + 1}
+		}).Then("t3", "t5").
+		ChooseBy(ThresholdChoose("a", 50, "t5", "t3")).
+		End().Task("t3").Writes("c").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"c": 42}
+		}).Then("t4").
+		End().Task("t4").Reads("b", "c").Writes("d").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"d": r["b"] + r["c"]}
+		}).Then("t6").
+		End().Task("t5").Reads("b").Writes("e").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"e": r["b"] + 5}
+		}).Then("t6").
+		End().Task("t6").Reads("e").Writes("f").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"f": r["e"] + 7}
+		}).
+		End().MustBuild()
+
+	wf2 = NewBuilder("wf2", "t7").
+		Task("t7").Writes("g").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"g": 3}
+		}).Then("t8").
+		End().Task("t8").Reads("a", "g").Writes("h").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"h": r["a"] + r["g"]}
+		}).Then("t9").
+		End().Task("t9").Reads("g").Writes("i").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"i": r["g"] + 1}
+		}).Then("t10").
+		End().Task("t10").Reads("h").Writes("j").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"j": r["h"] * 2}
+		}).
+		End().MustBuild()
+	return wf1, wf2
+}

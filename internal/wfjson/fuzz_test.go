@@ -1,0 +1,36 @@
+package wfjson
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the specification parser: arbitrary input must either
+// produce a spec that passes validation or return an error — never panic,
+// never return an invalid spec.
+func FuzzDecode(f *testing.F) {
+	f.Add(fig1JSON)
+	f.Add(`{"name":"x","start":"t","tasks":[{"id":"t"}]}`)
+	f.Add(`{"name":"x","start":"t","tasks":[{"id":"t","next":["u"]},{"id":"u"}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"name":"", "start":"", "tasks":[]}`)
+	f.Add(`{"name":"x","start":"a","tasks":[{"id":"a","next":["a"]}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, init, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec without error")
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Decode returned invalid spec: %v", err)
+		}
+		for k := range init {
+			if k == "" {
+				t.Fatal("empty init key accepted")
+			}
+		}
+	})
+}

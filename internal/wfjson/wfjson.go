@@ -1,0 +1,97 @@
+// Package wfjson decodes workflow specifications from JSON for the wfrun
+// command-line tool. Task bodies are declarative: every task computes, for
+// each key in its write set, the sum of its reads plus a per-task bias
+// (wf.SumCompute); choice nodes branch on a threshold over one key
+// (wf.ThresholdChoose). This covers the value-sensitive workflows the
+// recovery theory needs while keeping specifications serializable.
+package wfjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wf"
+)
+
+// ChooseJSON declares a threshold branch: pick Low when the key's value is
+// below Threshold, High otherwise.
+type ChooseJSON struct {
+	Key       string `json:"key"`
+	Threshold int64  `json:"threshold"`
+	Low       string `json:"low"`
+	High      string `json:"high"`
+}
+
+// TaskJSON declares one task.
+type TaskJSON struct {
+	ID     string      `json:"id"`
+	Next   []string    `json:"next,omitempty"`
+	Reads  []string    `json:"reads,omitempty"`
+	Writes []string    `json:"writes,omitempty"`
+	Bias   int64       `json:"bias,omitempty"`
+	Choose *ChooseJSON `json:"choose,omitempty"`
+}
+
+// SpecJSON is the on-disk workflow format.
+type SpecJSON struct {
+	Name  string           `json:"name"`
+	Start string           `json:"start"`
+	Tasks []TaskJSON       `json:"tasks"`
+	Init  map[string]int64 `json:"init,omitempty"`
+}
+
+// Decode reads a SpecJSON and builds the validated workflow specification
+// plus the initial store values it declares.
+func Decode(r io.Reader) (*wf.Spec, map[data.Key]data.Value, error) {
+	var sj SpecJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, nil, fmt.Errorf("wfjson: %w", err)
+	}
+	return Build(&sj)
+}
+
+// Build converts a parsed SpecJSON into a validated specification.
+func Build(sj *SpecJSON) (*wf.Spec, map[data.Key]data.Value, error) {
+	spec := &wf.Spec{
+		Name:  sj.Name,
+		Start: wf.TaskID(sj.Start),
+		Tasks: make(map[wf.TaskID]*wf.Task, len(sj.Tasks)),
+	}
+	for _, tj := range sj.Tasks {
+		if tj.ID == "" {
+			return nil, nil, fmt.Errorf("wfjson: task with empty id")
+		}
+		t := &wf.Task{ID: wf.TaskID(tj.ID)}
+		for _, n := range tj.Next {
+			t.Next = append(t.Next, wf.TaskID(n))
+		}
+		for _, k := range tj.Reads {
+			t.Reads = append(t.Reads, data.Key(k))
+		}
+		for _, k := range tj.Writes {
+			t.Writes = append(t.Writes, data.Key(k))
+		}
+		t.Compute = wf.SumCompute(data.Value(tj.Bias), t.Writes...)
+		if tj.Choose != nil {
+			t.Choose = wf.ThresholdChoose(
+				data.Key(tj.Choose.Key), data.Value(tj.Choose.Threshold),
+				wf.TaskID(tj.Choose.Low), wf.TaskID(tj.Choose.High))
+		}
+		if _, dup := spec.Tasks[t.ID]; dup {
+			return nil, nil, fmt.Errorf("wfjson: duplicate task %q", tj.ID)
+		}
+		spec.Tasks[t.ID] = t
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	init := make(map[data.Key]data.Value, len(sj.Init))
+	for k, v := range sj.Init {
+		init[data.Key(k)] = data.Value(v)
+	}
+	return spec, init, nil
+}

@@ -1,0 +1,180 @@
+// Package wlog implements the workflow system log of §II.A: the commit-
+// ordered sequence of task executions across all concurrently processed
+// workflows. Each entry records the exact versions a task read (so data
+// dependencies can be computed precisely, §II.C), the values it wrote, and —
+// for choice nodes — the successor it selected (so control-dependence
+// recovery can re-check the execution path, §III.B).
+package wlog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wf"
+)
+
+// InstanceID uniquely names one execution of a task: run, task and visit
+// number (t_i^k in the paper's notation).
+type InstanceID string
+
+// FormatInstance builds the canonical instance ID "run/task#visit".
+func FormatInstance(run string, task wf.TaskID, visit int) InstanceID {
+	return InstanceID(fmt.Sprintf("%s/%s#%d", run, task, visit))
+}
+
+// ReadObs records one observed read: the value and the identity of the
+// version that supplied it. WriterPos < data.InitPos (i.e. MissingPos) means
+// the key had no version at all and the read defaulted to zero.
+type ReadObs struct {
+	Value     data.Value
+	Writer    string  // instance ID of the writing task; "" for initial versions
+	WriterPos float64 // position of the observed version
+}
+
+// MissingPos is the WriterPos recorded when a read found no version.
+const MissingPos = -1.0
+
+// Entry is one committed task execution.
+type Entry struct {
+	// LSN is the commit sequence number (1-based, dense, ascending).
+	LSN int
+	// Run identifies the workflow instance; empty for standalone forged
+	// tasks injected outside any workflow.
+	Run string
+	// Task and Visit identify the task instance within the run.
+	Task  wf.TaskID
+	Visit int
+	// Forged marks a task injected by the attacker that is not part of
+	// the workflow specification at all. Forged tasks are undone, never
+	// redone.
+	Forged bool
+	// Reads maps each key read to the observed version.
+	Reads map[data.Key]ReadObs
+	// Writes maps each key written to the committed value.
+	Writes map[data.Key]data.Value
+	// Chosen is the successor a choice node selected; empty otherwise.
+	Chosen wf.TaskID
+}
+
+// ID returns the entry's instance ID.
+func (e *Entry) ID() InstanceID {
+	return FormatInstance(e.Run, e.Task, e.Visit)
+}
+
+// Log is the append-only system log. Safe for concurrent use.
+type Log struct {
+	mu      sync.RWMutex
+	entries []*Entry
+	byInst  map[InstanceID]*Entry
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{byInst: make(map[InstanceID]*Entry)}
+}
+
+// Append commits e, assigning the next LSN. It returns the assigned LSN and
+// rejects duplicate instance IDs.
+func (l *Log) Append(e *Entry) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := e.ID()
+	if _, dup := l.byInst[id]; dup {
+		return 0, fmt.Errorf("wlog: duplicate instance %s", id)
+	}
+	e.LSN = len(l.entries) + 1
+	l.entries = append(l.entries, e)
+	l.byInst[id] = e
+	return e.LSN, nil
+}
+
+// Len returns the number of committed entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Entries returns the committed entries in LSN order. The slice is a copy;
+// the entries are shared and must be treated as immutable.
+func (l *Log) Entries() []*Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]*Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Get returns the entry for an instance ID.
+func (l *Log) Get(id InstanceID) (*Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.byInst[id]
+	return e, ok
+}
+
+// Trace returns the subsequence of the log belonging to the given run
+// (§II.A), in LSN order, excluding forged entries when withForged is false.
+func (l *Log) Trace(run string, withForged bool) []*Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []*Entry
+	for _, e := range l.entries {
+		if e.Run != run {
+			continue
+		}
+		if e.Forged && !withForged {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Runs returns the distinct non-empty run IDs appearing in the log, sorted.
+func (l *Log) Runs() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, e := range l.entries {
+		if e.Run != "" {
+			set[e.Run] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Succ returns succ(t): the set of instances committed after id within the
+// same run's trace (§II.A). Forged entries are excluded.
+func (l *Log) Succ(id InstanceID) map[InstanceID]bool {
+	l.mu.RLock()
+	e, ok := l.byInst[id]
+	l.mu.RUnlock()
+	out := make(map[InstanceID]bool)
+	if !ok {
+		return out
+	}
+	for _, s := range l.Trace(e.Run, false) {
+		if s.LSN > e.LSN {
+			out[s.ID()] = true
+		}
+	}
+	return out
+}
+
+// Precedes reports a ≺ b: a committed before b (§II.B). Unknown instances
+// never precede anything.
+func (l *Log) Precedes(a, b InstanceID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	ea, oka := l.byInst[a]
+	eb, okb := l.byInst[b]
+	return oka && okb && ea.LSN < eb.LSN
+}

@@ -1,0 +1,124 @@
+package wlog
+
+import (
+	"testing"
+)
+
+func mustAppend(t *testing.T, l *Log, e *Entry) {
+	t.Helper()
+	if _, err := l.Append(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatInstance(t *testing.T) {
+	id := FormatInstance("r1", "t3", 2)
+	if id != "r1/t3#2" {
+		t.Errorf("id = %s", id)
+	}
+}
+
+func TestAppendAssignsDenseLSNs(t *testing.T) {
+	l := New()
+	for i := 1; i <= 5; i++ {
+		e := &Entry{Run: "r", Task: "t", Visit: i}
+		lsn, err := l.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != i || e.LSN != i {
+			t.Errorf("append %d: lsn = %d", i, lsn)
+		}
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestAppendRejectsDuplicates(t *testing.T) {
+	l := New()
+	mustAppend(t, l, &Entry{Run: "r", Task: "t1", Visit: 1})
+	if _, err := l.Append(&Entry{Run: "r", Task: "t1", Visit: 1}); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+	// Same task, different visit is fine.
+	mustAppend(t, l, &Entry{Run: "r", Task: "t1", Visit: 2})
+}
+
+func TestTraceAndRuns(t *testing.T) {
+	l := New()
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t1", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r2", Task: "t7", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t2", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r1", Task: "evil", Visit: 1, Forged: true})
+
+	tr := l.Trace("r1", false)
+	if len(tr) != 2 || tr[0].Task != "t1" || tr[1].Task != "t2" {
+		t.Errorf("trace = %v", tr)
+	}
+	if got := len(l.Trace("r1", true)); got != 3 {
+		t.Errorf("trace with forged: %d entries, want 3", got)
+	}
+	runs := l.Runs()
+	if len(runs) != 2 || runs[0] != "r1" || runs[1] != "r2" {
+		t.Errorf("runs = %v", runs)
+	}
+}
+
+func TestSucc(t *testing.T) {
+	l := New()
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t1", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r2", Task: "t7", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t2", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t3", Visit: 1})
+
+	succ := l.Succ(FormatInstance("r1", "t1", 1))
+	// succ is within the run's trace only (§II.A): t7 excluded.
+	if len(succ) != 2 || !succ[FormatInstance("r1", "t2", 1)] || !succ[FormatInstance("r1", "t3", 1)] {
+		t.Errorf("succ = %v", succ)
+	}
+	if len(l.Succ("r9/tx#1")) != 0 {
+		t.Error("succ of unknown instance not empty")
+	}
+}
+
+func TestPrecedes(t *testing.T) {
+	l := New()
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t1", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r2", Task: "t7", Visit: 1})
+
+	a := FormatInstance("r1", "t1", 1)
+	b := FormatInstance("r2", "t7", 1)
+	if !l.Precedes(a, b) {
+		t.Error("t1 should precede t7 (cross-workflow precedence, §II.B)")
+	}
+	if l.Precedes(b, a) {
+		t.Error("precedence is asymmetric")
+	}
+	if l.Precedes(a, "r9/zz#1") {
+		t.Error("unknown instance cannot be preceded")
+	}
+}
+
+func TestEntriesIsCopy(t *testing.T) {
+	l := New()
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t1", Visit: 1})
+	es := l.Entries()
+	es[0] = nil
+	if got := l.Entries(); got[0] == nil {
+		t.Error("Entries exposes internal slice")
+	}
+}
+
+func TestGet(t *testing.T) {
+	l := New()
+	e := &Entry{Run: "r1", Task: "t1", Visit: 1}
+	mustAppend(t, l, e)
+	got, ok := l.Get(e.ID())
+	if !ok || got != e {
+		t.Error("Get did not return the appended entry")
+	}
+	if _, ok := l.Get("nope"); ok {
+		t.Error("Get on unknown instance reported ok")
+	}
+}

@@ -1,0 +1,236 @@
+package wlogio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+func TestRoundTripFig1(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, s.Log(), s.Store()); err != nil {
+		t.Fatal(err)
+	}
+	log2, store2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log2.Len() != s.Log().Len() {
+		t.Fatalf("log length %d, want %d", log2.Len(), s.Log().Len())
+	}
+	for i, e := range log2.Entries() {
+		o := s.Log().Entries()[i]
+		if e.ID() != o.ID() || e.LSN != o.LSN || e.Chosen != o.Chosen || e.Forged != o.Forged {
+			t.Errorf("entry %d differs: %+v vs %+v", i, e, o)
+		}
+		for k, obs := range o.Reads {
+			if got := e.Reads[k]; got != obs {
+				t.Errorf("entry %d read %s: %+v vs %+v", i, k, got, obs)
+			}
+		}
+		for k, v := range o.Writes {
+			if e.Writes[k] != v {
+				t.Errorf("entry %d write %s differs", i, k)
+			}
+		}
+	}
+	if !data.Equal(s.Store(), store2) {
+		t.Errorf("stores differ:\n%s", data.Diff(s.Store(), store2))
+	}
+	// Version metadata round trips too.
+	for _, k := range s.Store().Keys() {
+		a, b := s.Store().Chain(k), store2.Chain(k)
+		if len(a) != len(b) {
+			t.Fatalf("chain %s length differs", k)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("chain %s version %d: %+v vs %+v", k, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRecoveryAfterReload: the real durability property — a repair computed
+// from a reloaded snapshot equals a repair computed from the live state.
+func TestRecoveryAfterReload(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, s.Log(), s.Store()); err != nil {
+		t.Fatal(err)
+	}
+	log2, store2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := recovery.Repair(store2, log2, s.Specs, s.Bad, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.Equal(live.Store, reloaded.Store) {
+		t.Errorf("reloaded repair diverged:\n%s", data.Diff(live.Store, reloaded.Store))
+	}
+	if len(live.Undone) != len(reloaded.Undone) {
+		t.Errorf("undo sets differ: %d vs %d", len(live.Undone), len(reloaded.Undone))
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "{"},
+		{"wrong format", `{"format": 99, "entries": [], "chains": {}}`},
+		{"non-dense lsn", `{"format":1,"entries":[{"lsn":2,"task":"t","visit":1}],"chains":{}}`},
+		{"duplicate instance", `{"format":1,"entries":[
+			{"lsn":1,"run":"r","task":"t","visit":1},
+			{"lsn":2,"run":"r","task":"t","visit":1}],"chains":{}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := Decode(strings.NewReader(c.in)); err == nil {
+				t.Errorf("accepted %q", c.in)
+			}
+		})
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode only the store of a fresh scenario with an empty log.
+	if err := Encode(&buf, s.Log(), s.Store()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty output")
+	}
+	if _, _, err := Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartMidWorkload is the full durability story: a workload stops
+// mid-flight, its log and store are snapshotted, a fresh process reloads
+// them, resumes the in-flight runs at their frontiers, and finishes — ending
+// in exactly the state of the uninterrupted execution.
+func TestRestartMidWorkload(t *testing.T) {
+	wf1, wf2 := wf.Fig1Specs()
+	specs := map[string]*wf.Spec{"r1": wf1, "r2": wf2}
+
+	mkEngine := func() (*engine.Engine, []*engine.Run) {
+		st := data.NewStore()
+		st.Init("e", 0)
+		eng := engine.New(st, wlog.New())
+		r1, err := eng.NewRun("r1", wf1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := eng.NewRun("r2", wf2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, []*engine.Run{r1, r2}
+	}
+
+	// Uninterrupted reference.
+	refEng, refRuns := mkEngine()
+	if err := refEng.RunAll(refRuns...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: three steps, snapshot, "restart", resume, finish.
+	eng, runs := mkEngine()
+	for _, idx := range []int{0, 1, 0} {
+		if _, err := eng.Step(runs[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, eng.Log(), eng.Store()); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, store2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := engine.New(store2, log2)
+	resumed, err := eng2.ResumeRuns(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 2 {
+		t.Fatalf("resumed %d runs, want 2", len(resumed))
+	}
+	for _, r := range resumed {
+		if r.Done() {
+			t.Errorf("run %s resumed as done", r.ID)
+		}
+	}
+	if err := eng2.RunAll(resumed...); err != nil {
+		t.Fatal(err)
+	}
+	if !data.Equal(refEng.Store(), eng2.Store()) {
+		t.Errorf("restarted execution diverged:\n%s", data.Diff(refEng.Store(), eng2.Store()))
+	}
+	if eng2.Log().Len() != refEng.Log().Len() {
+		t.Errorf("log lengths differ: %d vs %d", eng2.Log().Len(), refEng.Log().Len())
+	}
+}
+
+// TestResumeCompletedRuns: complete runs come back Done and re-running them
+// is a no-op.
+func TestResumeCompletedRuns(t *testing.T) {
+	s, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, s.Log(), s.Store()); err != nil {
+		t.Fatal(err)
+	}
+	log2, store2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := engine.New(store2, log2)
+	resumed, err := eng2.ResumeRuns(s.Specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resumed {
+		if !r.Done() {
+			t.Errorf("completed run %s resumed as in-flight", r.ID)
+		}
+	}
+	before := log2.Len()
+	if err := eng2.RunAll(resumed...); err != nil {
+		t.Fatal(err)
+	}
+	if log2.Len() != before {
+		t.Error("re-running completed runs committed new work")
+	}
+}
