@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"selfheal/internal/baseline"
 	"selfheal/internal/campaign"
 	"selfheal/internal/data"
+	"selfheal/internal/deps"
 	"selfheal/internal/design"
 	"selfheal/internal/dist"
 	"selfheal/internal/engine"
@@ -267,6 +269,109 @@ func BenchmarkAnalyzeMedium(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		recovery.Analyze(attacked.Log(), attacked.Specs, attacked.Bad)
+	}
+}
+
+// Incremental dependence analysis (the perf tentpole): per-alert damage
+// assessment over the commit-time-maintained IncrementalGraph snapshot vs
+// the batch path that rescans the whole log. The Batch/Incremental pairs
+// share identical synthetic logs; EXPERIMENTS.md records the measured ratio.
+
+// buildBenchLog commits n synthetic entries over a 256-key pool: entry i
+// (run br(i%64), task n(i/64)) reads key (13i+7)%256 observing its latest
+// writer and overwrites key (17i+3)%256, producing long tangled writer
+// chains with nontrivial flow, anti and output dependence. The reported bad
+// instance sits mid-log so the damage cone is realistic, not degenerate.
+func buildBenchLog(b *testing.B, n int) (*wlog.Log, []wlog.InstanceID) {
+	b.Helper()
+	const keys = 256
+	l := wlog.New()
+	lastW := make([]string, keys)
+	lastPos := make([]float64, keys)
+	var bad []wlog.InstanceID
+	for i := 0; i < n; i++ {
+		e := &wlog.Entry{
+			Run:   fmt.Sprintf("br%d", i%64),
+			Task:  wf.TaskID(fmt.Sprintf("n%d", i/64)),
+			Visit: 1,
+		}
+		rk := (i*13 + 7) % keys
+		obs := wlog.ReadObs{WriterPos: wlog.MissingPos}
+		if lastW[rk] != "" {
+			obs = wlog.ReadObs{Writer: lastW[rk], WriterPos: lastPos[rk]}
+		}
+		e.Reads = map[data.Key]wlog.ReadObs{data.Key(fmt.Sprintf("k%d", rk)): obs}
+		wk := (i*17 + 3) % keys
+		e.Writes = map[data.Key]data.Value{data.Key(fmt.Sprintf("k%d", wk)): data.Value(i)}
+		lsn, err := l.Append(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastW[wk] = string(e.ID())
+		lastPos[wk] = float64(lsn)
+		if i == n/2 {
+			bad = []wlog.InstanceID{e.ID()}
+		}
+	}
+	return l, bad
+}
+
+func benchAnalyzeBatch(b *testing.B, n int) {
+	l, bad := buildBenchLog(b, n)
+	var an *recovery.Analysis
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an = recovery.Analyze(l, nil, bad)
+	}
+	b.ReportMetric(float64(len(an.DefiniteUndo)), "undo-set")
+}
+
+func benchAnalyzeIncremental(b *testing.B, n int) {
+	l, bad := buildBenchLog(b, n)
+	g := deps.NewIncremental(l) // maintained at commit time; built before the timer
+	var an *recovery.Analysis
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an = recovery.AnalyzeGraph(g.Snapshot(), l, nil, bad)
+	}
+	b.ReportMetric(float64(len(an.DefiniteUndo)), "undo-set")
+}
+
+func BenchmarkAnalyzeBatch1k(b *testing.B)         { benchAnalyzeBatch(b, 1_000) }
+func BenchmarkAnalyzeBatch10k(b *testing.B)        { benchAnalyzeBatch(b, 10_000) }
+func BenchmarkAnalyzeBatch100k(b *testing.B)       { benchAnalyzeBatch(b, 100_000) }
+func BenchmarkAnalyzeIncremental1k(b *testing.B)   { benchAnalyzeIncremental(b, 1_000) }
+func BenchmarkAnalyzeIncremental10k(b *testing.B)  { benchAnalyzeIncremental(b, 10_000) }
+func BenchmarkAnalyzeIncremental100k(b *testing.B) { benchAnalyzeIncremental(b, 100_000) }
+
+// The other side of the ledger: what the O(Δ) hook costs each commit.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	const keys = 256
+	l := wlog.New()
+	deps.NewIncremental(l)
+	lastW := make([]string, keys)
+	lastPos := make([]float64, keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &wlog.Entry{
+			Run:   fmt.Sprintf("br%d", i%64),
+			Task:  wf.TaskID(fmt.Sprintf("n%d", i/64)),
+			Visit: 1,
+		}
+		rk := (i*13 + 7) % keys
+		obs := wlog.ReadObs{WriterPos: wlog.MissingPos}
+		if lastW[rk] != "" {
+			obs = wlog.ReadObs{Writer: lastW[rk], WriterPos: lastPos[rk]}
+		}
+		e.Reads = map[data.Key]wlog.ReadObs{data.Key(fmt.Sprintf("k%d", rk)): obs}
+		wk := (i*17 + 3) % keys
+		e.Writes = map[data.Key]data.Value{data.Key(fmt.Sprintf("k%d", wk)): data.Value(i)}
+		lsn, err := l.Append(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastW[wk] = string(e.ID())
+		lastPos[wk] = float64(lsn)
 	}
 }
 

@@ -1,0 +1,164 @@
+// Damage-assessment closure: the →_f* reachability of Theorem 1 computed
+// over the readers adjacency index. Small graphs use a serial DFS; past a
+// size threshold the closure switches to a sharded worker-pool BFS —
+// level-synchronous, with the visited set partitioned across shards so
+// workers never contend on a shared map. Each round every shard expands its
+// frontier into per-destination outboxes, then every shard merges the
+// inboxes addressed to it; ownership is by instance-ID hash, so no locks
+// are needed inside a round.
+package deps
+
+import (
+	"runtime"
+	"sync"
+
+	"selfheal/internal/wlog"
+)
+
+// parallelClosureThreshold is the flow-edge count below which the serial
+// closure wins (goroutine + channel overhead dominates tiny graphs).
+const parallelClosureThreshold = 4096
+
+// closureAt computes the →_f* closure of seed over entries with LSN ≤
+// epoch. Seed members are included in the result.
+func (ig *IncrementalGraph) closureAt(seed map[wlog.InstanceID]bool, epoch int) map[wlog.InstanceID]bool {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && len(ig.flow) >= parallelClosureThreshold {
+		return ig.closureParallel(seed, epoch, workers)
+	}
+	return ig.closureSerial(seed, epoch)
+}
+
+// closureSerial is the single-threaded DFS. Callers hold ig.mu.
+func (ig *IncrementalGraph) closureSerial(seed map[wlog.InstanceID]bool, epoch int) map[wlog.InstanceID]bool {
+	out := make(map[wlog.InstanceID]bool, len(seed))
+	stack := make([]wlog.InstanceID, 0, len(seed))
+	for id := range seed {
+		out[id] = true
+		stack = append(stack, id)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, rec := range ig.flowBy[cur] {
+			if rec.lsn > epoch {
+				break // adjacency records are LSN-ordered
+			}
+			if !out[rec.to] {
+				out[rec.to] = true
+				stack = append(stack, rec.to)
+			}
+		}
+	}
+	return out
+}
+
+// closureParallel is the sharded worker-pool BFS. Callers hold ig.mu (read),
+// so the adjacency index is immutable for the duration.
+func (ig *IncrementalGraph) closureParallel(seed map[wlog.InstanceID]bool, epoch, workers int) map[wlog.InstanceID]bool {
+	shards := 1
+	for shards < workers && shards < 16 {
+		shards <<= 1
+	}
+	mask := uint32(shards - 1)
+
+	visited := make([]map[wlog.InstanceID]bool, shards)
+	frontier := make([][]wlog.InstanceID, shards)
+	for s := range visited {
+		visited[s] = make(map[wlog.InstanceID]bool)
+	}
+	for id := range seed {
+		s := shardOf(id) & mask
+		if !visited[s][id] {
+			visited[s][id] = true
+			frontier[s] = append(frontier[s], id)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for {
+		active := false
+		for s := 0; s < shards; s++ {
+			if len(frontier[s]) > 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			break
+		}
+
+		// Expand: each shard walks its frontier's adjacency and routes
+		// discovered successors to per-destination outboxes.
+		outbox := make([][][]wlog.InstanceID, shards)
+		for s := 0; s < shards; s++ {
+			if len(frontier[s]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				boxes := make([][]wlog.InstanceID, shards)
+				for _, id := range frontier[s] {
+					for _, rec := range ig.flowBy[id] {
+						if rec.lsn > epoch {
+							break
+						}
+						d := shardOf(rec.to) & mask
+						boxes[d] = append(boxes[d], rec.to)
+					}
+				}
+				outbox[s] = boxes
+			}(s)
+		}
+		wg.Wait()
+
+		// Merge: each shard exclusively owns its visited partition, so
+		// deduplication needs no locks.
+		next := make([][]wlog.InstanceID, shards)
+		for d := 0; d < shards; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				own := visited[d]
+				for s := 0; s < shards; s++ {
+					if outbox[s] == nil {
+						continue
+					}
+					for _, id := range outbox[s][d] {
+						if !own[id] {
+							own[id] = true
+							next[d] = append(next[d], id)
+						}
+					}
+				}
+			}(d)
+		}
+		wg.Wait()
+		frontier = next
+	}
+
+	total := 0
+	for _, m := range visited {
+		total += len(m)
+	}
+	out := make(map[wlog.InstanceID]bool, total)
+	for _, m := range visited {
+		for id := range m {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// shardOf hashes an instance ID to a shard (FNV-1a).
+func shardOf(id wlog.InstanceID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -7,9 +7,14 @@
 // dependencies are exact rather than approximated from static read/write
 // sets: t_i →_f t_j holds precisely when t_j read a version t_i wrote that
 // no intervening task overwrote — the masked form of Definition 1.
+//
+// The relations are maintained by IncrementalGraph (incremental.go), an
+// O(Δ)-per-commit structure; Build is the batch form (fold the whole log,
+// snapshot once) and Graph is the immutable snapshot view both produce.
 package deps
 
 import (
+	"math"
 	"sort"
 
 	"selfheal/internal/data"
@@ -23,116 +28,80 @@ type Edge struct {
 	Key      data.Key
 }
 
-// Graph holds the data-dependence relations extracted from a log prefix.
+// Graph is an immutable snapshot of the data-dependence relations of a log
+// prefix: edges and closures never include entries committed after the
+// snapshot's epoch. Obtained from Build (whole log, batch) or
+// IncrementalGraph.Snapshot (consistent prefix of a growing log).
 type Graph struct {
-	log *wlog.Log
+	g     *IncrementalGraph
+	epoch int
 
-	flow    []Edge                                // t_i →_f t_j
-	anti    []Edge                                // t_i →_a t_j
-	output  []Edge                                // t_i →_o t_j
-	readers map[wlog.InstanceID][]wlog.InstanceID // direct flow successors
+	flow, anti, output []Edge // immutable prefixes, capacity-clamped
 }
 
-// Build extracts all data-dependence relations from the log.
+// Build extracts all data-dependence relations from the log by folding every
+// entry into a fresh incremental graph and snapshotting it.
 func Build(log *wlog.Log) *Graph {
-	g := &Graph{log: log, readers: make(map[wlog.InstanceID][]wlog.InstanceID)}
-	entries := log.Entries()
-
-	// Writer chains per key in commit order, for anti and output deps.
-	type write struct {
-		lsn  int
-		inst wlog.InstanceID
+	g := newIncremental()
+	for _, e := range log.Entries() {
+		g.Append(e)
 	}
-	chains := make(map[data.Key][]write)
-	for _, e := range entries {
-		id := e.ID()
-		for k := range e.Writes {
-			chains[k] = append(chains[k], write{lsn: e.LSN, inst: id})
-		}
-	}
-	keys := make([]data.Key, 0, len(chains))
-	for k := range chains {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-
-	// Flow: reader observed a version written by a logged instance.
-	for _, e := range entries {
-		id := e.ID()
-		for k, obs := range e.Reads {
-			if obs.Writer == "" {
-				continue // initial version or missing key
-			}
-			from := wlog.InstanceID(obs.Writer)
-			g.flow = append(g.flow, Edge{From: from, To: id, Key: k})
-			g.readers[from] = append(g.readers[from], id)
-		}
-	}
-
-	// Output: consecutive writers of the same key (masked by definition:
-	// non-consecutive writers are separated by an intervening write).
-	for _, k := range keys {
-		chain := chains[k]
-		for i := 1; i < len(chain); i++ {
-			g.output = append(g.output, Edge{From: chain[i-1].inst, To: chain[i].inst, Key: k})
-		}
-	}
-
-	// Anti: t_i read version v of k; the first writer of k after t_i's
-	// commit overwrites what t_i read (masked: only the next writer).
-	for _, e := range entries {
-		id := e.ID()
-		for k := range e.Reads {
-			chain := chains[k]
-			i := sort.Search(len(chain), func(i int) bool { return chain[i].lsn > e.LSN })
-			if i < len(chain) {
-				g.anti = append(g.anti, Edge{From: id, To: chain[i].inst, Key: k})
-			}
-		}
-	}
-	return g
+	return g.Snapshot()
 }
 
-// Flow returns the →_f edges in deterministic order.
+// Epoch returns the LSN of the last entry the snapshot covers.
+func (g *Graph) Epoch() int { return g.epoch }
+
+// Flow returns a copy of the →_f edges in deterministic order.
 func (g *Graph) Flow() []Edge { return append([]Edge(nil), g.flow...) }
 
-// Anti returns the →_a edges.
+// Anti returns a copy of the →_a edges.
 func (g *Graph) Anti() []Edge { return append([]Edge(nil), g.anti...) }
 
-// Output returns the →_o edges.
+// Output returns a copy of the →_o edges.
 func (g *Graph) Output() []Edge { return append([]Edge(nil), g.output...) }
 
-// HasFlow reports from →_f to.
+// FlowEdges returns the →_f edges without copying. The slice is immutable;
+// callers must not modify it. Hot paths (Theorem-3 order derivation) use
+// these accessors to avoid per-alert allocation of the full edge lists.
+func (g *Graph) FlowEdges() []Edge { return g.flow }
+
+// AntiEdges returns the →_a edges without copying (immutable).
+func (g *Graph) AntiEdges() []Edge { return g.anti }
+
+// OutputEdges returns the →_o edges without copying (immutable).
+func (g *Graph) OutputEdges() []Edge { return g.output }
+
+// HasFlow reports from →_f to: an O(1) set lookup.
 func (g *Graph) HasFlow(from, to wlog.InstanceID) bool {
-	for _, r := range g.readers[from] {
-		if r == to {
-			return true
-		}
-	}
-	return false
+	return g.g.hasFlowAt(from, to, g.epoch)
+}
+
+// FlowSuccessors invokes fn for each direct →_f successor of from, in commit
+// order, once per edge (per-key multiplicity preserved).
+func (g *Graph) FlowSuccessors(from wlog.InstanceID, fn func(to wlog.InstanceID)) {
+	g.g.succAt(g.g.flowBy, from, g.epoch, fn)
+}
+
+// AntiSuccessors invokes fn for each direct →_a successor of from.
+func (g *Graph) AntiSuccessors(from wlog.InstanceID, fn func(to wlog.InstanceID)) {
+	g.g.succAt(g.g.antiBy, from, g.epoch, fn)
+}
+
+// OutputSuccessors invokes fn for each direct →_o successor of from.
+func (g *Graph) OutputSuccessors(from wlog.InstanceID, fn func(to wlog.InstanceID)) {
+	g.g.succAt(g.g.outBy, from, g.epoch, fn)
 }
 
 // ReadersClosure returns every instance that transitively read data written
 // by an instance in seed: the →_f* closure, i.e. condition 3 of Theorem 1.
-// Seed members are included in the result.
+// Seed members are included in the result. Large graphs are traversed by a
+// sharded worker-pool BFS (closure.go).
 func (g *Graph) ReadersClosure(seed map[wlog.InstanceID]bool) map[wlog.InstanceID]bool {
-	out := make(map[wlog.InstanceID]bool, len(seed))
-	var stack []wlog.InstanceID
-	for id := range seed {
-		out[id] = true
-		stack = append(stack, id)
+	if len(seed) == 0 {
+		return map[wlog.InstanceID]bool{}
 	}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, r := range g.readers[cur] {
-			if !out[r] {
-				out[r] = true
-				stack = append(stack, r)
-			}
-		}
-	}
-	return out
+	return g.g.closureAt(seed, g.epoch)
 }
 
 // ControlView maps static control dependence onto the instances of one run:
@@ -148,16 +117,28 @@ type ControlView struct {
 // BuildControl computes the instance-level control-dependence view for a
 // run executing spec.
 func BuildControl(log *wlog.Log, run string, spec *wf.Spec) *ControlView {
+	return BuildControlAt(log, run, spec, math.MaxInt)
+}
+
+// BuildControlAt is BuildControl restricted to entries with LSN ≤ maxLSN —
+// the log prefix a dependence snapshot covers.
+func BuildControlAt(log *wlog.Log, run string, spec *wf.Spec, maxLSN int) *ControlView {
 	closure := spec.ControlClosure()
 	trace := log.Trace(run, false)
 	cv := &ControlView{Deps: make(map[wlog.InstanceID]map[wlog.InstanceID]bool)}
 	for _, g := range trace {
+		if g.LSN > maxLSN {
+			break
+		}
 		dep, ok := closure[g.Task]
 		if !ok {
 			continue
 		}
 		set := make(map[wlog.InstanceID]bool)
 		for _, e := range trace {
+			if e.LSN > maxLSN {
+				break
+			}
 			if e.LSN > g.LSN && dep[e.Task] {
 				set[e.ID()] = true
 			}
@@ -173,12 +154,21 @@ func BuildControl(log *wlog.Log, run string, spec *wf.Spec) *ControlView {
 // tasks transitively control dependent on the guard that never appear in the
 // run's trace — the t_k ∉ L of condition 4 of Theorem 1.
 func UnexecutedControlled(log *wlog.Log, run string, spec *wf.Spec, guard wf.TaskID) []wf.TaskID {
+	return UnexecutedControlledAt(log, run, spec, guard, math.MaxInt)
+}
+
+// UnexecutedControlledAt is UnexecutedControlled restricted to entries with
+// LSN ≤ maxLSN.
+func UnexecutedControlledAt(log *wlog.Log, run string, spec *wf.Spec, guard wf.TaskID, maxLSN int) []wf.TaskID {
 	closure := spec.ControlClosure()[guard]
 	if len(closure) == 0 {
 		return nil
 	}
 	executed := make(map[wf.TaskID]bool)
 	for _, e := range log.Trace(run, false) {
+		if e.LSN > maxLSN {
+			break
+		}
 		executed[e.Task] = true
 	}
 	var out []wf.TaskID
@@ -197,6 +187,12 @@ func UnexecutedControlled(log *wlog.Log, run string, spec *wf.Spec, guard wf.Tas
 // sets because t_k never ran). Only direct potential readers are returned;
 // the repair engine closes transitively once actual values exist.
 func PotentialFlowFromUnexecuted(log *wlog.Log, spec *wf.Spec, tk wf.TaskID) []wlog.InstanceID {
+	return PotentialFlowFromUnexecutedAt(log, spec, tk, math.MaxInt)
+}
+
+// PotentialFlowFromUnexecutedAt is PotentialFlowFromUnexecuted restricted to
+// entries with LSN ≤ maxLSN.
+func PotentialFlowFromUnexecutedAt(log *wlog.Log, spec *wf.Spec, tk wf.TaskID, maxLSN int) []wlog.InstanceID {
 	task, ok := spec.Tasks[tk]
 	if !ok {
 		return nil
@@ -207,6 +203,9 @@ func PotentialFlowFromUnexecuted(log *wlog.Log, spec *wf.Spec, tk wf.TaskID) []w
 	}
 	var out []wlog.InstanceID
 	for _, e := range log.Entries() {
+		if e.LSN > maxLSN {
+			break
+		}
 		for k := range e.Reads {
 			if writes[k] {
 				out = append(out, e.ID())

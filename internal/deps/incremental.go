@@ -1,0 +1,188 @@
+// Incremental dependence maintenance: the same flow/anti/output relations
+// Build extracts, maintained as an O(Δ) Append hook at commit time instead
+// of an O(log) rescan per analysis. An IncrementalGraph subscribes to the
+// system log (wlog.Log.OnAppend) and folds every committed entry into
+//
+//   - the per-key writer chain tail (output deps and anti-dep resolution
+//     need only the most recent writer and the readers since it),
+//   - the flow/anti/output edge lists,
+//   - the readers adjacency index (→_f successors) used by damage closures,
+//   - a flow-edge set for O(1) HasFlow.
+//
+// Snapshot() returns an immutable *Graph view pinned to the epoch (the LSN
+// of the last folded entry): edges and closure results never include work
+// committed after the snapshot, so the recovery analyzer reads a consistent
+// log prefix while normal processing keeps committing — the on-line
+// discipline of §IV without per-alert rescans.
+package deps
+
+import (
+	"sort"
+	"sync"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wlog"
+)
+
+// succRec is one adjacency record: the successor instance and the LSN of the
+// entry whose commit created the edge (always the edge's To side), used to
+// filter edges beyond a snapshot's epoch.
+type succRec struct {
+	to  wlog.InstanceID
+	lsn int
+}
+
+// IncrementalGraph maintains the dependence relations of a growing log.
+// Safe for concurrent use: Append (driven by the log's commit hook) takes
+// the write lock, snapshot reads take the read lock.
+type IncrementalGraph struct {
+	mu    sync.RWMutex
+	epoch int // LSN of the last folded entry
+
+	flow, anti, output []Edge
+
+	// Adjacency indexes, one record per edge (per-key multiplicity kept).
+	flowBy map[wlog.InstanceID][]succRec // →_f successors (readers)
+	antiBy map[wlog.InstanceID][]succRec // →_a successors
+	outBy  map[wlog.InstanceID][]succRec // →_o successors
+
+	// flowSet records the earliest LSN at which from →_f to appeared.
+	flowSet map[wlog.InstanceID]map[wlog.InstanceID]int
+
+	// lastWriter is the tail of each key's writer chain; pending holds the
+	// readers of a key since its last write (the anti-dep frontier: the
+	// key's next writer closes an anti edge from each of them).
+	lastWriter map[data.Key]wlog.InstanceID
+	pending    map[data.Key][]wlog.InstanceID
+}
+
+// NewIncremental returns an IncrementalGraph subscribed to log: entries
+// already committed are folded in immediately and every future commit is
+// folded at Append time, atomically and in LSN order.
+func NewIncremental(log *wlog.Log) *IncrementalGraph {
+	g := newIncremental()
+	log.OnAppend(g.Append)
+	return g
+}
+
+func newIncremental() *IncrementalGraph {
+	return &IncrementalGraph{
+		flowBy:     make(map[wlog.InstanceID][]succRec),
+		antiBy:     make(map[wlog.InstanceID][]succRec),
+		outBy:      make(map[wlog.InstanceID][]succRec),
+		flowSet:    make(map[wlog.InstanceID]map[wlog.InstanceID]int),
+		lastWriter: make(map[data.Key]wlog.InstanceID),
+		pending:    make(map[data.Key][]wlog.InstanceID),
+	}
+}
+
+// Append folds one committed entry into the graph: O(Δ) in the entry's
+// read/write set sizes, independent of total log length. Entries must be
+// appended in LSN order (the log's OnAppend hook guarantees this).
+func (ig *IncrementalGraph) Append(e *wlog.Entry) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	id := e.ID()
+
+	// Keys are visited in sorted order so the edge lists and adjacency
+	// indexes are deterministic functions of the entry sequence (batch
+	// Build and a live hook-fed graph produce identical structures).
+	readKeys := make([]data.Key, 0, len(e.Reads))
+	for k := range e.Reads {
+		readKeys = append(readKeys, k)
+	}
+	sort.Slice(readKeys, func(i, j int) bool { return readKeys[i] < readKeys[j] })
+
+	// Flow: the entry read a version written by a logged instance; the
+	// recorded writer makes the masked dependence exact (Definition 1).
+	for _, k := range readKeys {
+		obs := e.Reads[k]
+		if obs.Writer == "" {
+			continue // initial version or missing key
+		}
+		from := wlog.InstanceID(obs.Writer)
+		ig.flow = append(ig.flow, Edge{From: from, To: id, Key: k})
+		ig.flowBy[from] = append(ig.flowBy[from], succRec{to: id, lsn: e.LSN})
+		set := ig.flowSet[from]
+		if set == nil {
+			set = make(map[wlog.InstanceID]int)
+			ig.flowSet[from] = set
+		}
+		if _, ok := set[id]; !ok {
+			set[id] = e.LSN
+		}
+	}
+
+	// Writes: each written key extends its writer chain, emitting an output
+	// dep from the chain tail (consecutive writers only — masking) and
+	// closing an anti dep from every reader since that tail. Writes are
+	// resolved before the entry's own reads join the pending set, so a task
+	// that reads and writes the same key anti-depends on the *next* writer,
+	// never on itself.
+	writeKeys := make([]data.Key, 0, len(e.Writes))
+	for k := range e.Writes {
+		writeKeys = append(writeKeys, k)
+	}
+	sort.Slice(writeKeys, func(i, j int) bool { return writeKeys[i] < writeKeys[j] })
+	for _, k := range writeKeys {
+		if prev, ok := ig.lastWriter[k]; ok {
+			ig.output = append(ig.output, Edge{From: prev, To: id, Key: k})
+			ig.outBy[prev] = append(ig.outBy[prev], succRec{to: id, lsn: e.LSN})
+		}
+		for _, r := range ig.pending[k] {
+			ig.anti = append(ig.anti, Edge{From: r, To: id, Key: k})
+			ig.antiBy[r] = append(ig.antiBy[r], succRec{to: id, lsn: e.LSN})
+		}
+		delete(ig.pending, k)
+		ig.lastWriter[k] = id
+	}
+
+	for _, k := range readKeys {
+		ig.pending[k] = append(ig.pending[k], id)
+	}
+	ig.epoch = e.LSN
+}
+
+// Epoch returns the LSN of the last folded entry.
+func (ig *IncrementalGraph) Epoch() int {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	return ig.epoch
+}
+
+// Snapshot returns an immutable view of the graph at the current epoch.
+// Taking a snapshot is O(1); the view stays consistent (it never sees edges
+// from entries committed later) while the graph keeps growing.
+func (ig *IncrementalGraph) Snapshot() *Graph {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	return &Graph{
+		g:      ig,
+		epoch:  ig.epoch,
+		flow:   ig.flow[:len(ig.flow):len(ig.flow)],
+		anti:   ig.anti[:len(ig.anti):len(ig.anti)],
+		output: ig.output[:len(ig.output):len(ig.output)],
+	}
+}
+
+// hasFlowAt reports from →_f to among entries with LSN ≤ epoch.
+func (ig *IncrementalGraph) hasFlowAt(from, to wlog.InstanceID, epoch int) bool {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	lsn, ok := ig.flowSet[from][to]
+	return ok && lsn <= epoch
+}
+
+// succAt invokes fn for every successor of from in idx with edge LSN ≤
+// epoch, in insertion (commit) order, one call per edge (per-key
+// multiplicity preserved).
+func (ig *IncrementalGraph) succAt(idx map[wlog.InstanceID][]succRec, from wlog.InstanceID, epoch int, fn func(to wlog.InstanceID)) {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	for _, rec := range idx[from] {
+		if rec.lsn > epoch {
+			break // records are LSN-ordered: nothing later qualifies
+		}
+		fn(rec.to)
+	}
+}

@@ -1,0 +1,176 @@
+package deps_test
+
+import (
+	"reflect"
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/deps"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// edgeSet turns an edge list into a multiset keyed by (from,to,key).
+func edgeSet(edges []deps.Edge) map[deps.Edge]int {
+	out := make(map[deps.Edge]int, len(edges))
+	for _, e := range edges {
+		out[e]++
+	}
+	return out
+}
+
+// replayLog re-appends the entries of src, one by one, into a fresh log that
+// g observes, exercising the hook-driven incremental path exactly as the
+// engine drives it at commit time.
+func replayLog(t *testing.T, src *wlog.Log) (*wlog.Log, *deps.IncrementalGraph) {
+	t.Helper()
+	dst := wlog.New()
+	g := deps.NewIncremental(dst)
+	for _, e := range src.Entries() {
+		cp := *e
+		if _, err := dst.Append(&cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst, g
+}
+
+// TestIncrementalMatchesBatchProperty: an IncrementalGraph fed entry-by-entry
+// over randomized workloads produces edge sets, closures and HasFlow answers
+// identical to batch Build over the same log.
+func TestIncrementalMatchesBatchProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := scenario.RandomConfig{
+			Runs:    3,
+			Gen:     wf.GenConfig{Tasks: 14, Keys: 8, MaxReads: 3, BranchProb: 0.4},
+			Attacks: 2,
+			Forged:  1,
+		}
+		s, err := scenario.Random(seed, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := deps.Build(s.Log())
+		_, ig := replayLog(t, s.Log())
+		incr := ig.Snapshot()
+
+		if got, want := edgeSet(incr.FlowEdges()), edgeSet(batch.FlowEdges()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: flow edge sets differ:\n got %v\nwant %v", seed, got, want)
+		}
+		if got, want := edgeSet(incr.AntiEdges()), edgeSet(batch.AntiEdges()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: anti edge sets differ:\n got %v\nwant %v", seed, got, want)
+		}
+		if got, want := edgeSet(incr.OutputEdges()), edgeSet(batch.OutputEdges()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: output edge sets differ:\n got %v\nwant %v", seed, got, want)
+		}
+		if incr.Epoch() != batch.Epoch() {
+			t.Fatalf("seed %d: epoch %d vs %d", seed, incr.Epoch(), batch.Epoch())
+		}
+
+		// HasFlow parity over every flow edge plus a reversed (absent) pair.
+		for _, e := range batch.FlowEdges() {
+			if !incr.HasFlow(e.From, e.To) {
+				t.Fatalf("seed %d: incremental HasFlow misses %v", seed, e)
+			}
+			if incr.HasFlow(e.To, e.From) != batch.HasFlow(e.To, e.From) {
+				t.Fatalf("seed %d: reverse HasFlow diverges for %v", seed, e)
+			}
+		}
+
+		// Closure parity seeded from every malicious instance.
+		for _, b := range s.Bad {
+			seedSet := map[wlog.InstanceID]bool{b: true}
+			if got, want := incr.ReadersClosure(seedSet), batch.ReadersClosure(seedSet); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: closures of %s differ:\n got %v\nwant %v", seed, b, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotEpochIsolation: a snapshot taken mid-log never sees edges or
+// closure members from entries committed after it, and matches a batch build
+// over the same prefix.
+func TestSnapshotEpochIsolation(t *testing.T) {
+	s, err := scenario.Random(7, scenario.DefaultRandomConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := s.Log().Entries()
+	cut := len(entries) / 2
+
+	live := wlog.New()
+	g := deps.NewIncremental(live)
+	prefix := wlog.New()
+	for i, e := range entries {
+		cp := *e
+		if _, err := live.Append(&cp); err != nil {
+			t.Fatal(err)
+		}
+		if i < cut {
+			cp2 := *e
+			if _, err := prefix.Append(&cp2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == cut-1 {
+			break
+		}
+	}
+	snap := g.Snapshot() // pinned at the prefix
+	// Feed the rest of the log; snap must not move.
+	for _, e := range entries[cut:] {
+		cp := *e
+		if _, err := live.Append(&cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := deps.Build(prefix)
+	if snap.Epoch() != want.Epoch() {
+		t.Fatalf("snapshot epoch %d, want %d", snap.Epoch(), want.Epoch())
+	}
+	if !reflect.DeepEqual(edgeSet(snap.FlowEdges()), edgeSet(want.FlowEdges())) {
+		t.Fatal("snapshot flow edges leaked past the epoch")
+	}
+	if !reflect.DeepEqual(edgeSet(snap.AntiEdges()), edgeSet(want.AntiEdges())) {
+		t.Fatal("snapshot anti edges leaked past the epoch")
+	}
+	if !reflect.DeepEqual(edgeSet(snap.OutputEdges()), edgeSet(want.OutputEdges())) {
+		t.Fatal("snapshot output edges leaked past the epoch")
+	}
+	for _, e := range prefix.Entries() {
+		seedSet := map[wlog.InstanceID]bool{e.ID(): true}
+		if got, wantCl := snap.ReadersClosure(seedSet), want.ReadersClosure(seedSet); !reflect.DeepEqual(got, wantCl) {
+			t.Fatalf("closure of %s differs at the snapshot epoch:\n got %v\nwant %v", e.ID(), got, wantCl)
+		}
+	}
+	// The live graph has moved on.
+	if g.Epoch() != len(entries) {
+		t.Fatalf("live epoch %d, want %d", g.Epoch(), len(entries))
+	}
+}
+
+// TestIncrementalSelfReadWrite: a task that reads and writes the same key
+// anti-depends on the next writer, never on itself — the masking subtlety of
+// resolving writes before enqueueing the entry's own reads.
+func TestIncrementalSelfReadWrite(t *testing.T) {
+	l := wlog.New()
+	g := deps.NewIncremental(l)
+	mk := func(task string, reads map[data.Key]wlog.ReadObs, writes map[data.Key]data.Value) {
+		if _, err := l.Append(&wlog.Entry{Run: "r", Task: wf.TaskID(task), Visit: 1, Reads: reads, Writes: writes}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("inc", map[data.Key]wlog.ReadObs{"k": {WriterPos: wlog.MissingPos}}, map[data.Key]data.Value{"k": 1})
+	mk("next", nil, map[data.Key]data.Value{"k": 2})
+	snap := g.Snapshot()
+	anti := snap.AntiEdges()
+	if len(anti) != 1 || anti[0].From != "r/inc#1" || anti[0].To != "r/next#1" {
+		t.Fatalf("anti edges = %v, want exactly inc →_a next", anti)
+	}
+	out := snap.OutputEdges()
+	if len(out) != 1 || out[0].From != "r/inc#1" || out[0].To != "r/next#1" {
+		t.Fatalf("output edges = %v, want exactly inc →_o next", out)
+	}
+}

@@ -9,6 +9,12 @@
 // instance's compute (and, for choice nodes, branch selection) with
 // malicious versions, and InjectForged commits a task that is not part of
 // any workflow specification at all.
+//
+// Every commit (Step and InjectForged) flows through wlog.Log.Append, whose
+// OnAppend hook is the engine's commit-time observation point: the runtime
+// subscribes deps.IncrementalGraph there so dependence tracking is
+// maintained in O(Δ) alongside normal processing instead of being rebuilt
+// from the log at every recovery analysis.
 package engine
 
 import (

@@ -20,7 +20,9 @@
 package recovery
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"selfheal/internal/deps"
 	"selfheal/internal/wf"
@@ -145,9 +147,22 @@ func (a *Analysis) WorstCaseUndo() []wlog.InstanceID {
 // in bad. specs maps run IDs to their workflow specifications; runs present
 // in the log but absent from specs contribute flow damage but no control
 // analysis (their tasks are treated as spec-less, e.g. standalone forged
-// tasks).
+// tasks). The dependence graph is rebuilt from the whole log; on-line
+// callers holding an incrementally maintained graph use AnalyzeGraph to
+// skip the rebuild.
 func Analyze(log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *Analysis {
-	g := deps.Build(log)
+	return AnalyzeGraph(deps.Build(log), log, specs, bad)
+}
+
+// AnalyzeGraph performs the static damage assessment using a prebuilt
+// dependence graph — typically a Snapshot of the IncrementalGraph the
+// runtime maintains at commit time, making per-alert analysis cost scale
+// with the damage cone instead of the total log length. The analysis is
+// pinned to the snapshot's epoch: entries committed after it are ignored,
+// so a consistent log prefix is assessed even while normal processing keeps
+// appending. The instances in bad must lie within the snapshot.
+func AnalyzeGraph(g *deps.Graph, log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *Analysis {
+	epoch := g.Epoch()
 	badSet := make(map[wlog.InstanceID]bool, len(bad))
 	for _, b := range bad {
 		badSet[b] = true
@@ -167,18 +182,33 @@ func Analyze(log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *A
 	sortIDs(a.FlowDamaged)
 	a.DefiniteUndo = sortedIDs(undo)
 
-	// Control-dependence candidates, per run.
+	// Control-dependence candidates. Only damaged choice nodes trigger
+	// re-decision, so only runs containing an undo-set member can
+	// contribute guards — the control pass scales with the damage, not
+	// with the number of runs in the log.
+	damagedRuns := make(map[string]bool)
+	for id := range undo {
+		if e, ok := log.Get(id); ok && e.Run != "" {
+			damagedRuns[e.Run] = true
+		}
+	}
+	runList := make([]string, 0, len(damagedRuns))
+	for run := range damagedRuns {
+		runList = append(runList, run)
+	}
+	sort.Strings(runList)
+
 	type guardInfo struct {
 		entry *wlog.Entry
 		ctl   map[wlog.InstanceID]bool
 	}
 	guards := make(map[wlog.InstanceID]*guardInfo)
-	for _, run := range log.Runs() {
+	for _, run := range runList {
 		spec, ok := specs[run]
 		if !ok {
 			continue
 		}
-		cv := deps.BuildControl(log, run, spec)
+		cv := deps.BuildControlAt(log, run, spec, epoch)
 		for gid, set := range cv.Deps {
 			if !undo[gid] {
 				continue // only damaged choice nodes trigger re-decision
@@ -197,8 +227,8 @@ func Analyze(log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *A
 			}
 			// Condition 4: unexecuted controlled tasks whose static
 			// writes were read by logged instances.
-			for _, tk := range deps.UnexecutedControlled(log, run, spec, ge.Task) {
-				for _, reader := range deps.PotentialFlowFromUnexecuted(log, spec, tk) {
+			for _, tk := range deps.UnexecutedControlledAt(log, run, spec, ge.Task, epoch) {
+				for _, reader := range deps.PotentialFlowFromUnexecutedAt(log, spec, tk, epoch) {
 					if undo[reader] || reader == gid {
 						continue
 					}
@@ -219,7 +249,14 @@ func Analyze(log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *A
 		return a.Cond4[i].Reader < a.Cond4[j].Reader
 	})
 
-	// Redo classification (Theorem 2).
+	// Redo classification (Theorem 2). Guards are consulted in sorted
+	// order so an instance controlled by several damaged guards is
+	// attributed deterministically (smallest guard ID wins).
+	guardIDs := make([]wlog.InstanceID, 0, len(guards))
+	for gid := range guards {
+		guardIDs = append(guardIDs, gid)
+	}
+	sortIDs(guardIDs)
 	for _, id := range a.DefiniteUndo {
 		e, ok := log.Get(id)
 		if !ok {
@@ -230,8 +267,8 @@ func Analyze(log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *A
 			continue
 		}
 		var guard wlog.InstanceID
-		for gid, gi := range guards {
-			if gid != id && gi.ctl[id] {
+		for _, gid := range guardIDs {
+			if gid != id && guards[gid].ctl[id] {
 				guard = gid
 				break
 			}
@@ -255,8 +292,10 @@ func Analyze(log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID) *A
 // buildOrders derives the static Theorem-3 partial-order edges among the
 // definite recovery tasks. Rule 1 is emitted as a chain over the redo set in
 // commit order (transitivity implies all pairs); rules 2, 4 and 5 are emitted
-// per dependence edge; rule 3 per redo; rule 8 for each guard with pending
-// candidates.
+// per dependence edge by walking the adjacency index of the recovery sets —
+// O(|undo|+|redo| + their out-degrees), never a scan of the full edge lists
+// — sharded across a worker pool for large sets; rule 3 per redo; rule 8 for
+// each guard with pending candidates.
 func buildOrders(log *wlog.Log, g *deps.Graph, undo map[wlog.InstanceID]bool, a *Analysis) []OrderEdge {
 	var edges []OrderEdge
 	redo := make(map[wlog.InstanceID]bool, len(a.DefiniteRedo))
@@ -292,41 +331,53 @@ func buildOrders(log *wlog.Log, g *deps.Graph, undo map[wlog.InstanceID]bool, a 
 	}
 
 	// Rule 2: dependence between redone pairs.
-	for _, e := range g.Flow() {
-		if redo[e.From] && redo[e.To] {
-			edges = append(edges, OrderEdge{
-				Before: ActionRef{ActRedo, e.From},
-				After:  ActionRef{ActRedo, e.To},
-				Rule:   RuleDependence,
-			})
-		}
-	}
+	edges = append(edges, fanOutOrders(a.DefiniteRedo, func(from wlog.InstanceID, emit func(OrderEdge)) {
+		g.FlowSuccessors(from, func(to wlog.InstanceID) {
+			if redo[to] {
+				emit(OrderEdge{
+					Before: ActionRef{ActRedo, from},
+					After:  ActionRef{ActRedo, to},
+					Rule:   RuleDependence,
+				})
+			}
+		})
+	})...)
 
 	// Rule 4: t_i →_a t_j with redo(t_i) and undo(t_j).
-	for _, e := range g.Anti() {
-		if redo[e.From] && undo[e.To] {
-			edges = append(edges, OrderEdge{
-				Before: ActionRef{ActUndo, e.To},
-				After:  ActionRef{ActRedo, e.From},
-				Rule:   RuleAntiFlow,
-			})
-		}
-	}
+	edges = append(edges, fanOutOrders(a.DefiniteRedo, func(from wlog.InstanceID, emit func(OrderEdge)) {
+		g.AntiSuccessors(from, func(to wlog.InstanceID) {
+			if undo[to] {
+				emit(OrderEdge{
+					Before: ActionRef{ActUndo, to},
+					After:  ActionRef{ActRedo, from},
+					Rule:   RuleAntiFlow,
+				})
+			}
+		})
+	})...)
 
 	// Rule 5: t_i →_o t_j ⇒ undo(t_j) ≺ undo(t_i).
-	for _, e := range g.Output() {
-		if undo[e.From] && undo[e.To] {
-			edges = append(edges, OrderEdge{
-				Before: ActionRef{ActUndo, e.To},
-				After:  ActionRef{ActUndo, e.From},
-				Rule:   RuleOutputOrder,
-			})
-		}
-	}
+	edges = append(edges, fanOutOrders(a.DefiniteUndo, func(from wlog.InstanceID, emit func(OrderEdge)) {
+		g.OutputSuccessors(from, func(to wlog.InstanceID) {
+			if undo[to] {
+				emit(OrderEdge{
+					Before: ActionRef{ActUndo, to},
+					After:  ActionRef{ActUndo, from},
+					Rule:   RuleOutputOrder,
+				})
+			}
+		})
+	})...)
 
-	// Rule 8: candidates resolve only after their guard's redo.
-	for gid, cands := range a.CandidateUndo {
-		for _, c := range cands {
+	// Rule 8: candidates resolve only after their guard's redo. Guards are
+	// visited in sorted order so the edge list is deterministic.
+	guards := make([]wlog.InstanceID, 0, len(a.CandidateUndo))
+	for gid := range a.CandidateUndo {
+		guards = append(guards, gid)
+	}
+	sortIDs(guards)
+	for _, gid := range guards {
+		for _, c := range a.CandidateUndo[gid] {
 			edges = append(edges, OrderEdge{
 				Before: ActionRef{ActRedo, gid},
 				After:  ActionRef{ActUndo, c},
@@ -335,6 +386,56 @@ func buildOrders(log *wlog.Log, g *deps.Graph, undo map[wlog.InstanceID]bool, a 
 		}
 	}
 	return edges
+}
+
+// fanOutOrderThreshold is the source-set size below which the Theorem-3
+// adjacency walk stays serial.
+const fanOutOrderThreshold = 256
+
+// fanOutOrders applies gen to every source instance and collects the emitted
+// order edges. Large source sets are sharded across a worker pool, one
+// contiguous chunk per worker; per-chunk results are concatenated in chunk
+// order, so the output is deterministic and identical to the serial walk.
+func fanOutOrders(froms []wlog.InstanceID, gen func(from wlog.InstanceID, emit func(OrderEdge))) []OrderEdge {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || len(froms) < fanOutOrderThreshold {
+		var out []OrderEdge
+		for _, from := range froms {
+			gen(from, func(e OrderEdge) { out = append(out, e) })
+		}
+		return out
+	}
+	if workers > len(froms) {
+		workers = len(froms)
+	}
+	chunks := make([][]OrderEdge, workers)
+	var wg sync.WaitGroup
+	per := (len(froms) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(froms) {
+			hi = len(froms)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []OrderEdge
+			for _, from := range froms[lo:hi] {
+				gen(from, func(e OrderEdge) { local = append(local, e) })
+			}
+			chunks[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []OrderEdge
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
 }
 
 func sortIDs(ids []wlog.InstanceID) {

@@ -1,0 +1,83 @@
+package recovery_test
+
+import (
+	"reflect"
+	"testing"
+
+	"selfheal/internal/deps"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wf"
+)
+
+// TestAnalyzeGraphMatchesAnalyze: damage assessment over a hook-maintained
+// incremental snapshot must produce the same Analysis — undo/redo sets,
+// classifications and order edges — as the batch rebuild path, across
+// randomized attacked workloads.
+func TestAnalyzeGraphMatchesAnalyze(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		cfg := scenario.RandomConfig{
+			Runs:    3,
+			Gen:     wf.GenConfig{Tasks: 12, Keys: 8, MaxReads: 3, BranchProb: 0.4, Cycles: 1},
+			Attacks: 2,
+			Forged:  1,
+		}
+		s, err := scenario.Random(seed, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Snapshot taken from a second IncrementalGraph subscribed late:
+		// OnAppend's backfill must make this indistinguishable from one
+		// subscribed before the first commit.
+		ig := deps.NewIncremental(s.Log())
+
+		batch := recovery.Analyze(s.Log(), s.Specs, s.Bad)
+		incr := recovery.AnalyzeGraph(ig.Snapshot(), s.Log(), s.Specs, s.Bad)
+		if !reflect.DeepEqual(batch, incr) {
+			t.Fatalf("seed %d: Analysis diverges between batch and incremental paths:\nbatch %+v\nincr  %+v", seed, batch, incr)
+		}
+	}
+}
+
+// TestRepairGraphMatchesRepair: full repair through the snapshot path yields
+// the same repaired store and schedule as the batch path.
+func TestRepairGraphMatchesRepair(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		s, err := scenario.Random(seed, scenario.DefaultRandomConfig(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ig := deps.NewIncremental(s.Log())
+
+		batch, err := recovery.Repair(s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: batch repair: %v", seed, err)
+		}
+		incr, err := recovery.RepairGraph(ig.Snapshot(), s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: incremental repair: %v", seed, err)
+		}
+		if !reflect.DeepEqual(batch, incr) {
+			t.Fatalf("seed %d: Repair result diverges between batch and incremental paths", seed)
+		}
+	}
+}
+
+// TestRepairGraphRejectsStaleSnapshot: a snapshot older than the log must be
+// refused — repairing against missing suffix entries would silently skip
+// damage.
+func TestRepairGraphRejectsStaleSnapshot(t *testing.T) {
+	s, err := scenario.Random(3, scenario.DefaultRandomConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := deps.NewIncremental(s.Log())
+	snap := ig.Snapshot()
+	// Grow the log past the snapshot.
+	if _, err := s.Engine.InjectForged("", "late", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovery.RepairGraph(snap, s.Store(), s.Log(), s.Specs, s.Bad, recovery.Options{}); err == nil {
+		t.Fatal("RepairGraph accepted a stale snapshot")
+	}
+}

@@ -97,9 +97,23 @@ type Result struct {
 // Repair recovers the system from the malicious instances in bad. It returns
 // a repaired copy of store; the input store, the log and the specs are read
 // but never modified. specs maps run IDs to their workflow specifications;
-// every non-forged logged run must have a spec.
+// every non-forged logged run must have a spec. The dependence graph is
+// rebuilt from the whole log; on-line callers holding an incrementally
+// maintained graph use RepairGraph to skip the rebuild.
 func Repair(store *data.Store, log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID, opts Options) (*Result, error) {
+	return RepairGraph(deps.Build(log), store, log, specs, bad, opts)
+}
+
+// RepairGraph is Repair over a prebuilt dependence graph — typically a
+// Snapshot of the runtime's IncrementalGraph. The replay walks the full log,
+// so the snapshot must cover every committed entry (its epoch must equal the
+// log's last LSN); a stale snapshot is rejected rather than silently
+// repairing against missing dependence edges.
+func RepairGraph(g *deps.Graph, store *data.Store, log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID, opts Options) (*Result, error) {
 	opts = opts.withDefaults(log.Len())
+	if g.Epoch() != log.Len() {
+		return nil, fmt.Errorf("recovery: dependence snapshot at epoch %d is stale for a log of %d entries", g.Epoch(), log.Len())
+	}
 	for _, id := range bad {
 		if _, ok := log.Get(id); !ok {
 			return nil, fmt.Errorf("recovery: reported instance %s not in log", id)
@@ -116,8 +130,7 @@ func Repair(store *data.Store, log *wlog.Log, specs map[string]*wf.Spec, bad []w
 		}
 	}
 
-	g := deps.Build(log)
-	analysis := Analyze(log, specs, bad)
+	analysis := AnalyzeGraph(g, log, specs, bad)
 
 	undo := make(map[wlog.InstanceID]bool)
 	for _, id := range analysis.DefiniteUndo {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"selfheal/internal/data"
+	"selfheal/internal/deps"
 	"selfheal/internal/engine"
 	"selfheal/internal/recovery"
 	"selfheal/internal/stg"
@@ -118,6 +119,12 @@ type System struct {
 	runs   []*engine.Run
 	nextRn int
 
+	// graph is the incrementally maintained dependence graph: every commit
+	// folds into it at Append time (O(Δ)), so alert analysis reads a
+	// consistent snapshot instead of rescanning the log — alert handling no
+	// longer scales with total log length.
+	graph *deps.IncrementalGraph
+
 	alertQ    []Alert
 	recoveryQ []*Unit
 	metrics   Metrics
@@ -150,6 +157,10 @@ func NewWithEngine(cfg Config, eng *engine.Engine, specs map[string]*wf.Spec) (*
 	for run, spec := range specs {
 		s.specs[run] = spec
 	}
+	// Subscribe the incremental dependence graph to the engine's log:
+	// history already committed is folded in now, future commits fold in
+	// at Append time.
+	s.graph = deps.NewIncremental(eng.Log())
 	return s, nil
 }
 
@@ -278,7 +289,7 @@ func (s *System) analyzeAlert() error {
 		}
 	}
 	s.alertQ = s.alertQ[take:]
-	an := recovery.Analyze(s.eng.Log(), s.specs, merged.Bad)
+	an := recovery.AnalyzeGraph(s.graph.Snapshot(), s.eng.Log(), s.specs, merged.Bad)
 	s.recoveryQ = append(s.recoveryQ, &Unit{Alert: merged, Analysis: an})
 	s.metrics.AlertsAnalyzed += take
 	return nil
@@ -292,7 +303,10 @@ func (s *System) executeUnit() error {
 	}
 	u := s.recoveryQ[0]
 	s.recoveryQ = s.recoveryQ[1:]
-	res, err := recovery.Repair(s.eng.Store(), s.eng.Log(), s.specs, u.Alert.Bad, s.cfg.Repair)
+	// A fresh snapshot (not the unit's analysis-time one): normal tasks
+	// may have committed since the alert was analyzed (Concurrent mode),
+	// and the repair must fold them into the damage closure.
+	res, err := recovery.RepairGraph(s.graph.Snapshot(), s.eng.Store(), s.eng.Log(), s.specs, u.Alert.Bad, s.cfg.Repair)
 	if err != nil {
 		return fmt.Errorf("selfheal: recovery unit failed: %w", err)
 	}

@@ -68,11 +68,19 @@ type Log struct {
 	mu      sync.RWMutex
 	entries []*Entry
 	byInst  map[InstanceID]*Entry
+	// byRun indexes entries per run (forged included) so Trace and Succ
+	// are O(run length) instead of O(log length).
+	byRun map[string][]*Entry
+	// hooks are commit observers registered via OnAppend.
+	hooks []func(*Entry)
 }
 
 // New returns an empty log.
 func New() *Log {
-	return &Log{byInst: make(map[InstanceID]*Entry)}
+	return &Log{
+		byInst: make(map[InstanceID]*Entry),
+		byRun:  make(map[string][]*Entry),
+	}
 }
 
 // Append commits e, assigning the next LSN. It returns the assigned LSN and
@@ -87,7 +95,27 @@ func (l *Log) Append(e *Entry) (int, error) {
 	e.LSN = len(l.entries) + 1
 	l.entries = append(l.entries, e)
 	l.byInst[id] = e
+	l.byRun[e.Run] = append(l.byRun[e.Run], e)
+	for _, h := range l.hooks {
+		h(e)
+	}
 	return e.LSN, nil
+}
+
+// OnAppend registers fn as a commit observer: it is first invoked, in LSN
+// order, for every entry already committed, and then synchronously for each
+// future Append, still in LSN order. Registration and catch-up are atomic
+// with respect to concurrent appends, so observers never miss or reorder an
+// entry. fn runs while the log's lock is held and must not call back into
+// the log. The incremental dependence graph (internal/deps) is the primary
+// consumer.
+func (l *Log) OnAppend(fn func(*Entry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		fn(e)
+	}
+	l.hooks = append(l.hooks, fn)
 }
 
 // Len returns the number of committed entries.
@@ -117,18 +145,20 @@ func (l *Log) Get(id InstanceID) (*Entry, bool) {
 
 // Trace returns the subsequence of the log belonging to the given run
 // (§II.A), in LSN order, excluding forged entries when withForged is false.
+// The per-run index makes this O(run length), not O(log length).
 func (l *Log) Trace(run string, withForged bool) []*Entry {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	var out []*Entry
-	for _, e := range l.entries {
-		if e.Run != run {
-			continue
-		}
+	seq := l.byRun[run]
+	out := make([]*Entry, 0, len(seq))
+	for _, e := range seq {
 		if e.Forged && !withForged {
 			continue
 		}
 		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -137,15 +167,11 @@ func (l *Log) Trace(run string, withForged bool) []*Entry {
 func (l *Log) Runs() []string {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	set := make(map[string]bool)
-	for _, e := range l.entries {
-		if e.Run != "" {
-			set[e.Run] = true
+	out := make([]string, 0, len(l.byRun))
+	for r := range l.byRun {
+		if r != "" {
+			out = append(out, r)
 		}
-	}
-	out := make([]string, 0, len(set))
-	for r := range set {
-		out = append(out, r)
 	}
 	sort.Strings(out)
 	return out

@@ -122,3 +122,32 @@ func TestGet(t *testing.T) {
 		t.Error("Get on unknown instance reported ok")
 	}
 }
+
+func TestOnAppendBackfillAndOrder(t *testing.T) {
+	l := New()
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t1", Visit: 1})
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t2", Visit: 1})
+
+	var seen []int
+	l.OnAppend(func(e *Entry) { seen = append(seen, e.LSN) })
+	// Backfill: existing entries replayed in LSN order at subscription.
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("backfill delivered %v, want [1 2]", seen)
+	}
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t3", Visit: 1})
+	if len(seen) != 3 || seen[2] != 3 {
+		t.Fatalf("live append delivered %v, want [1 2 3]", seen)
+	}
+}
+
+func TestOnAppendMultipleHooks(t *testing.T) {
+	l := New()
+	var a, b int
+	l.OnAppend(func(e *Entry) { a++ })
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t1", Visit: 1})
+	l.OnAppend(func(e *Entry) { b++ })
+	mustAppend(t, l, &Entry{Run: "r1", Task: "t2", Visit: 1})
+	if a != 2 || b != 2 {
+		t.Fatalf("hook call counts a=%d b=%d, want 2 and 2", a, b)
+	}
+}
