@@ -9,11 +9,16 @@
 //	GET /stg.dot?buf=4               the Fig 3 STG as Graphviz DOT
 //	POST /repair                     remote recovery: {snapshot, specs, runs, bad}
 //	                                 → undo/redo sets + repaired final state
+//	GET /metrics                     Prometheus text exposition (internal/obs)
+//	GET /varz                        expvar-style key-sorted JSON snapshot
+//
+// The metric catalog served by /metrics and /varz is docs/OBSERVABILITY.md.
 //
 // Example:
 //
 //	selfheal-server -addr :8080 &
 //	curl 'localhost:8080/solve?lambda=1&mu=2&xi=3&t=100'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"selfheal/internal/httpapi"
+	"selfheal/internal/obs"
 )
 
 func main() {
@@ -32,7 +38,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.Handler(),
+		Handler:           httpapi.ObservedHandler(obs.NewRegistry()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("selfheal-server listening on %s\n", *addr)

@@ -13,16 +13,28 @@
 // analyzed and repaired by the real recovery analyzer:
 //
 //	selfheal-sim -runtime -attacks 5 -seed 3
+//
+// Metrics mode (-metrics) drives the real runtime in virtual time through
+// the observability layer (internal/obs via internal/rtsim) and prints the
+// measured state occupancies π_N, π_S, π_R and loss rate side by side with
+// the CTMC steady-state predictions, including the relative error:
+//
+//	selfheal-sim -metrics -lambda 2 -mu 4 -xi 5 -buf 4 -horizon 20000 -seed 7
+//
+// Every metric read in this mode is documented in docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
 	"selfheal/internal/ids"
+	"selfheal/internal/obs"
 	"selfheal/internal/recovery"
+	"selfheal/internal/rtsim"
 	"selfheal/internal/scenario"
 	"selfheal/internal/sim"
 	"selfheal/internal/stg"
@@ -40,15 +52,19 @@ func main() {
 		horizon = flag.Float64("horizon", 50000, "simulated time units")
 		seed    = flag.Int64("seed", 1, "rng seed")
 		runtime = flag.Bool("runtime", false, "drive the real workflow engine and recovery analyzer instead")
+		metrics = flag.Bool("metrics", false, "measure the real runtime via the observability layer and compare with CTMC predictions")
 		attacks = flag.Int("attacks", 3, "runtime mode: number of attacks to inject")
 		runs    = flag.Int("runs", 4, "runtime mode: number of concurrent workflow runs")
 	)
 	flag.Parse()
 
 	var err error
-	if *runtime {
+	switch {
+	case *metrics:
+		err = runMetrics(*lambda, *mu, *xi, *buf, *fName, *gName, *horizon, *seed)
+	case *runtime:
 		err = runRuntime(*seed, *runs, *attacks, *lambda)
-	} else {
+	default:
 		err = runQueueing(*lambda, *mu, *xi, *buf, *fName, *gName, *horizon, *seed)
 	}
 	if err != nil {
@@ -101,6 +117,80 @@ func runQueueing(lambda, mu, xi float64, buf int, fName, gName string, horizon f
 	fmt.Printf("arrivals: %d total, %d lost (%.4f); total variation vs CTMC: %.5f\n",
 		res.ArrivalsTotal, res.ArrivalsLost, res.LostFraction(),
 		sim.TotalVariation(res.Distribution(m), ss))
+	return nil
+}
+
+// measureVsModel runs the real runtime in virtual time with the
+// observability layer attached and derives the measured counterpart of each
+// CTMC steady-state quantity from the metric snapshot: the per-class
+// occupancy sums selfheal_time_{normal,scan,recovery}_seconds_total divided
+// by the horizon give the measured π_N/π_S/π_R, and the loss-edge occupancy
+// selfheal_time_loss_edge_seconds_total gives the measured loss probability
+// (by PASTA, the fraction of time the alert buffer is full equals the
+// fraction of Poisson arrivals that are dropped).
+func measureVsModel(lambda, mu, xi float64, buf int, fName, gName string, horizon float64, seed int64) (measured, predicted stg.Metrics, res *rtsim.Result, err error) {
+	f, err := stg.DegradationByName(fName)
+	if err != nil {
+		return measured, predicted, nil, err
+	}
+	g, err := stg.DegradationByName(gName)
+	if err != nil {
+		return measured, predicted, nil, err
+	}
+	p := stg.Square(lambda, mu, xi, buf)
+	p.F, p.G = f, g
+
+	m, err := stg.New(p)
+	if err != nil {
+		return measured, predicted, nil, err
+	}
+	predicted, err = m.SteadyMetrics()
+	if err != nil {
+		return measured, predicted, nil, err
+	}
+
+	reg := obs.NewRegistry()
+	res, err = rtsim.RunObserved(p, horizon, seed, reg)
+	if err != nil {
+		return measured, predicted, nil, err
+	}
+	snap := reg.Snapshot()
+	measured = stg.Metrics{
+		PNormal:   snap[obs.MTimeNormalSeconds] / horizon,
+		PScan:     snap[obs.MTimeScanSeconds] / horizon,
+		PRecovery: snap[obs.MTimeRecoverySeconds] / horizon,
+		Loss:      snap[obs.MTimeLossEdgeSeconds] / horizon,
+	}
+	return measured, predicted, res, nil
+}
+
+// relErr formats the relative error of a measurement against its prediction.
+func relErr(measured, predicted float64) string {
+	if predicted == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*math.Abs(measured-predicted)/predicted)
+}
+
+func runMetrics(lambda, mu, xi float64, buf int, fName, gName string, horizon float64, seed int64) error {
+	measured, predicted, res, err := measureVsModel(lambda, mu, xi, buf, fName, gName, horizon, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("real runtime in virtual time: λ=%g μ₁=%g ξ₁=%g buffer=%d f=%s g=%s, horizon=%g, seed=%d\n",
+		lambda, mu, xi, buf, fName, gName, horizon, seed)
+	fmt.Printf("%-24s %12s %12s %10s\n", "metric", "predicted", "measured", "rel.err")
+	row := func(name string, pred, meas float64) {
+		fmt.Printf("%-24s %12.6f %12.6f %10s\n", name, pred, meas, relErr(meas, pred))
+	}
+	row("π_N  P(NORMAL)", predicted.PNormal, measured.PNormal)
+	row("π_S  P(SCAN)", predicted.PScan, measured.PScan)
+	row("π_R  P(RECOVERY)", predicted.PRecovery, measured.PRecovery)
+	row("P_l  loss probability", predicted.Loss, measured.Loss)
+	fmt.Printf("alerts: %d reported, %d lost (dropped fraction %.4f)\n",
+		res.Reported, res.Lost, res.LostFraction())
+	fmt.Printf("runtime work: %d alerts analyzed, %d recovery units executed, %d undone, %d redone\n",
+		res.Runtime.AlertsAnalyzed, res.Runtime.UnitsExecuted, res.Runtime.Undone, res.Runtime.Redone)
 	return nil
 }
 

@@ -25,3 +25,57 @@ func TestRunRuntime(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunMetrics(t *testing.T) {
+	if err := runMetrics(1, 6, 8, 4, "linear", "linear", 300, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMetricsErrors(t *testing.T) {
+	if err := runMetrics(1, 15, 20, 4, "cubic", "linear", 200, 1); err == nil {
+		t.Error("unknown μ family accepted")
+	}
+	if err := runMetrics(1, 15, 20, 4, "linear", "cubic", 200, 1); err == nil {
+		t.Error("unknown ξ family accepted")
+	}
+	if err := runMetrics(1, 0, 20, 4, "linear", "linear", 200, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestMetricsMatchCTMC is the acceptance gate for the -metrics mode: on a
+// long deterministic run of the real runtime in virtual time, every measured
+// quantity — π_N, π_S, π_R and the loss probability, all derived from the
+// observability snapshot — must sit within 10% relative error of the CTMC
+// steady-state prediction. The parameters are chosen so each state holds
+// nontrivial probability mass (predicted π_N≈0.103, π_S≈0.759, π_R≈0.138,
+// P_l≈0.466), making relative error a meaningful bound for all four.
+func TestMetricsMatchCTMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long virtual-time run")
+	}
+	measured, predicted, res, err := measureVsModel(1, 2, 2, 2, "linear", "linear", 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, meas, pred float64) {
+		t.Helper()
+		if pred == 0 {
+			t.Fatalf("%s: predicted mass is zero; pick parameters with nontrivial occupancy", name)
+		}
+		if rel := (meas - pred) / pred; rel < -0.10 || rel > 0.10 {
+			t.Errorf("%s: measured %.6f vs predicted %.6f (rel err %+.2f%%, want within ±10%%)",
+				name, meas, pred, 100*rel)
+		}
+	}
+	check("π_N", measured.PNormal, predicted.PNormal)
+	check("π_S", measured.PScan, predicted.PScan)
+	check("π_R", measured.PRecovery, predicted.PRecovery)
+	check("P_l", measured.Loss, predicted.Loss)
+	// The loss-edge occupancy must also agree with the directly counted
+	// dropped fraction (PASTA): both estimate the same probability.
+	if rel := (res.LostFraction() - measured.Loss) / measured.Loss; rel < -0.10 || rel > 0.10 {
+		t.Errorf("dropped fraction %.6f diverges from loss-edge occupancy %.6f", res.LostFraction(), measured.Loss)
+	}
+}

@@ -19,8 +19,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"selfheal/internal/data"
+	"selfheal/internal/obs"
 	"selfheal/internal/wf"
 	"selfheal/internal/wlog"
 )
@@ -83,6 +85,30 @@ type Engine struct {
 	store   *data.Store
 	log     *wlog.Log
 	attacks map[wlog.InstanceID]*Attack
+	// o is the optional instrumentation (Observe); zero means off.
+	o engObs
+}
+
+// engObs is the engine's instrumentation: commit and forged-injection
+// counters plus a per-Step latency histogram.
+type engObs struct {
+	commits     *obs.Counter
+	forged      *obs.Counter
+	stepSeconds *obs.Histogram
+}
+
+// Observe wires the engine's instrumentation into reg (metric catalog in
+// docs/OBSERVABILITY.md). A nil registry leaves instrumentation off, the
+// default; when off, Step pays only nil checks.
+func (e *Engine) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.o = engObs{
+		commits:     reg.Counter(obs.MEngineCommits),
+		forged:      reg.Counter(obs.MEngineForged),
+		stepSeconds: reg.Histogram(obs.MEngineStepSeconds, obs.LatencyBuckets),
+	}
 }
 
 // New returns an engine committing to the given store and log.
@@ -154,6 +180,9 @@ func (e *Engine) Resync(r *Run, cur wf.TaskID, done bool) error {
 func (e *Engine) Step(r *Run) (bool, error) {
 	if r.done {
 		return true, nil
+	}
+	if e.o.stepSeconds != nil {
+		defer e.observeStep(time.Now())
 	}
 	task := r.Spec.Tasks[r.cur]
 	r.visits[r.cur]++
@@ -227,6 +256,7 @@ func (e *Engine) Step(r *Run) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("engine: commit %s: %w", inst, err)
 	}
+	e.o.commits.Inc()
 	for k, v := range written {
 		e.store.Write(k, v, float64(lsn), string(inst), false)
 	}
@@ -234,6 +264,11 @@ func (e *Engine) Step(r *Run) (bool, error) {
 		r.cur = next
 	}
 	return r.done, nil
+}
+
+// observeStep records one Step's wall-clock latency.
+func (e *Engine) observeStep(start time.Time) {
+	e.o.stepSeconds.Observe(time.Since(start).Seconds())
 }
 
 func validNext(task *wf.Task, next wf.TaskID) bool {
@@ -372,6 +407,7 @@ func (e *Engine) InjectForged(run string, task wf.TaskID, readKeys []data.Key, w
 	if err != nil {
 		return "", fmt.Errorf("engine: inject forged %s: %w", inst, err)
 	}
+	e.o.forged.Inc()
 	for k, v := range writes {
 		e.store.Write(k, v, float64(lsn), string(inst), false)
 	}

@@ -2,6 +2,11 @@
 // figure regeneration (tables and CSV), custom-configuration solving with
 // JSON metrics, and the Fig 3 state-transition-graph in Graphviz DOT. The
 // cmd/selfheal-server binary serves it; tests drive it with net/http/httptest.
+//
+// ObservedHandler additionally exposes the runtime observability layer
+// (internal/obs): a hand-rolled Prometheus text endpoint at /metrics, an
+// expvar-style key-sorted JSON snapshot at /varz, and per-route request
+// accounting. The metric catalog is docs/OBSERVABILITY.md.
 package httpapi
 
 import (
@@ -15,8 +20,14 @@ import (
 	"selfheal/internal/stg"
 )
 
-// Handler returns the service's routes.
+// Handler returns the service's routes without instrumentation.
+// ObservedHandler adds the /metrics and /varz exposition endpoints plus
+// per-route request accounting.
 func Handler() http.Handler {
+	return ObservedHandler(nil)
+}
+
+func baseMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /figures", handleFigures)

@@ -1,0 +1,49 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"selfheal/internal/obs"
+)
+
+// ObservedHandler returns the service's routes wired into the observability
+// registry: two exposition endpoints —
+//
+//	GET /metrics   Prometheus text format (hand-rolled, deterministic order)
+//	GET /varz      expvar-style key-sorted JSON snapshot
+//
+// — plus per-route request counters (http_requests_total{route="..."}) and
+// an overall latency histogram (http_request_seconds). The metric catalog
+// is docs/OBSERVABILITY.md. A nil registry returns the uninstrumented
+// routes, identical to Handler.
+func ObservedHandler(reg *obs.Registry) http.Handler {
+	mux := baseMux()
+	if reg == nil {
+		return mux
+	}
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+	mux.HandleFunc("GET /varz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+	reqSeconds := reg.Histogram(obs.MHTTPRequestSeconds, obs.LatencyBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		start := time.Now()
+		mux.ServeHTTP(w, r)
+		reqSeconds.Observe(time.Since(start).Seconds())
+		reg.Counter(fmt.Sprintf("%s{route=%q}", obs.MHTTPRequests, pattern)).Inc()
+	})
+}

@@ -1,0 +1,122 @@
+package obs
+
+// Canonical metric names. Instrumented packages register through these
+// constants so names cannot drift from the Catalog below, and the CI
+// doc-drift gate (scripts/ci.sh) greps docs/OBSERVABILITY.md for every
+// cataloged name.
+const (
+	// internal/wlog — the system log (§II.A).
+	MWlogAppends     = "wlog_appends_total"
+	MWlogEntries     = "wlog_entries"
+	MWlogHookSeconds = "wlog_hook_seconds_total"
+
+	// internal/engine — normal processing (Fig 2).
+	MEngineCommits     = "engine_commits_total"
+	MEngineForged      = "engine_forged_total"
+	MEngineStepSeconds = "engine_step_seconds"
+
+	// internal/selfheal — the attack-recovery runtime (§IV).
+	MAlertsReported        = "selfheal_alerts_reported_total"
+	MAlertsLost            = "selfheal_alerts_lost_total"
+	MAlertsAnalyzed        = "selfheal_alerts_analyzed_total"
+	MUnitsExecuted         = "selfheal_units_executed_total"
+	MNormalSteps           = "selfheal_normal_steps_total"
+	MConcurrentNormalSteps = "selfheal_concurrent_normal_steps_total"
+	MEagerUnits            = "selfheal_eager_units_total"
+	MTicksNormal           = "selfheal_ticks_normal_total"
+	MTicksScan             = "selfheal_ticks_scan_total"
+	MTicksRecovery         = "selfheal_ticks_recovery_total"
+	MAlertQueueDepth       = "selfheal_alert_queue_depth"
+	MRecoveryQueueDepth    = "selfheal_recovery_queue_depth"
+	MState                 = "selfheal_state"
+	MStateTransitions      = "selfheal_state_transitions_total"
+	MDwellNormalTicks      = "selfheal_dwell_normal_ticks"
+	MDwellScanTicks        = "selfheal_dwell_scan_ticks"
+	MDwellRecoveryTicks    = "selfheal_dwell_recovery_ticks"
+	MAnalyzeSeconds        = "selfheal_analyze_seconds"
+	MRepairSeconds         = "selfheal_repair_seconds"
+	MRepairAnalyzeSeconds  = "selfheal_repair_analyze_seconds"
+	MRepairUndoSeconds     = "selfheal_repair_undo_seconds"
+	MRepairRedoSeconds     = "selfheal_repair_redo_seconds"
+	MUndone                = "selfheal_undone_total"
+	MRedone                = "selfheal_redone_total"
+	MNewExecuted           = "selfheal_new_executed_total"
+
+	// internal/rtsim — virtual-time occupancy of the real runtime (§V).
+	MTimeNormalSeconds   = "selfheal_time_normal_seconds_total"
+	MTimeScanSeconds     = "selfheal_time_scan_seconds_total"
+	MTimeRecoverySeconds = "selfheal_time_recovery_seconds_total"
+	MTimeLossEdgeSeconds = "selfheal_time_loss_edge_seconds_total"
+
+	// internal/httpapi — the analysis service.
+	MHTTPRequests       = "http_requests_total"
+	MHTTPRequestSeconds = "http_request_seconds"
+)
+
+// Def describes one cataloged metric: its exposition name (the base name
+// for labeled families like http_requests_total{route="..."}), kind, the
+// paper symbol it measures (or "—"), the paper section, and the help text
+// used in the Prometheus exposition.
+type Def struct {
+	Name    string
+	Kind    string // "counter", "gauge", "sum", "histogram"
+	Symbol  string
+	Section string
+	Help    string
+}
+
+// Catalog returns every metric the system exports, in exposition order.
+// docs/OBSERVABILITY.md documents each entry; TestCatalogDocumented and the
+// scripts/ci.sh doc-drift gate keep the two in sync.
+func Catalog() []Def {
+	return []Def{
+		{MWlogAppends, "counter", "—", "§II.A", "Task executions committed to the system log."},
+		{MWlogEntries, "gauge", "—", "§II.A", "Current length of the system log."},
+		{MWlogHookSeconds, "sum", "—", "§II.C", "Total time spent in commit hooks (incremental dependence maintenance)."},
+		{MEngineCommits, "counter", "—", "Fig 2", "Normal workflow task commits executed by the engine."},
+		{MEngineForged, "counter", "—", "§II.B", "Forged task instances injected outside any workflow specification."},
+		{MEngineStepSeconds, "histogram", "—", "Fig 2", "Wall-clock latency of one engine task execution and commit."},
+		{MAlertsReported, "counter", "λ_a", "§IV.C", "IDS alerts delivered to the runtime (arrival process)."},
+		{MAlertsLost, "counter", "P_l", "Def. 3", "IDS alerts dropped because the alert buffer was full."},
+		{MAlertsAnalyzed, "counter", "μ_s", "§IV.C", "Alerts the analyzer turned into units of recovery tasks."},
+		{MUnitsExecuted, "counter", "ξ_r", "§IV.C", "Units of recovery tasks executed by the scheduler."},
+		{MNormalSteps, "counter", "—", "§IV.C", "Normal workflow task executions scheduled in NORMAL state."},
+		{MConcurrentNormalSteps, "counter", "—", "§III.D", "Normal tasks executed while recovery work was pending (Concurrent strategy)."},
+		{MEagerUnits, "counter", "—", "§III.D", "Recovery units executed while alerts were still queued (EagerRecovery strategy)."},
+		{MTicksNormal, "counter", "π_N", "§IV.C", "Scheduler ticks processed in the NORMAL state."},
+		{MTicksScan, "counter", "π_S", "§IV.C", "Scheduler ticks processed in the SCAN state."},
+		{MTicksRecovery, "counter", "π_R", "§IV.C", "Scheduler ticks processed in the RECOVERY state."},
+		{MAlertQueueDepth, "gauge", "a", "§IV.E", "Current depth of the bounded IDS-alert queue (STG column index)."},
+		{MRecoveryQueueDepth, "gauge", "r", "§IV.E", "Current depth of the bounded recovery-unit queue (STG row index)."},
+		{MState, "gauge", "—", "§IV.C", "Current state class: 0 NORMAL, 1 SCAN, 2 RECOVERY."},
+		{MStateTransitions, "counter", "—", "§IV.C", "NORMAL/SCAN/RECOVERY state changes."},
+		{MDwellNormalTicks, "histogram", "π_N", "§IV.C", "Consecutive ticks spent in NORMAL before leaving it."},
+		{MDwellScanTicks, "histogram", "π_S", "§IV.C", "Consecutive ticks spent in SCAN before leaving it."},
+		{MDwellRecoveryTicks, "histogram", "π_R", "§IV.C", "Consecutive ticks spent in RECOVERY before leaving it."},
+		{MAnalyzeSeconds, "histogram", "μ_s", "§IV.D", "Wall-clock latency of one alert analysis (damage assessment)."},
+		{MRepairSeconds, "histogram", "ξ_r", "§IV.D", "Wall-clock latency of one recovery-unit execution, all phases."},
+		{MRepairAnalyzeSeconds, "histogram", "ξ_r", "§III.B", "Repair latency: static damage analysis phase."},
+		{MRepairUndoSeconds, "histogram", "ξ_r", "§III.B", "Repair latency: undo staging phase (summed over fixpoint iterations)."},
+		{MRepairRedoSeconds, "histogram", "ξ_r", "§III.B", "Repair latency: corrected-history replay (redo) phase."},
+		{MUndone, "counter", "B_a", "Thm. 1", "Task instances undone across all executed recovery units."},
+		{MRedone, "counter", "B_r", "Thm. 2", "Task instances re-executed at their original positions."},
+		{MNewExecuted, "counter", "—", "§III.B", "Task instances executed for the first time during recovery."},
+		{MTimeNormalSeconds, "sum", "π_N", "§V", "Virtual time the runtime spent in NORMAL (rtsim)."},
+		{MTimeScanSeconds, "sum", "π_S", "§V", "Virtual time the runtime spent in SCAN (rtsim)."},
+		{MTimeRecoverySeconds, "sum", "π_R", "§V", "Virtual time the runtime spent in RECOVERY (rtsim)."},
+		{MTimeLossEdgeSeconds, "sum", "P_l", "Def. 3", "Virtual time the alert buffer was full (loss-edge occupancy, rtsim)."},
+		{MHTTPRequests, "counter", "—", "—", "HTTP requests served, labeled by route."},
+		{MHTTPRequestSeconds, "histogram", "—", "—", "HTTP request latency across all routes."},
+	}
+}
+
+// HelpFor returns the catalog help text for a metric-family base name, or
+// "" when the name is not cataloged.
+func HelpFor(base string) string {
+	for _, d := range Catalog() {
+		if d.Name == base {
+			return d.Help
+		}
+	}
+	return ""
+}

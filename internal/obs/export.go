@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot returns every metric as a flat name → value map, the form tests
+// and cmd/selfheal-sim's -metrics mode consume. Counters and gauges appear
+// under their registered name; a histogram named h expands to h_count,
+// h_sum, and cumulative h_bucket{le="..."} samples (Prometheus semantics).
+// Returns nil on a nil registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64)
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, s := range r.sums {
+		out[name] = s.Value()
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = h.Total()
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			out[name+`_bucket{le="`+le+`"}`] = float64(cum)
+		}
+	}
+	return out
+}
+
+// sortedKeys returns the snapshot's keys in ascending order: the single
+// source of the deterministic emission order of WriteJSON and
+// WritePrometheus, so golden-file tests and curl diffs are stable.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON emits the snapshot as a single key-sorted JSON object — an
+// expvar-style document with deterministic key order and number formatting.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	bw.WriteByte('{')
+	for i, k := range sortedKeys(snap) {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		writeJSONString(bw, k)
+		bw.WriteByte(':')
+		bw.WriteString(formatValue(snap[k]))
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+// writeJSONString quotes s as a JSON string. Metric names are ASCII; the
+// only characters needing escapes are the quotes inside label values.
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}
+
+// formatValue renders a sample deterministically: integral values without an
+// exponent or decimal point, others in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// baseName strips a {label="..."} suffix: the Prometheus metric-family name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus emits the registry in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled: one # HELP / # TYPE header per
+// metric family (help text from the Catalog), samples sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	type fam struct {
+		kind    string
+		samples map[string]float64 // full sample name → value
+	}
+	fams := make(map[string]*fam)
+	add := func(base, kind, sample string, v float64) {
+		f, ok := fams[base]
+		if !ok {
+			f = &fam{kind: kind, samples: make(map[string]float64)}
+			fams[base] = f
+		}
+		f.samples[sample] = v
+	}
+	for name, c := range r.counters {
+		add(baseName(name), "counter", name, float64(c.Value()))
+	}
+	for name, g := range r.gauges {
+		add(baseName(name), "gauge", name, float64(g.Value()))
+	}
+	// Sums are monotone accumulations (time totals), exposed as counters.
+	for name, s := range r.sums {
+		add(baseName(name), "counter", name, s.Value())
+	}
+	for name, h := range r.hists {
+		base := baseName(name)
+		add(base, "histogram", name+"_count", float64(h.Count()))
+		add(base, "histogram", name+"_sum", h.Total())
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			add(base, "histogram", name+`_bucket{le="`+le+`"}`, float64(cum))
+		}
+	}
+	r.mu.RUnlock()
+
+	bases := make([]string, 0, len(fams))
+	for b := range fams {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	bw := bufio.NewWriter(w)
+	for _, b := range bases {
+		f := fams[b]
+		if help := HelpFor(b); help != "" {
+			bw.WriteString("# HELP " + b + " " + help + "\n")
+		}
+		bw.WriteString("# TYPE " + b + " " + f.kind + "\n")
+		for _, s := range sortedKeys(f.samples) {
+			bw.WriteString(s + " " + formatValue(f.samples[s]) + "\n")
+		}
+	}
+	return bw.Flush()
+}

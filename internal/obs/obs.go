@@ -1,0 +1,339 @@
+// Package obs is the runtime observability layer: a zero-dependency
+// (standard library only) metrics and tracing toolkit used to measure the
+// live self-healing system against the paper's CTMC predictions (§V).
+//
+// The primitives are lock-free after registration — atomic counters, gauges,
+// float accumulators (Sum) and fixed-boundary histograms — plus a
+// lightweight span recorder for latency tracing. Every primitive is
+// nil-safe: methods on a nil *Counter, *Gauge, *Sum, *Histogram or a zero
+// Span are no-ops, and every registration method on a nil *Registry returns
+// nil. Instrumented components (internal/wlog, internal/engine,
+// internal/selfheal, internal/httpapi) therefore carry nil metric fields
+// until an operator calls their Observe method, and the instrumentation
+// costs a nil check when off — the property that keeps the PR-1 incremental
+// analyze path within its performance budget.
+//
+// A Registry is exported three ways: Snapshot (a deterministic
+// name → value map used by tests and the -metrics mode of cmd/selfheal-sim),
+// WriteJSON (an expvar-style key-sorted JSON document served at /varz by
+// cmd/selfheal-server), and WritePrometheus (hand-rolled Prometheus text
+// exposition served at /metrics). The canonical list of metric names, their
+// paper symbols (λ_a, μ_s, ξ_r, π_N/π_S/π_R, P_l) and sections lives in
+// Catalog (catalog.go) and is documented in docs/OBSERVABILITY.md; a CI gate
+// fails when a cataloged metric is missing from that document.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are safe on a nil receiver (no-ops).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (n < 0 is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer metric that can go up and down (queue depths, current
+// state). Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Sum is a float64 accumulator (time-in-state totals, hook durations),
+// updated with a compare-and-swap loop so concurrent Adds never lose
+// increments. Nil-safe.
+type Sum struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (s *Sum) Add(v float64) {
+	if s == nil {
+		return
+	}
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total (0 on a nil receiver).
+func (s *Sum) Value() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Histogram counts observations into fixed bucket boundaries (upper bounds,
+// ascending) plus a +Inf bucket, and tracks the observation count and sum.
+// Exposition follows Prometheus semantics: bucket counts are cumulative.
+// Nil-safe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    Sum
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Total returns the sum of all observations (0 on a nil receiver).
+func (h *Histogram) Total() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Default bucket boundaries.
+var (
+	// LatencyBuckets covers microseconds to tens of seconds, for
+	// wall-clock phase latencies (analyze, undo, redo, HTTP requests).
+	LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	// TickBuckets covers dwell times measured in scheduler ticks.
+	TickBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+)
+
+// Span is one in-flight timed operation started by Registry.StartSpan. The
+// zero Span is inert: End on it is a no-op.
+type Span struct {
+	r     *Registry
+	h     *Histogram
+	name  string
+	start time.Time
+}
+
+// End stops the span, observing its duration into the span's histogram and
+// appending it to the registry's recent-span ring.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	s.r.recordSpan(SpanRecord{Name: s.name, Start: s.start, Duration: d})
+}
+
+// SpanRecord is one completed span in the registry's ring buffer.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// spanRingCap bounds the recent-span ring buffer.
+const spanRingCap = 256
+
+// Registry holds named metrics. Registration takes a lock; the returned
+// metric pointers are then updated lock-free. A nil *Registry is the "off"
+// switch: every registration method returns nil, and the nil metrics
+// swallow all updates.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	sums     map[string]*Sum
+	hists    map[string]*Histogram
+	spans    []SpanRecord
+	spanPos  int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		sums:     make(map[string]*Sum),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// checkName panics when a name is already registered under a different
+// metric kind — a programmer error that would otherwise corrupt exposition.
+func (r *Registry) checkName(name, kind string) {
+	conflict := ""
+	switch {
+	case kind != "counter" && r.counters[name] != nil:
+		conflict = "counter"
+	case kind != "gauge" && r.gauges[name] != nil:
+		conflict = "gauge"
+	case kind != "sum" && r.sums[name] != nil:
+		conflict = "sum"
+	case kind != "histogram" && r.hists[name] != nil:
+		conflict = "histogram"
+	}
+	if conflict != "" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a %s, requested as a %s", name, conflict, kind))
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkName(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkName(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Sum returns the float accumulator registered under name, creating it on
+// first use.
+func (r *Registry) Sum(name string) *Sum {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sums[name]; ok {
+		return s
+	}
+	r.checkName(name, "sum")
+	s := &Sum{}
+	r.sums[name] = s
+	return s
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket boundaries (ascending upper bounds) on first use. Later
+// calls return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkName(name, "histogram")
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// StartSpan begins a timed span recorded under name: its duration feeds the
+// histogram of the same name (created with LatencyBuckets) and the
+// recent-span ring. Returns an inert Span on a nil registry.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, h: r.Histogram(name, LatencyBuckets), name: name, start: time.Now()}
+}
+
+func (r *Registry) recordSpan(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) < spanRingCap {
+		r.spans = append(r.spans, rec)
+		return
+	}
+	r.spans[r.spanPos%spanRingCap] = rec
+	r.spanPos++
+}
+
+// RecentSpans returns a copy of the span ring buffer (most recent last for
+// an unwrapped ring). Returns nil on a nil registry.
+func (r *Registry) RecentSpans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]SpanRecord(nil), r.spans...)
+}

@@ -1,0 +1,232 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfheal/internal/obs"
+)
+
+func TestCounter(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := obs.NewRegistry().Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("Value = %d, want 4", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	s := obs.NewRegistry().Sum("s_total")
+	s.Add(0.5)
+	s.Add(1.25)
+	if got := s.Value(); got != 1.75 {
+		t.Errorf("Value = %g, want 1.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Total() != 106 {
+		t.Errorf("Total = %g, want 106", h.Total())
+	}
+	snap := r.Snapshot()
+	// Cumulative Prometheus semantics: le="1" holds 0.5 and the exact
+	// boundary hit 1; le="2" adds 1.5; le="5" adds 3; +Inf adds 100.
+	for key, want := range map[string]float64{
+		`h_bucket{le="1"}`:    2,
+		`h_bucket{le="2"}`:    3,
+		`h_bucket{le="5"}`:    4,
+		`h_bucket{le="+Inf"}`: 5,
+		"h_count":             5,
+		"h_sum":               106,
+	} {
+		if got := snap[key]; got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *obs.Registry
+	// Every registration on a nil registry returns nil, and every method
+	// on the nil metrics is a no-op; none of this may panic.
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(3)
+	g := r.Gauge("g")
+	g.Set(1)
+	g.Add(1)
+	s := r.Sum("s_total")
+	s.Add(1)
+	h := r.Histogram("h", obs.LatencyBuckets)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || s.Value() != 0 || h.Count() != 0 || h.Total() != 0 {
+		t.Error("nil metrics reported nonzero values")
+	}
+	r.StartSpan("span").End()
+	if r.Snapshot() != nil || r.RecentSpans() != nil {
+		t.Error("nil registry exported data")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("WritePrometheus on nil registry: %v", err)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name under two kinds did not panic")
+		}
+	}()
+	r := obs.NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestHistogramBoundsMustAscend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	obs.NewRegistry().Histogram("h", []float64{1, 1})
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a").Set(1)
+	r.Sum("c_total").Add(0.5)
+	var first string
+	for i := 0; i < 5; i++ {
+		var sb strings.Builder
+		if err := r.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = sb.String()
+			continue
+		}
+		if sb.String() != first {
+			t.Fatalf("emission %d differs:\n%s\nvs\n%s", i, sb.String(), first)
+		}
+	}
+	want := `{"a":1,"b_total":2,"c_total":0.5}` + "\n"
+	if first != want {
+		t.Errorf("WriteJSON = %q, want %q (key-sorted)", first, want)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter(obs.MAlertsLost).Add(3)
+	r.Counter(`http_requests_total{route="GET /solve"}`).Inc()
+	r.Counter(`http_requests_total{route="GET /healthz"}`).Add(2)
+	r.Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.05)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP " + obs.MAlertsLost + " ",
+		"# TYPE " + obs.MAlertsLost + " counter\n" + obs.MAlertsLost + " 3\n",
+		// Labeled samples share one family header, sorted by name.
+		"# TYPE http_requests_total counter\n" +
+			`http_requests_total{route="GET /healthz"} 2` + "\n" +
+			`http_requests_total{route="GET /solve"} 1` + "\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		`lat_seconds_bucket{le="0.1"} 1`,
+		"lat_seconds_count 1\n",
+		"lat_seconds_sum 0.05\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r := obs.NewRegistry()
+	sp := r.StartSpan("op_seconds")
+	sp.End()
+	recs := r.RecentSpans()
+	if len(recs) != 1 || recs[0].Name != "op_seconds" || recs[0].Duration < 0 {
+		t.Fatalf("RecentSpans = %+v", recs)
+	}
+	if got := r.Snapshot()["op_seconds_count"]; got != 1 {
+		t.Errorf("span histogram count = %g, want 1", got)
+	}
+	// The ring must stay bounded.
+	for i := 0; i < 600; i++ {
+		r.StartSpan("op_seconds").End()
+	}
+	if n := len(r.RecentSpans()); n > 601 || n < 2 {
+		t.Errorf("ring holds %d records", n)
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free paths under the race
+// detector: concurrent registration and updates of the same names.
+func TestConcurrentUpdates(t *testing.T) {
+	r := obs.NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Sum("s_total").Add(0.001)
+				r.Histogram("h", obs.LatencyBuckets).Observe(1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8*500 {
+		t.Errorf("counter = %d, want %d after concurrent increments", got, 8*500)
+	}
+	if got := r.Histogram("h", obs.LatencyBuckets).Count(); got != 8*500 {
+		t.Errorf("histogram count = %d, want %d", got, 8*500)
+	}
+	sum := r.Sum("s_total").Value()
+	if sum < 3.999 || sum > 4.001 {
+		t.Errorf("sum = %g, want ≈4 (lost CAS increments?)", sum)
+	}
+}
+
+func TestSpanDurationPlausible(t *testing.T) {
+	r := obs.NewRegistry()
+	sp := r.StartSpan("sleep_seconds")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if total := r.Snapshot()["sleep_seconds_sum"]; total < 0.001 {
+		t.Errorf("span recorded %gs, want ≥1ms", total)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"selfheal/internal/data"
 	"selfheal/internal/deps"
@@ -92,6 +93,17 @@ type Result struct {
 	Iterations int
 	// Schedule is the committed recovery schedule of the final iteration.
 	Schedule []Action
+	// Phases is the wall-clock latency breakdown of the repair; the
+	// observability layer (internal/obs) exports it as the per-repair
+	// analyze/undo/redo histograms of docs/OBSERVABILITY.md.
+	Phases PhaseTimings
+}
+
+// PhaseTimings splits a repair's latency into its phases: the static damage
+// analysis, the undo staging (summed over fixpoint iterations), and the
+// corrected-history replay (redo), also summed over iterations.
+type PhaseTimings struct {
+	Analyze, Undo, Redo time.Duration
 }
 
 // Repair recovers the system from the malicious instances in bad. It returns
@@ -130,7 +142,10 @@ func RepairGraph(g *deps.Graph, store *data.Store, log *wlog.Log, specs map[stri
 		}
 	}
 
+	analyzeStart := time.Now()
 	analysis := AnalyzeGraph(g, log, specs, bad)
+	var phases PhaseTimings
+	phases.Analyze = time.Since(analyzeStart)
 
 	undo := make(map[wlog.InstanceID]bool)
 	for _, id := range analysis.DefiniteUndo {
@@ -155,6 +170,8 @@ func RepairGraph(g *deps.Graph, store *data.Store, log *wlog.Log, specs map[stri
 		if err != nil {
 			return nil, err
 		}
+		phases.Undo += last.undoDur
+		phases.Redo += last.redoDur
 		grew := false
 		for id := range last.newUndo {
 			if !undo[id] {
@@ -176,6 +193,7 @@ func RepairGraph(g *deps.Graph, store *data.Store, log *wlog.Log, specs map[stri
 		KeptVerified: last.keptVerified,
 		Iterations:   iterations,
 		Schedule:     last.schedule,
+		Phases:       phases,
 	}
 	redone := make(map[wlog.InstanceID]bool, len(last.redone))
 	for _, id := range last.redone {
@@ -223,6 +241,8 @@ type iterationResult struct {
 	newExecuted  []wlog.InstanceID
 	keptVerified int
 	schedule     []Action
+	// undoDur and redoDur time this pass's undo staging and replay.
+	undoDur, redoDur time.Duration
 }
 
 // replayOnce stages all undos and replays the corrected history once,
@@ -241,6 +261,7 @@ func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, 
 	// Stage undos, most recent first (Theorem 3 rule 5 order; with
 	// version-chain deletion the result is order independent, but the
 	// schedule records the rule-compliant order).
+	undoStart := time.Now()
 	staged := make([]*wlog.Entry, 0, len(undo))
 	for id := range undo {
 		if e, ok := log.Get(id); ok {
@@ -262,6 +283,8 @@ func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, 
 			Kind: ActUndo, Inst: e.ID(), Run: e.Run, Task: e.Task, Visit: e.Visit,
 		})
 	}
+	it.undoDur = time.Since(undoStart)
+	redoStart := time.Now()
 
 	// One walker per specified run.
 	var walkers []*walker
@@ -313,6 +336,7 @@ func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, 
 		}
 		it.newUndo = g.ReadersClosure(seed)
 	}
+	it.redoDur = time.Since(redoStart)
 	sortIDs(it.redone)
 	sortIDs(it.newExecuted)
 	return it, nil

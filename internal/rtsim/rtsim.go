@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"selfheal/internal/obs"
 	"selfheal/internal/scenario"
 	"selfheal/internal/selfheal"
 	"selfheal/internal/stg"
@@ -60,6 +61,17 @@ func (r *Result) LostFraction() float64 {
 // a completed randomized scenario (seeded); alerts cycle over its malicious
 // instances, so every analysis and repair is real work.
 func Run(p stg.Params, horizon float64, seed int64) (*Result, error) {
+	return RunObserved(p, horizon, seed, nil)
+}
+
+// RunObserved is Run with the observability layer wired in: the system, its
+// engine and its log register their metrics in reg (see
+// docs/OBSERVABILITY.md), and the driver accumulates the virtual-time
+// occupancy sums (selfheal_time_*_seconds_total) whose ratios to the
+// horizon are the measured π_N/π_S/π_R and loss-edge occupancy that
+// `selfheal-sim -metrics` compares against the CTMC predictions. A nil
+// registry degrades to Run.
+func RunObserved(p stg.Params, horizon float64, seed int64, reg *obs.Registry) (*Result, error) {
 	if horizon <= 0 {
 		return nil, fmt.Errorf("rtsim: horizon must be positive, got %g", horizon)
 	}
@@ -85,6 +97,15 @@ func Run(p stg.Params, horizon float64, seed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sys.Observe(reg)
+	// Virtual-time occupancy sums; nil when reg is nil, and the nil-safe
+	// obs primitives swallow the Adds.
+	timeByClass := [3]*obs.Sum{
+		stg.Normal:   reg.Sum(obs.MTimeNormalSeconds),
+		stg.Scan:     reg.Sum(obs.MTimeScanSeconds),
+		stg.Recovery: reg.Sum(obs.MTimeRecoverySeconds),
+	}
+	timeLossEdge := reg.Sum(obs.MTimeLossEdgeSeconds)
 
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{Horizon: horizon}
@@ -93,7 +114,9 @@ func Run(p stg.Params, horizon float64, seed int64) (*Result, error) {
 	badIdx := 0
 
 	account := func(dt float64) {
-		switch sys.State() {
+		cls := sys.State()
+		timeByClass[cls].Add(dt)
+		switch cls {
 		case stg.Normal:
 			res.TimeNormal += dt
 		case stg.Scan:
@@ -103,6 +126,7 @@ func Run(p stg.Params, horizon float64, seed int64) (*Result, error) {
 		}
 		if a, _ := sys.QueueLengths(); a == p.AlertBuf {
 			res.TimeAlertFull += dt
+			timeLossEdge.Add(dt)
 		}
 	}
 

@@ -1,0 +1,111 @@
+package selfheal_test
+
+import (
+	"testing"
+
+	"selfheal/internal/obs"
+	"selfheal/internal/selfheal"
+	"selfheal/internal/wlog"
+)
+
+// TestQueueDropAccounting drives the system deterministically past the alert
+// buffer bound — no timing, no sleeps — and checks that every rejected
+// Report is counted exactly once, in both the runtime's own Metrics and the
+// observability snapshot, and that draining the backlog adds no phantom
+// drops.
+func TestQueueDropAccounting(t *testing.T) {
+	const alertBuf, extra = 3, 5
+	sys := newFig1System(t, selfheal.Config{AlertBuf: alertBuf, RecoveryBuf: 2}, true)
+	reg := obs.NewRegistry()
+	sys.Observe(reg)
+	if err := sys.RunToCompletion(100); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []wlog.InstanceID{"r1/t1#1"}
+	rejected := 0
+	for i := 0; i < alertBuf+extra; i++ {
+		if !sys.Report(selfheal.Alert{Bad: bad}) {
+			rejected++
+		}
+	}
+	if rejected != extra {
+		t.Fatalf("rejected = %d, want %d (%d reports into buffer %d)", rejected, extra, alertBuf+extra, alertBuf)
+	}
+	if m := sys.Metrics(); m.AlertsReported != alertBuf+extra || m.AlertsLost != extra {
+		t.Fatalf("metrics: reported %d lost %d, want %d/%d", m.AlertsReported, m.AlertsLost, alertBuf+extra, extra)
+	}
+	snap := reg.Snapshot()
+	if got := snap[obs.MAlertsReported]; got != float64(alertBuf+extra) {
+		t.Errorf("%s = %g, want %d", obs.MAlertsReported, got, alertBuf+extra)
+	}
+	if got := snap[obs.MAlertsLost]; got != float64(extra) {
+		t.Errorf("%s = %g, want %d", obs.MAlertsLost, got, extra)
+	}
+	if got := snap[obs.MAlertQueueDepth]; got != float64(alertBuf) {
+		t.Errorf("%s = %g, want %d (buffer full)", obs.MAlertQueueDepth, got, alertBuf)
+	}
+
+	// Drain the backlog: the queues must empty and the drop counter must
+	// not move — processing never loses alerts, only Report at a full
+	// buffer does.
+	if err := sys.DrainRecovery(50); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if snap[obs.MAlertQueueDepth] != 0 || snap[obs.MRecoveryQueueDepth] != 0 {
+		t.Errorf("queues after drain: alert %g recovery %g, want 0/0",
+			snap[obs.MAlertQueueDepth], snap[obs.MRecoveryQueueDepth])
+	}
+	if got := snap[obs.MAlertsLost]; got != float64(extra) {
+		t.Errorf("%s moved during drain: %g, want %d", obs.MAlertsLost, got, extra)
+	}
+}
+
+// TestRecoveryBoundObserved drives the recovery queue to its bound:
+// recovery units are never dropped — at a full unit buffer the analyzer
+// blocks and the scheduler force-drains (§IV.E) — so the gauge must hit the
+// bound, the drop counter must stay untouched, and the forced drain must be
+// visible as SCAN-state ticks.
+func TestRecoveryBoundObserved(t *testing.T) {
+	sys := newFig1System(t, selfheal.Config{AlertBuf: 4, RecoveryBuf: 1}, true)
+	reg := obs.NewRegistry()
+	sys.Observe(reg)
+	if err := sys.RunToCompletion(100); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []wlog.InstanceID{"r1/t1#1"}
+	sys.Report(selfheal.Alert{Bad: bad})
+	sys.Report(selfheal.Alert{Bad: bad})
+	if err := sys.Tick(); err != nil { // analyze alert 1 → unit buffer full
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap[obs.MRecoveryQueueDepth]; got != 1 {
+		t.Fatalf("%s = %g, want 1 (bound reached)", obs.MRecoveryQueueDepth, got)
+	}
+	ticksScanBefore := snap[obs.MTicksScan]
+
+	if err := sys.Tick(); err != nil { // forced drain executes the unit
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap[obs.MRecoveryQueueDepth]; got != 0 {
+		t.Errorf("%s = %g after forced drain, want 0", obs.MRecoveryQueueDepth, got)
+	}
+	if got := snap[obs.MTicksScan]; got != ticksScanBefore+1 {
+		t.Errorf("%s = %g, want %g (forced drain with an alert queued counts as SCAN)",
+			obs.MTicksScan, got, ticksScanBefore+1)
+	}
+	if err := sys.DrainRecovery(20); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap[obs.MAlertsLost]; got != 0 {
+		t.Errorf("%s = %g, want 0 (unit-buffer pressure must not drop alerts)", obs.MAlertsLost, got)
+	}
+	if got := snap[obs.MUnitsExecuted]; got != 2 {
+		t.Errorf("%s = %g, want 2", obs.MUnitsExecuted, got)
+	}
+}

@@ -1,0 +1,128 @@
+package selfheal
+
+import (
+	"time"
+
+	"selfheal/internal/obs"
+	"selfheal/internal/stg"
+)
+
+// sysObs is the runtime's instrumentation. The zero value is "off": every
+// metric pointer is nil and the nil-safe obs primitives swallow all
+// updates, so an uninstrumented System pays only the enabled check on the
+// paths that need a time.Now or a State() computation.
+type sysObs struct {
+	enabled bool
+
+	reported, lost, analyzed   *obs.Counter
+	units, normalSteps         *obs.Counter
+	concurrentSteps, eagerUnit *obs.Counter
+	undone, redone, newExec    *obs.Counter
+
+	// ticks counts processed ticks per state class, indexed by stg.Class.
+	ticks [3]*obs.Counter
+	// dwell observes consecutive ticks spent in a state before leaving it.
+	dwell [3]*obs.Histogram
+
+	alertDepth, recoveryDepth, state *obs.Gauge
+	transitions                      *obs.Counter
+
+	analyzeSeconds               *obs.Histogram
+	repairSeconds, repairAnalyze *obs.Histogram
+	repairUndo, repairRedo       *obs.Histogram
+	prevState                    stg.Class
+	ticksInState                 int64
+}
+
+// Observe wires the runtime, its engine and its log into reg — the metric
+// catalog is docs/OBSERVABILITY.md. Call it before driving the system; a
+// nil registry leaves instrumentation off (the default).
+func (s *System) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.eng.Observe(reg)
+	s.eng.Log().Observe(reg)
+	s.o = sysObs{
+		enabled:         true,
+		reported:        reg.Counter(obs.MAlertsReported),
+		lost:            reg.Counter(obs.MAlertsLost),
+		analyzed:        reg.Counter(obs.MAlertsAnalyzed),
+		units:           reg.Counter(obs.MUnitsExecuted),
+		normalSteps:     reg.Counter(obs.MNormalSteps),
+		concurrentSteps: reg.Counter(obs.MConcurrentNormalSteps),
+		eagerUnit:       reg.Counter(obs.MEagerUnits),
+		undone:          reg.Counter(obs.MUndone),
+		redone:          reg.Counter(obs.MRedone),
+		newExec:         reg.Counter(obs.MNewExecuted),
+		ticks: [3]*obs.Counter{
+			stg.Normal:   reg.Counter(obs.MTicksNormal),
+			stg.Scan:     reg.Counter(obs.MTicksScan),
+			stg.Recovery: reg.Counter(obs.MTicksRecovery),
+		},
+		dwell: [3]*obs.Histogram{
+			stg.Normal:   reg.Histogram(obs.MDwellNormalTicks, obs.TickBuckets),
+			stg.Scan:     reg.Histogram(obs.MDwellScanTicks, obs.TickBuckets),
+			stg.Recovery: reg.Histogram(obs.MDwellRecoveryTicks, obs.TickBuckets),
+		},
+		alertDepth:     reg.Gauge(obs.MAlertQueueDepth),
+		recoveryDepth:  reg.Gauge(obs.MRecoveryQueueDepth),
+		state:          reg.Gauge(obs.MState),
+		transitions:    reg.Counter(obs.MStateTransitions),
+		analyzeSeconds: reg.Histogram(obs.MAnalyzeSeconds, obs.LatencyBuckets),
+		repairSeconds:  reg.Histogram(obs.MRepairSeconds, obs.LatencyBuckets),
+		repairAnalyze:  reg.Histogram(obs.MRepairAnalyzeSeconds, obs.LatencyBuckets),
+		repairUndo:     reg.Histogram(obs.MRepairUndoSeconds, obs.LatencyBuckets),
+		repairRedo:     reg.Histogram(obs.MRepairRedoSeconds, obs.LatencyBuckets),
+		prevState:      s.State(),
+	}
+	s.o.state.Set(int64(s.o.prevState))
+	s.o.alertDepth.Set(int64(len(s.alertQ)))
+	s.o.recoveryDepth.Set(int64(len(s.recoveryQ)))
+}
+
+// now returns the wall clock only when instrumentation is on, so the
+// uninstrumented hot paths never call time.Now.
+func (o *sysObs) now() time.Time {
+	if !o.enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeLatency records the elapsed time since a now() stamp.
+func (o *sysObs) observeLatency(h *obs.Histogram, start time.Time) {
+	if !o.enabled {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// queues refreshes the depth gauges (STG coordinates a and r).
+func (o *sysObs) queues(alerts, units int) {
+	o.alertDepth.Set(int64(alerts))
+	o.recoveryDepth.Set(int64(units))
+}
+
+// checkState records a NORMAL/SCAN/RECOVERY transition: the dwell time (in
+// ticks) of the state being left, the transition count, and the new class.
+func (o *sysObs) checkState(now stg.Class) {
+	if !o.enabled || now == o.prevState {
+		return
+	}
+	o.dwell[o.prevState].Observe(float64(o.ticksInState))
+	o.ticksInState = 0
+	o.prevState = now
+	o.transitions.Inc()
+	o.state.Set(int64(now))
+}
+
+// afterTick attributes one processed tick to the current state and detects
+// transitions the tick caused.
+func (o *sysObs) afterTick(now stg.Class) {
+	if !o.enabled {
+		return
+	}
+	o.ticksInState++
+	o.checkState(now)
+}

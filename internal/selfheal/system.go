@@ -19,6 +19,14 @@
 // The core is a deterministic Tick-driven state machine so tests and
 // simulations control time; Serve wraps it in a goroutine with channels for
 // production-style use.
+//
+// The runtime is fully instrumented through the observability layer
+// (internal/obs): Observe wires alert/loss/analysis counters, queue-depth
+// gauges, NORMAL/SCAN/RECOVERY tick counts and dwell-time histograms, and
+// per-repair latency split into analyze/undo/redo phases — the measured
+// side of the CTMC comparison printed by `selfheal-sim -metrics`. The
+// catalog is docs/OBSERVABILITY.md; instrumentation is off (nil-safe,
+// near-zero cost) until Observe is called.
 package selfheal
 
 import (
@@ -128,6 +136,8 @@ type System struct {
 	alertQ    []Alert
 	recoveryQ []*Unit
 	metrics   Metrics
+	// o is the optional observability wiring (Observe); zero means off.
+	o sysObs
 	// flip alternates recovery and normal work in concurrent mode.
 	flip bool
 	// eagerFlip alternates analysis and unit execution in eager mode.
@@ -209,11 +219,17 @@ func (s *System) QueueLengths() (int, int) {
 // full and the alert is lost.
 func (s *System) Report(a Alert) bool {
 	s.metrics.AlertsReported++
+	s.o.reported.Inc()
 	if len(s.alertQ) >= s.cfg.AlertBuf {
 		s.metrics.AlertsLost++
+		s.o.lost.Inc()
 		return false
 	}
 	s.alertQ = append(s.alertQ, a)
+	if s.o.enabled {
+		s.o.queues(len(s.alertQ), len(s.recoveryQ))
+		s.o.checkState(s.State())
+	}
 	return true
 }
 
@@ -228,42 +244,60 @@ var ErrIdle = errors.New("selfheal: idle")
 // ticks alternate between recovery work and normal work whenever both are
 // pending, instead of gating normal tasks.
 func (s *System) Tick() error {
+	err := s.tick()
+	if s.o.enabled {
+		s.o.queues(len(s.alertQ), len(s.recoveryQ))
+		s.o.afterTick(s.State())
+	}
+	return err
+}
+
+func (s *System) tick() error {
 	if s.cfg.Concurrent && s.State() != stg.Normal {
 		s.flip = !s.flip
 		if s.flip && s.hasNormalWork() {
 			s.metrics.TicksNormal++
 			s.metrics.ConcurrentNormalSteps++
+			s.o.ticks[stg.Normal].Inc()
+			s.o.concurrentSteps.Inc()
 			return s.stepNormal()
 		}
 	}
 	switch {
 	case len(s.recoveryQ) >= s.cfg.RecoveryBuf:
-		// Analyzer blocked: forced drain (§IV.E completion).
-		s.metrics.TicksScan++ // alerts may be queued; classified as SCAN when so
+		// Analyzer blocked: forced drain (§IV.E completion). Alerts may
+		// be queued; the tick is classified as SCAN when so.
 		if len(s.alertQ) == 0 {
-			s.metrics.TicksScan--
 			s.metrics.TicksRecovery++
+			s.o.ticks[stg.Recovery].Inc()
+		} else {
+			s.metrics.TicksScan++
+			s.o.ticks[stg.Scan].Inc()
 		}
 		return s.executeUnit()
 	case s.cfg.EagerRecovery && len(s.recoveryQ) > 0 && len(s.alertQ) > 0:
 		// §III.D strategy 2: alternate unit execution with analysis
 		// instead of gating recovery behind an empty alert queue.
 		s.eagerFlip = !s.eagerFlip
+		s.metrics.TicksScan++
+		s.o.ticks[stg.Scan].Inc()
 		if s.eagerFlip {
-			s.metrics.TicksScan++
 			s.metrics.EagerUnits++
+			s.o.eagerUnit.Inc()
 			return s.executeUnit()
 		}
-		s.metrics.TicksScan++
 		return s.analyzeAlert()
 	case len(s.alertQ) > 0:
 		s.metrics.TicksScan++
+		s.o.ticks[stg.Scan].Inc()
 		return s.analyzeAlert()
 	case len(s.recoveryQ) > 0:
 		s.metrics.TicksRecovery++
+		s.o.ticks[stg.Recovery].Inc()
 		return s.executeUnit()
 	default:
 		s.metrics.TicksNormal++
+		s.o.ticks[stg.Normal].Inc()
 		return s.stepNormal()
 	}
 }
@@ -289,9 +323,12 @@ func (s *System) analyzeAlert() error {
 		}
 	}
 	s.alertQ = s.alertQ[take:]
+	analyzeStart := s.o.now()
 	an := recovery.AnalyzeGraph(s.graph.Snapshot(), s.eng.Log(), s.specs, merged.Bad)
+	s.o.observeLatency(s.o.analyzeSeconds, analyzeStart)
 	s.recoveryQ = append(s.recoveryQ, &Unit{Alert: merged, Analysis: an})
 	s.metrics.AlertsAnalyzed += take
+	s.o.analyzed.Add(int64(take))
 	return nil
 }
 
@@ -306,15 +343,26 @@ func (s *System) executeUnit() error {
 	// A fresh snapshot (not the unit's analysis-time one): normal tasks
 	// may have committed since the alert was analyzed (Concurrent mode),
 	// and the repair must fold them into the damage closure.
+	repairStart := s.o.now()
 	res, err := recovery.RepairGraph(s.graph.Snapshot(), s.eng.Store(), s.eng.Log(), s.specs, u.Alert.Bad, s.cfg.Repair)
 	if err != nil {
 		return fmt.Errorf("selfheal: recovery unit failed: %w", err)
+	}
+	s.o.observeLatency(s.o.repairSeconds, repairStart)
+	if s.o.enabled {
+		s.o.repairAnalyze.Observe(res.Phases.Analyze.Seconds())
+		s.o.repairUndo.Observe(res.Phases.Undo.Seconds())
+		s.o.repairRedo.Observe(res.Phases.Redo.Seconds())
 	}
 	s.eng.SwapStore(res.Store)
 	s.metrics.UnitsExecuted++
 	s.metrics.Undone += len(res.Undone)
 	s.metrics.Redone += len(res.Redone)
 	s.metrics.NewExecuted += len(res.NewExecuted)
+	s.o.units.Inc()
+	s.o.undone.Add(int64(len(res.Undone)))
+	s.o.redone.Add(int64(len(res.Redone)))
+	s.o.newExec.Add(int64(len(res.NewExecuted)))
 
 	// Resynchronize in-flight runs whose execution path the repair
 	// rewrote: they must continue from the corrected frontier, not the
@@ -350,6 +398,7 @@ func (s *System) stepNormal() error {
 			return err
 		}
 		s.metrics.NormalSteps++
+		s.o.normalSteps.Inc()
 		return nil
 	}
 	return ErrIdle

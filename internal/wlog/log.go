@@ -4,14 +4,22 @@
 // dependencies can be computed precisely, §II.C), the values it wrote, and —
 // for choice nodes — the successor it selected (so control-dependence
 // recovery can re-check the execution path, §III.B).
+//
+// The log is an instrumentation point of the observability layer
+// (internal/obs, docs/OBSERVABILITY.md): Observe wires an append counter, a
+// length gauge, and the cumulative time spent in OnAppend commit hooks —
+// the maintenance cost of the incremental dependence graph. Instrumentation
+// is off (and free beyond a nil check) until Observe is called.
 package wlog
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"selfheal/internal/data"
+	"selfheal/internal/obs"
 	"selfheal/internal/wf"
 )
 
@@ -73,6 +81,35 @@ type Log struct {
 	byRun map[string][]*Entry
 	// hooks are commit observers registered via OnAppend.
 	hooks []func(*Entry)
+	// o holds the optional instrumentation (Observe); zero means off, and
+	// the nil-safe obs primitives make every update a no-op.
+	o logObs
+}
+
+// logObs is the log's instrumentation: commit counter, current length, and
+// the cumulative time spent in commit hooks (the incremental dependence
+// maintenance cost the EXPERIMENTS.md append benchmark measures).
+type logObs struct {
+	appends     *obs.Counter
+	entries     *obs.Gauge
+	hookSeconds *obs.Sum
+}
+
+// Observe wires the log's instrumentation into reg (see docs/OBSERVABILITY.md
+// for the metric catalog). A nil registry leaves instrumentation off — the
+// default, which keeps Append at its uninstrumented cost.
+func (l *Log) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o = logObs{
+		appends:     reg.Counter(obs.MWlogAppends),
+		entries:     reg.Gauge(obs.MWlogEntries),
+		hookSeconds: reg.Sum(obs.MWlogHookSeconds),
+	}
+	l.o.entries.Set(int64(len(l.entries)))
 }
 
 // New returns an empty log.
@@ -96,8 +133,17 @@ func (l *Log) Append(e *Entry) (int, error) {
 	l.entries = append(l.entries, e)
 	l.byInst[id] = e
 	l.byRun[e.Run] = append(l.byRun[e.Run], e)
+	l.o.appends.Inc()
+	l.o.entries.Set(int64(len(l.entries)))
+	var hookStart time.Time
+	if l.o.hookSeconds != nil {
+		hookStart = time.Now()
+	}
 	for _, h := range l.hooks {
 		h(e)
+	}
+	if l.o.hookSeconds != nil {
+		l.o.hookSeconds.Add(time.Since(hookStart).Seconds())
 	}
 	return e.LSN, nil
 }

@@ -1,8 +1,34 @@
 #!/bin/sh
-# CI gate: build, vet, race-enabled tests. Equivalent to `make ci` for
-# environments without make.
+# CI gate: formatting, build, vet, race-enabled tests, and the
+# observability doc-drift check. Equivalent to `make ci` for environments
+# without make.
 set -eux
 cd "$(dirname "$0")/.."
+
+# Formatting gate: gofmt must produce no diffs.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Doc-drift gate: every metric name declared in the obs catalog must be
+# documented in docs/OBSERVABILITY.md (TestCatalogDocumented enforces the
+# same pairing from Go; this catches it even when tests are skipped).
+names=$(sed -n 's/^\tM[A-Za-z]* *= "\([a-z_]*\)"$/\1/p' internal/obs/catalog.go)
+count=$(echo "$names" | grep -c .)
+if [ "$count" -lt 30 ]; then
+    echo "doc-drift gate: extracted only $count metric names from internal/obs/catalog.go; extraction broken?" >&2
+    exit 1
+fi
+for name in $names; do
+    if ! grep -q "\`$name\`" docs/OBSERVABILITY.md; then
+        echo "doc-drift gate: metric $name is not documented in docs/OBSERVABILITY.md" >&2
+        exit 1
+    fi
+done
