@@ -1,5 +1,13 @@
-// Command selfheal-server exposes the recovery-system analysis engine over
-// HTTP:
+// Command selfheal-server exposes the self-healing workflow system over
+// HTTP: the versioned workflow API backed by the concurrent sharded
+// execution layer (internal/shard), plus the legacy CTMC analysis routes.
+//
+//	POST /api/v1/runs                submit a workflow run (wfjson spec)
+//	GET  /api/v1/runs                list run statuses
+//	GET  /api/v1/runs/{id}           one run's status
+//	POST /api/v1/alerts              deliver an IDS alert {"bad": [...]}
+//	GET  /api/v1/state               NORMAL/SCAN/RECOVERY, queues, metrics
+//	GET  /api/v1/store               committed store snapshot
 //
 //	GET /healthz                     liveness
 //	GET /figures                     list of reproducible figure IDs
@@ -12,37 +20,78 @@
 //	GET /metrics                     Prometheus text exposition (internal/obs)
 //	GET /varz                        expvar-style key-sorted JSON snapshot
 //
-// The metric catalog served by /metrics and /varz is docs/OBSERVABILITY.md.
+// Routes and error envelope are documented in docs/API.md; the metric
+// catalog served by /metrics and /varz is docs/OBSERVABILITY.md.
 //
 // Example:
 //
-//	selfheal-server -addr :8080 &
-//	curl 'localhost:8080/solve?lambda=1&mu=2&xi=3&t=100'
-//	curl 'localhost:8080/metrics'
+//	selfheal-server -addr :8080 -shards 4 &
+//	curl -X POST localhost:8080/api/v1/runs -d '{"id":"r1","spec":{...}}'
+//	curl 'localhost:8080/api/v1/state'
+//
+// With -addr 127.0.0.1:0 the kernel picks a free port; the first stdout
+// line ("selfheal-server listening on <addr>") names it, which is how
+// scripts/ci.sh boots the API smoke test on an ephemeral port.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"selfheal/internal/httpapi"
 	"selfheal/internal/obs"
+	"selfheal/internal/shard"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	shards := flag.Int("shards", 4, "worker shards for the execution layer")
+	strict := flag.Bool("strict", false, "Theorem-4 strict mode: quiesce shards for whole SCAN+RECOVERY")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	svc, err := shard.New(shard.Config{Shards: *shards, Strict: *strict}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Observe(reg)
+	svc.Start()
+	defer svc.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.ObservedHandler(obs.NewRegistry()),
+		Handler:           httpapi.Server(reg, svc),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("selfheal-server listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	// The resolved address line is a machine-readable contract (see package
+	// comment); keep it the first thing on stdout.
+	fmt.Printf("selfheal-server listening on %s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
 		log.Fatal(err)
+	case s := <-sig:
+		fmt.Printf("selfheal-server shutting down (%v)\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
 	}
 }

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -100,7 +101,7 @@ func run(specPath, attack string, corrupt data.Value, dump string) error {
 	if err != nil {
 		return err
 	}
-	if err := eng.RunAll(r); err != nil {
+	if err := eng.RunAll(context.Background(), r); err != nil {
 		return err
 	}
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -107,7 +108,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// Normal processing continues, reading the corrupted balances.
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		log.Fatal(err)
 	}
 	printBalances("after forged transfer:", sys)
@@ -115,7 +116,7 @@ func main() {
 
 	// The IDS reports the forged task; the system scans and recovers.
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{forged}})
-	if err := sys.DrainRecovery(20); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 20); err != nil {
 		log.Fatal(err)
 	}
 	m := sys.Metrics()
@@ -139,7 +140,7 @@ func main() {
 	if err := cleanSys.StartRun("tx2", transfer("tx2", "bob", "carol", 100)); err != nil {
 		log.Fatal(err)
 	}
-	if err := cleanSys.RunToCompletion(100); err != nil {
+	if err := cleanSys.RunToCompletion(context.Background(), 100); err != nil {
 		log.Fatal(err)
 	}
 	for _, acct := range []data.Key{"acct:alice", "acct:bob", "acct:carol", "acct:eve"} {

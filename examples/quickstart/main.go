@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.RunAll(run); err != nil {
+	if err := eng.RunAll(context.Background(), run); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("after the attack:", eng.Store().Snapshot())

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -81,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.RunAll(run); err != nil {
+	if err := eng.RunAll(context.Background(), run); err != nil {
 		log.Fatal(err)
 	}
 	snap := eng.Store().Snapshot()

@@ -10,6 +10,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"selfheal/internal/data"
@@ -118,7 +119,7 @@ func RollbackRecover(log *wlog.Log, specs map[string]*wf.Spec, initial map[data.
 		runs = append(runs, r)
 	}
 	before := newLog.Len()
-	if err := eng.Interleave(runs, nil, maxSteps); err != nil {
+	if err := eng.Interleave(context.Background(), runs, nil, maxSteps); err != nil {
 		return nil, fmt.Errorf("baseline: re-execution: %w", err)
 	}
 	res.ReExecuted = newLog.Len() - before

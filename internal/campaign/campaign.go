@@ -8,6 +8,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -182,7 +183,7 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 	}
-	if err := sys.DrainRecovery(10 * cfg.MaxTicks); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 10*cfg.MaxTicks); err != nil {
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package deps_test
 
 import (
+	"context"
 	"testing"
 
 	"selfheal/internal/data"
@@ -270,7 +271,7 @@ func TestForgedReadsParticipateInFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(r1); err != nil { // t2 reads the forged a
+	if err := eng.RunAll(context.Background(), r1); err != nil { // t2 reads the forged a
 		t.Fatal(err)
 	}
 	g := deps.Build(eng.Log())

@@ -18,13 +18,29 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"selfheal/internal/data"
 	"selfheal/internal/obs"
 	"selfheal/internal/wf"
 	"selfheal/internal/wlog"
+)
+
+// Sentinel errors of the execution layers. Handlers map them to HTTP status
+// codes with errors.Is (internal/httpapi), so every layer that rejects a
+// submission wraps the matching sentinel instead of inventing an ad-hoc
+// string.
+var (
+	// ErrBadSpec marks an invalid workflow specification or run identity.
+	ErrBadSpec = errors.New("invalid workflow spec")
+	// ErrRunExists marks a submission reusing an already-registered run ID.
+	ErrRunExists = errors.New("run already exists")
+	// ErrUnknownRun marks a lookup of a run ID nothing has registered.
+	ErrUnknownRun = errors.New("unknown run")
 )
 
 // Run is one in-flight workflow instance.
@@ -80,8 +96,12 @@ func (e *TaskFailure) Error() string {
 // Failed reports whether the run aborted due to a task failure.
 func (r *Run) Failed() bool { return r.failed }
 
-// Engine executes runs against a store and a log.
+// Engine executes runs against a store and a log. The engine itself is safe
+// for concurrent use by multiple goroutines as long as each Run is driven by
+// at most one goroutine at a time (runs carry unsynchronized per-run state);
+// the sharded executor (internal/shard) relies on exactly that contract.
 type Engine struct {
+	mu      sync.RWMutex // guards store (swap) and attacks
 	store   *data.Store
 	log     *wlog.Log
 	attacks map[wlog.InstanceID]*Attack
@@ -121,12 +141,21 @@ func New(store *data.Store, log *wlog.Log) *Engine {
 }
 
 // Store returns the engine's store.
-func (e *Engine) Store() *data.Store { return e.store }
+func (e *Engine) Store() *data.Store {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store
+}
 
 // SwapStore replaces the engine's store. The recovery scheduler installs the
-// repaired store this way after executing a recovery unit; the engine must
-// be quiescent (no Step in flight) during the swap.
-func (e *Engine) SwapStore(s *data.Store) { e.store = s }
+// repaired store this way after executing a recovery unit; no commit may be
+// in flight during the swap (the sharded executor serializes the swap
+// through its commit pipeline).
+func (e *Engine) SwapStore(s *data.Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = s
+}
 
 // Log returns the engine's log.
 func (e *Engine) Log() *wlog.Log { return e.log }
@@ -138,16 +167,26 @@ func (e *Engine) AddAttack(a Attack) {
 		a.Visit = 1
 	}
 	cp := a
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.attacks[wlog.FormatInstance(a.Run, a.Task, a.Visit)] = &cp
 }
 
-// NewRun starts a run of spec under the given ID.
+// attack returns the registered attack for inst, if any.
+func (e *Engine) attack(inst wlog.InstanceID) *Attack {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.attacks[inst]
+}
+
+// NewRun starts a run of spec under the given ID. Rejections wrap
+// ErrBadSpec so submission layers can classify them with errors.Is.
 func (e *Engine) NewRun(id string, spec *wf.Spec) (*Run, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, fmt.Errorf("engine: run %s: %w", id, err)
+		return nil, fmt.Errorf("engine: run %s: %w: %w", id, ErrBadSpec, err)
 	}
 	if id == "" {
-		return nil, fmt.Errorf("engine: empty run ID")
+		return nil, fmt.Errorf("engine: %w: empty run ID", ErrBadSpec)
 	}
 	return &Run{ID: id, Spec: spec, cur: spec.Start, visits: make(map[wf.TaskID]int)}, nil
 }
@@ -175,24 +214,44 @@ func (e *Engine) Resync(r *Run, cur wf.TaskID, done bool) error {
 	return nil
 }
 
-// Step executes the run's next task and commits it. It returns true when the
-// run has completed (including when it was already complete).
-func (e *Engine) Step(r *Run) (bool, error) {
+// Prepared is one computed-but-uncommitted task execution: the read view,
+// the computed writes and the chosen successor of the run's next task. A
+// Prepared is produced by Prepare and consumed exactly once by Commit or
+// CommitBatch; between the two, the run must not be stepped again. The
+// split is the sharded executor's building block: shards prepare steps in
+// parallel and funnel the commits through a group-commit pipeline.
+type Prepared struct {
+	run    *Run
+	entry  *wlog.Entry
+	writes map[data.Key]data.Value
+	next   wf.TaskID
+	done   bool
+}
+
+// Run returns the run the prepared step advances.
+func (p *Prepared) Run() *Run { return p.run }
+
+// Entry returns the log entry the commit will append.
+func (p *Prepared) Entry() *wlog.Entry { return p.entry }
+
+// Prepare computes the run's next task execution without committing it: it
+// reads the latest store versions (recording the exact versions observed),
+// runs the (possibly attacked) compute, and selects the successor. It
+// returns nil when the run is already complete. A crashing attack marks the
+// run failed and returns the TaskFailure, exactly like Step.
+func (e *Engine) Prepare(r *Run) (*Prepared, error) {
 	if r.done {
-		return true, nil
-	}
-	if e.o.stepSeconds != nil {
-		defer e.observeStep(time.Now())
+		return nil, nil
 	}
 	task := r.Spec.Tasks[r.cur]
 	r.visits[r.cur]++
 	visit := r.visits[r.cur]
 	inst := wlog.FormatInstance(r.ID, r.cur, visit)
-	attack := e.attacks[inst]
+	attack := e.attack(inst)
 	if attack != nil && attack.Crash {
 		r.done = true
 		r.failed = true
-		return true, &TaskFailure{Inst: inst}
+		return nil, &TaskFailure{Inst: inst}
 	}
 
 	entry := &wlog.Entry{
@@ -204,9 +263,10 @@ func (e *Engine) Step(r *Run) (bool, error) {
 	// The commit position is the next LSN; reads observe everything
 	// committed before it. Reserve the LSN by appending at the end, so
 	// compute the read view first against "latest".
+	store := e.Store()
 	reads := make(map[data.Key]data.Value, len(task.Reads))
 	for _, k := range task.Reads {
-		v, ok := e.store.Get(k)
+		v, ok := store.Get(k)
 		if !ok {
 			entry.Reads[k] = wlog.ReadObs{Value: 0, WriterPos: wlog.MissingPos}
 			reads[k] = 0
@@ -232,36 +292,91 @@ func (e *Engine) Step(r *Run) (bool, error) {
 		}
 	}
 	entry.Writes = written
+	p := &Prepared{run: r, entry: entry, writes: written}
 
 	// Branch selection for choice nodes.
-	var next wf.TaskID
 	switch {
 	case len(task.Next) == 0:
-		r.done = true
+		p.done = true
 	case len(task.Next) == 1:
-		next = task.Next[0]
+		p.next = task.Next[0]
 	default:
 		choose := task.Choose
 		if attack != nil && attack.Choose != nil {
 			choose = attack.Choose
 		}
-		next = choose(reads)
-		if !validNext(task, next) {
-			return false, fmt.Errorf("engine: %s chose invalid successor %q", inst, next)
+		p.next = choose(reads)
+		if !validNext(task, p.next) {
+			return nil, fmt.Errorf("engine: %s chose invalid successor %q", inst, p.next)
 		}
-		entry.Chosen = next
+		entry.Chosen = p.next
 	}
+	return p, nil
+}
 
-	lsn, err := e.log.Append(entry)
-	if err != nil {
-		return false, fmt.Errorf("engine: commit %s: %w", inst, err)
-	}
+// apply installs a committed prepared step: store writes at the assigned
+// LSN, then the run's frontier advance.
+func (e *Engine) apply(p *Prepared, lsn int) {
 	e.o.commits.Inc()
-	for k, v := range written {
-		e.store.Write(k, v, float64(lsn), string(inst), false)
+	store := e.Store()
+	inst := p.entry.ID()
+	for k, v := range p.writes {
+		store.Write(k, v, float64(lsn), string(inst), false)
 	}
-	if !r.done {
-		r.cur = next
+	if p.done {
+		p.run.done = true
+	} else {
+		p.run.cur = p.next
+	}
+}
+
+// Commit appends a prepared step to the log and applies its effects.
+func (e *Engine) Commit(p *Prepared) error {
+	lsn, err := e.log.Append(p.entry)
+	if err != nil {
+		return fmt.Errorf("engine: commit %s: %w", p.entry.ID(), err)
+	}
+	e.apply(p, lsn)
+	return nil
+}
+
+// CommitBatch group-commits prepared steps from distinct runs: one
+// wlog.AppendBatch (a single log-lock acquisition, consecutive LSNs, hooks
+// in LSN order), then the store writes and frontier advances in the same
+// order. The batch is atomic: on a duplicate instance nothing commits.
+func (e *Engine) CommitBatch(ps []*Prepared) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	entries := make([]*wlog.Entry, len(ps))
+	for i, p := range ps {
+		entries[i] = p.entry
+	}
+	first, err := e.log.AppendBatch(entries)
+	if err != nil {
+		return fmt.Errorf("engine: commit batch of %d: %w", len(ps), err)
+	}
+	for i, p := range ps {
+		e.apply(p, first+i)
+	}
+	return nil
+}
+
+// Step executes the run's next task and commits it. It returns true when the
+// run has completed (including when it was already complete).
+func (e *Engine) Step(r *Run) (bool, error) {
+	if r.done {
+		return true, nil
+	}
+	if e.o.stepSeconds != nil {
+		defer e.observeStep(time.Now())
+	}
+	p, err := e.Prepare(r)
+	if err != nil {
+		return r.done, err
+	}
+	if err := e.Commit(p); err != nil {
+		return false, err
 	}
 	return r.done, nil
 }
@@ -334,8 +449,9 @@ func (e *Engine) ResumeRuns(specs map[string]*wf.Spec) ([]*Run, error) {
 // Interleave executes the runs following an explicit schedule: order[i]
 // names the index of the run to step next. Completed runs are skipped. After
 // the schedule is exhausted, remaining runs are completed round-robin. A
-// step budget guards against non-terminating cyclic workflows.
-func (e *Engine) Interleave(runs []*Run, order []int, maxSteps int) error {
+// step budget guards against non-terminating cyclic workflows, and a
+// cancelled ctx stops the batch between steps.
+func (e *Engine) Interleave(ctx context.Context, runs []*Run, order []int, maxSteps int) error {
 	if maxSteps <= 0 {
 		maxSteps = 10000
 	}
@@ -343,6 +459,9 @@ func (e *Engine) Interleave(runs []*Run, order []int, maxSteps int) error {
 	step := func(r *Run) error {
 		if r.Done() {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		if steps++; steps > maxSteps {
 			return fmt.Errorf("engine: exceeded %d steps; cyclic workflow not terminating?", maxSteps)
@@ -376,8 +495,8 @@ func (e *Engine) Interleave(runs []*Run, order []int, maxSteps int) error {
 }
 
 // RunAll completes all runs with round-robin interleaving.
-func (e *Engine) RunAll(runs ...*Run) error {
-	return e.Interleave(runs, nil, 0)
+func (e *Engine) RunAll(ctx context.Context, runs ...*Run) error {
+	return e.Interleave(ctx, runs, nil, 0)
 }
 
 // InjectForged commits a forged task: an execution injected by the attacker
@@ -394,8 +513,9 @@ func (e *Engine) InjectForged(run string, task wf.TaskID, readKeys []data.Key, w
 		Reads:  make(map[data.Key]wlog.ReadObs, len(readKeys)),
 		Writes: writes,
 	}
+	store := e.Store()
 	for _, k := range readKeys {
-		v, ok := e.store.Get(k)
+		v, ok := store.Get(k)
 		if !ok {
 			entry.Reads[k] = wlog.ReadObs{Value: 0, WriterPos: wlog.MissingPos}
 			continue
@@ -409,7 +529,7 @@ func (e *Engine) InjectForged(run string, task wf.TaskID, readKeys []data.Key, w
 	}
 	e.o.forged.Inc()
 	for k, v := range writes {
-		e.store.Write(k, v, float64(lsn), string(inst), false)
+		store.Write(k, v, float64(lsn), string(inst), false)
 	}
 	return inst, nil
 }

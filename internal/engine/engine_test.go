@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -195,7 +196,7 @@ func TestInterleaveProducesL1(t *testing.T) {
 		},
 	})
 	order := []int{0, 1, 0, 1, 0, 0, 1, 0, 1}
-	if err := eng.Interleave([]*engine.Run{r1, r2}, order, 0); err != nil {
+	if err := eng.Interleave(context.Background(), []*engine.Run{r1, r2}, order, 0); err != nil {
 		t.Fatal(err)
 	}
 	var got []string
@@ -210,14 +211,14 @@ func TestInterleaveProducesL1(t *testing.T) {
 
 func TestInterleaveBadIndex(t *testing.T) {
 	eng, r1, _ := newFig1Engine(t)
-	if err := eng.Interleave([]*engine.Run{r1}, []int{2}, 0); err == nil {
+	if err := eng.Interleave(context.Background(), []*engine.Run{r1}, []int{2}, 0); err == nil {
 		t.Fatal("bad index accepted")
 	}
 }
 
 func TestRunAllCompletesEverything(t *testing.T) {
 	eng, r1, r2 := newFig1Engine(t)
-	if err := eng.RunAll(r1, r2); err != nil {
+	if err := eng.RunAll(context.Background(), r1, r2); err != nil {
 		t.Fatal(err)
 	}
 	if !r1.Done() || !r2.Done() {
@@ -257,7 +258,7 @@ func TestCyclicWorkflowVisits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(r); err != nil {
+	if err := eng.RunAll(context.Background(), r); err != nil {
 		t.Fatal(err)
 	}
 	// a, b#1, c#1, b#2, c#2, b#3, c#3, end = 8 commits.
@@ -288,7 +289,7 @@ func TestNonTerminatingRunCapped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = eng.Interleave([]*engine.Run{r}, nil, 50)
+	err = eng.Interleave(context.Background(), []*engine.Run{r}, nil, 50)
 	if err == nil || !strings.Contains(err.Error(), "50 steps") {
 		t.Fatalf("err = %v, want step-budget error", err)
 	}
@@ -375,7 +376,7 @@ func TestFailureDoesNotSpreadDamage(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 	// The other workflow continues unharmed.
-	if err := eng.RunAll(r2); err != nil {
+	if err := eng.RunAll(context.Background(), r2); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := eng.Store().Get("h"); v.Value != 3 {

@@ -17,17 +17,28 @@ import (
 
 	"selfheal/internal/dot"
 	"selfheal/internal/figures"
+	"selfheal/internal/obs"
+	"selfheal/internal/shard"
 	"selfheal/internal/stg"
 )
 
-// Handler returns the service's routes without instrumentation.
+// Handler returns the analysis routes without instrumentation.
 // ObservedHandler adds the /metrics and /varz exposition endpoints plus
-// per-route request accounting.
+// per-route request accounting; Server additionally mounts the versioned
+// workflow API over a live sharded service.
 func Handler() http.Handler {
 	return ObservedHandler(nil)
 }
 
-func baseMux() *http.ServeMux {
+// Server returns the full route set: the legacy analysis routes (/solve,
+// /figures, /stg.dot, /repair), the exposition endpoints when reg is
+// non-nil, and — when svc is non-nil — the versioned workflow API under
+// /api/v1/ backed by the sharded self-healing service (docs/API.md).
+func Server(reg *obs.Registry, svc *shard.Service) http.Handler {
+	return observed(reg, svc)
+}
+
+func baseMux(svc *shard.Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /figures", handleFigures)
@@ -35,6 +46,9 @@ func baseMux() *http.ServeMux {
 	mux.HandleFunc("GET /solve", handleSolve)
 	mux.HandleFunc("GET /stg.dot", handleSTG)
 	mux.HandleFunc("POST /repair", handleRepair)
+	if svc != nil {
+		v1Routes(mux, svc)
+	}
 	return mux
 }
 
@@ -204,8 +218,39 @@ func buildModel(lambda, mu, xi float64, buf int, fName, gName string) (*stg.Mode
 	return stg.New(p)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// errorEnvelope is the single error document every route returns:
+// {"error": {"code": "...", "message": "..."}}.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// errorCode is the stable machine-readable slug for each status the API
+// produces.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "run_exists"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	default:
+		return "internal"
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	var env errorEnvelope
+	env.Error.Code = errorCode(status)
+	env.Error.Message = err.Error()
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(env)
 }

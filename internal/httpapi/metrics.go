@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"selfheal/internal/obs"
+	"selfheal/internal/shard"
 )
 
 // ObservedHandler returns the service's routes wired into the observability
@@ -19,7 +20,12 @@ import (
 // is docs/OBSERVABILITY.md. A nil registry returns the uninstrumented
 // routes, identical to Handler.
 func ObservedHandler(reg *obs.Registry) http.Handler {
-	mux := baseMux()
+	return observed(reg, nil)
+}
+
+// observed assembles the mux for Handler, ObservedHandler and Server.
+func observed(reg *obs.Registry, svc *shard.Service) http.Handler {
+	mux := baseMux(svc)
 	if reg == nil {
 		return mux
 	}

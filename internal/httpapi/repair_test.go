@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -54,7 +55,7 @@ func buildAttackedSnapshot(t *testing.T) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(r); err != nil {
+	if err := eng.RunAll(context.Background(), r); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

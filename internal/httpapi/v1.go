@@ -1,0 +1,179 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"selfheal/internal/engine"
+	"selfheal/internal/shard"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// The versioned workflow API (docs/API.md): the sharded self-healing
+// service as an HTTP resource model.
+//
+//	POST /api/v1/runs        submit a workflow run (wfjson spec)
+//	GET  /api/v1/runs        list run statuses
+//	GET  /api/v1/runs/{id}   one run's status
+//	POST /api/v1/alerts      deliver an IDS alert
+//	GET  /api/v1/state       NORMAL/SCAN/RECOVERY, queues, metrics
+//
+// Every error is the single JSON envelope {"error": {"code", "message"}};
+// sentinel errors of the execution layers map to status codes via
+// errors.Is (400 bad_spec, 404 not_found, 409 run_exists, 429 queue_full).
+
+// runRequest is the POST /api/v1/runs document.
+type runRequest struct {
+	// ID names the run; must be unique for the service's lifetime.
+	ID string `json:"id"`
+	// Spec is the declarative workflow (wfjson format, as used by wfrun
+	// and POST /repair). Its init block seeds store keys that have no
+	// committed versions yet.
+	Spec wfjson.SpecJSON `json:"spec"`
+}
+
+// alertRequest is the POST /api/v1/alerts document.
+type alertRequest struct {
+	// Bad lists the malicious task instances ("run:task:visit").
+	Bad []string `json:"bad"`
+}
+
+// stateResponse is the GET /api/v1/state document.
+type stateResponse struct {
+	// State is the §IV.C classification: NORMAL, SCAN or RECOVERY.
+	State string `json:"state"`
+	// Queues reports the bounded queues' current depths.
+	Queues struct {
+		Alerts   int `json:"alerts"`
+		Units    int `json:"units"`
+		Deferred int `json:"deferred"`
+	} `json:"queues"`
+	// Metrics is the cumulative service accounting (shard.Metrics).
+	Metrics shard.Metrics `json:"metrics"`
+	// Runs lists every submitted run's status.
+	Runs []shard.RunInfo `json:"runs"`
+}
+
+// v1Routes mounts the versioned workflow API over the sharded service.
+func v1Routes(mux *http.ServeMux, svc *shard.Service) {
+	mux.HandleFunc("POST /api/v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var req runRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
+			return
+		}
+		if req.ID == "" {
+			serviceError(w, fmt.Errorf("run id is required: %w", engine.ErrBadSpec))
+			return
+		}
+		spec, init, err := wfjson.Build(&req.Spec)
+		if err != nil {
+			serviceError(w, fmt.Errorf("spec: %w: %w", engine.ErrBadSpec, err))
+			return
+		}
+		// Seed declared initial values, first writer wins: keys some run
+		// already committed to keep their committed history.
+		store := svc.Store()
+		for k, v := range init {
+			if _, ok := store.Get(k); !ok {
+				store.Init(k, v)
+			}
+		}
+		if err := svc.SubmitRun(req.ID, spec); err != nil {
+			serviceError(w, err)
+			return
+		}
+		info, err := svc.RunInfo(req.ID)
+		if err != nil {
+			serviceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /api/v1/runs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Runs())
+	})
+
+	mux.HandleFunc("GET /api/v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := svc.RunInfo(r.PathValue("id"))
+		if err != nil {
+			serviceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("POST /api/v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		var req alertRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
+			return
+		}
+		bad := make([]wlog.InstanceID, len(req.Bad))
+		for i, b := range req.Bad {
+			bad[i] = wlog.InstanceID(b)
+		}
+		if err := svc.Report(bad); err != nil {
+			serviceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"status": "queued",
+			"state":  svc.State().String(),
+		})
+	})
+
+	mux.HandleFunc("GET /api/v1/state", func(w http.ResponseWriter, _ *http.Request) {
+		var resp stateResponse
+		resp.State = svc.State().String()
+		resp.Queues.Alerts, resp.Queues.Units, resp.Queues.Deferred = svc.QueueLengths()
+		resp.Metrics = svc.Metrics()
+		resp.Runs = svc.Runs()
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /api/v1/store", func(w http.ResponseWriter, _ *http.Request) {
+		snap := svc.Store().Snapshot()
+		out := make(map[string]int64, len(snap))
+		for k, v := range snap {
+			out[string(k)] = int64(v)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// serviceError maps the execution layers' sentinel errors onto status codes
+// and writes the error envelope.
+func serviceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrBadSpec):
+		httpError(w, http.StatusBadRequest, err)
+	case errors.Is(err, engine.ErrUnknownRun):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, engine.ErrRunExists):
+		httpError(w, http.StatusConflict, err)
+	case errors.Is(err, shard.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing sensible to do but note it for the
+		// request log.
+		_ = err
+	}
+}

@@ -1,0 +1,240 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"selfheal/internal/shard"
+	"selfheal/internal/wfjson"
+)
+
+func chainSpecJSON(name string, n int) wfjson.SpecJSON {
+	sj := wfjson.SpecJSON{Name: name, Start: "t1"}
+	for i := 1; i <= n; i++ {
+		tj := wfjson.TaskJSON{
+			ID:     fmt.Sprintf("t%d", i),
+			Writes: []string{fmt.Sprintf("%s.k%d", name, i)},
+			Bias:   int64(i),
+		}
+		if i > 1 {
+			tj.Reads = []string{fmt.Sprintf("%s.k%d", name, i-1)}
+		}
+		if i < n {
+			tj.Next = []string{fmt.Sprintf("t%d", i+1)}
+		}
+		sj.Tasks = append(sj.Tasks, tj)
+	}
+	return sj
+}
+
+func v1Server(t *testing.T) (*httptest.Server, *shard.Service) {
+	t.Helper()
+	svc, err := shard.New(shard.Config{Shards: 2, AlertBuf: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	t.Cleanup(svc.Stop)
+	ts := httptest.NewServer(Server(nil, svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// envelopeCode decodes the error envelope and returns its code, failing the
+// test if the body is not the canonical envelope shape.
+func envelopeCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %v (%s)", err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", body)
+	}
+	return env.Error.Code
+}
+
+func TestV1RunLifecycle(t *testing.T) {
+	ts, _ := v1Server(t)
+
+	resp, body := doJSON(t, "POST", ts.URL+"/api/v1/runs",
+		map[string]any{"id": "r1", "spec": chainSpecJSON("w", 5)})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	var info shard.RunInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "r1" {
+		t.Fatalf("submit response: %+v", info)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = doJSON(t, "GET", ts.URL+"/api/v1/runs/r1", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get run: status %d body %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never completed: %+v", info)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if info.Steps != 5 {
+		t.Fatalf("run steps = %d, want 5", info.Steps)
+	}
+
+	resp, body = doJSON(t, "GET", ts.URL+"/api/v1/runs", nil)
+	var list []shard.RunInfo
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &list) != nil || len(list) != 1 {
+		t.Fatalf("list runs: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+func TestV1ErrorEnvelopes(t *testing.T) {
+	ts, svc := v1Server(t)
+
+	// 404 with envelope for an unknown run.
+	resp, body := doJSON(t, "GET", ts.URL+"/api/v1/runs/ghost", nil)
+	if resp.StatusCode != http.StatusNotFound || envelopeCode(t, body) != "not_found" {
+		t.Fatalf("unknown run: status %d body %s", resp.StatusCode, body)
+	}
+
+	// 400 for an invalid spec.
+	resp, body = doJSON(t, "POST", ts.URL+"/api/v1/runs", map[string]any{
+		"id":   "bad",
+		"spec": wfjson.SpecJSON{Name: "bad", Start: "missing"},
+	})
+	if resp.StatusCode != http.StatusBadRequest || envelopeCode(t, body) != "bad_request" {
+		t.Fatalf("bad spec: status %d body %s", resp.StatusCode, body)
+	}
+
+	// 409 for a duplicate run ID.
+	submit := map[string]any{"id": "dup", "spec": chainSpecJSON("d", 2)}
+	if resp, body = doJSON(t, "POST", ts.URL+"/api/v1/runs", submit); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, "POST", ts.URL+"/api/v1/runs", submit)
+	if resp.StatusCode != http.StatusConflict || envelopeCode(t, body) != "run_exists" {
+		t.Fatalf("dup run: status %d body %s", resp.StatusCode, body)
+	}
+
+	// 404 for an alert naming an unlogged instance.
+	resp, body = doJSON(t, "POST", ts.URL+"/api/v1/alerts", map[string]any{"bad": []string{"ghost/t1#1"}})
+	if resp.StatusCode != http.StatusNotFound || envelopeCode(t, body) != "not_found" {
+		t.Fatalf("unknown instance alert: status %d body %s", resp.StatusCode, body)
+	}
+
+	// 429 with envelope and Retry-After once the alert queue (capacity 1)
+	// is full. The service is stopped first so the recovery worker cannot
+	// drain the queue mid-test.
+	waitNormal(t, ts, 1)
+	svc.Stop()
+	alert := map[string]any{"bad": []string{"dup/t1#1"}}
+	if resp, body = doJSON(t, "POST", ts.URL+"/api/v1/alerts", alert); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first alert: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, "POST", ts.URL+"/api/v1/alerts", alert)
+	if resp.StatusCode != http.StatusTooManyRequests || envelopeCode(t, body) != "queue_full" {
+		t.Fatalf("overflow alert: status %d body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// waitNormal polls /api/v1/state until the service is NORMAL with the given
+// number of completed runs.
+func waitNormal(t *testing.T, ts *httptest.Server, runsDone int) stateResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := doJSON(t, "GET", ts.URL+"/api/v1/state", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("state: status %d body %s", resp.StatusCode, body)
+		}
+		var st stateResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "NORMAL" && st.Metrics.RunsCompleted >= runsDone {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never settled: %s", body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestV1AlertRecoveryFlow drives the full loop through the wire: submit a
+// run, report one of its committed instances, and observe the recovery in
+// /api/v1/state.
+func TestV1AlertRecoveryFlow(t *testing.T) {
+	ts, _ := v1Server(t)
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/runs",
+		map[string]any{"id": "r1", "spec": chainSpecJSON("w", 4)}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	waitNormal(t, ts, 1)
+
+	resp, body := doJSON(t, "POST", ts.URL+"/api/v1/alerts", map[string]any{"bad": []string{"r1/t2#1"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("alert: status %d body %s", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := waitNormal(t, ts, 1)
+		if st.Metrics.UnitsExecuted >= 1 {
+			if st.Metrics.Undone < 1 || st.Metrics.Redone < 1 {
+				t.Fatalf("recovery executed without undo/redo work: %+v", st.Metrics)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery never executed: %+v", st.Metrics)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -48,6 +48,16 @@ const (
 	MTimeRecoverySeconds = "selfheal_time_recovery_seconds_total"
 	MTimeLossEdgeSeconds = "selfheal_time_loss_edge_seconds_total"
 
+	// internal/shard — the concurrent sharded execution layer (§III.D/§IV).
+	MShardSteps          = "shard_steps_total"
+	MShardActiveRuns     = "shard_active_runs"
+	MShardDeferredRuns   = "shard_deferred_runs"
+	MShardCommitBatches  = "shard_commit_batches_total"
+	MShardCommitEntries  = "shard_commit_entries_total"
+	MShardRunsCompleted  = "shard_runs_completed_total"
+	MShardRunsFailed     = "shard_runs_failed_total"
+	MShardQuiesceSeconds = "shard_quiesce_seconds"
+
 	// internal/httpapi — the analysis service.
 	MHTTPRequests       = "http_requests_total"
 	MHTTPRequestSeconds = "http_request_seconds"
@@ -105,6 +115,14 @@ func Catalog() []Def {
 		{MTimeScanSeconds, "sum", "π_S", "§V", "Virtual time the runtime spent in SCAN (rtsim)."},
 		{MTimeRecoverySeconds, "sum", "π_R", "§V", "Virtual time the runtime spent in RECOVERY (rtsim)."},
 		{MTimeLossEdgeSeconds, "sum", "P_l", "Def. 3", "Virtual time the alert buffer was full (loss-edge occupancy, rtsim)."},
+		{MShardSteps, "counter", "—", "§III.D", "Normal task commits executed, labeled by shard."},
+		{MShardActiveRuns, "gauge", "—", "§III.D", "Runs currently assigned to the shard, labeled by shard."},
+		{MShardDeferredRuns, "gauge", "—", "§III.D", "Runs waiting in the bounded deferred queue for a sound (key-disjoint) shard placement."},
+		{MShardCommitBatches, "counter", "—", "§II.A", "Group commits executed by the commit pipeline."},
+		{MShardCommitEntries, "counter", "—", "§II.A", "Log entries committed through the group-commit pipeline (entries/batches is the achieved fold)."},
+		{MShardRunsCompleted, "counter", "—", "Fig 2", "Sharded runs that reached an end node."},
+		{MShardRunsFailed, "counter", "—", "§VII", "Sharded runs aborted by a task failure."},
+		{MShardQuiesceSeconds, "histogram", "ξ_r", "§IV.C", "Wall-clock time the shards were quiesced for one recovery-unit repair."},
 		{MHTTPRequests, "counter", "—", "—", "HTTP requests served, labeled by route."},
 		{MHTTPRequestSeconds, "histogram", "—", "—", "HTTP request latency across all routes."},
 	}

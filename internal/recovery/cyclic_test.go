@@ -1,6 +1,7 @@
 package recovery_test
 
 import (
+	"context"
 	"testing"
 
 	"selfheal/internal/data"
@@ -53,7 +54,7 @@ func runLoop(t *testing.T, spec *wf.Spec, corruptInitTo *data.Value) *engine.Eng
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(r); err != nil {
+	if err := eng.RunAll(context.Background(), r); err != nil {
 		t.Fatal(err)
 	}
 	return eng
@@ -172,7 +173,7 @@ func TestRepositionedInstance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := eng.RunAll(r); err != nil {
+		if err := eng.RunAll(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 		return eng

@@ -1,6 +1,7 @@
 package recovery_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestRepairForgedOnlyRunNeedsNoSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(r); err != nil {
+	if err := eng.RunAll(context.Background(), r); err != nil {
 		t.Fatal(err)
 	}
 	res, err := recovery.Repair(eng.Store(), eng.Log(),
@@ -113,7 +114,7 @@ func TestRepairNonTerminatingCorrectedExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(r); err != nil {
+	if err := eng.RunAll(context.Background(), r); err != nil {
 		t.Fatal(err)
 	}
 	_, err = recovery.Repair(eng.Store(), eng.Log(),
@@ -285,7 +286,7 @@ func TestMultipleGuardsNestedChoices(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := eng.RunAll(r); err != nil {
+		if err := eng.RunAll(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 		return eng

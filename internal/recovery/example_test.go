@@ -1,6 +1,7 @@
 package recovery_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.RunAll(run); err != nil {
+	if err := eng.RunAll(context.Background(), run); err != nil {
 		log.Fatal(err)
 	}
 

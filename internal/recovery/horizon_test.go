@@ -1,6 +1,7 @@
 package recovery_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestCompactionBeyondHorizonRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(run); err != nil {
+	if err := eng.RunAll(context.Background(), run); err != nil {
 		t.Fatal(err)
 	}
 	horizon := float64(eng.Log().Len())

@@ -5,6 +5,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -61,7 +62,7 @@ func Fig1(attack bool) (*Scenario, error) {
 	if !attack {
 		order = []int{0, 1, 0, 1, 0, 1, 0, 1}
 	}
-	if err := eng.Interleave([]*engine.Run{r1, r2}, order, 0); err != nil {
+	if err := eng.Interleave(context.Background(), []*engine.Run{r1, r2}, order, 0); err != nil {
 		return nil, err
 	}
 	s := &Scenario{
@@ -163,7 +164,7 @@ func Random(seed int64, cfg RandomConfig, attack bool) (*Scenario, error) {
 	for i := 0; i < cfg.Runs*cfg.Gen.Tasks*2; i++ {
 		order = append(order, rng.Intn(cfg.Runs))
 	}
-	if err := eng.Interleave(runs, order, 0); err != nil {
+	if err := eng.Interleave(context.Background(), runs, order, 0); err != nil {
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package selfheal_test
 
 import (
+	"context"
 	"testing"
 
 	"selfheal/internal/data"
@@ -58,14 +59,14 @@ func TestConcurrentModeConverges(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
-	if err := sys.RunToCompletion(200); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 200); err != nil {
 		t.Fatal(err)
 	}
 	// A final follow-up report heals anything corrupted inside the
 	// window (in a deployment the IDS keeps reporting; one repair over
 	// the full log suffices here).
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
-	if err := sys.DrainRecovery(20); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 20); err != nil {
 		t.Fatal(err)
 	}
 
@@ -93,11 +94,11 @@ func TestConcurrentVsStrictWorkAccounting(t *testing.T) {
 			t.Fatal(err)
 		}
 		sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
-		if err := sys.RunToCompletion(200); err != nil {
+		if err := sys.RunToCompletion(context.Background(), 200); err != nil {
 			t.Fatal(err)
 		}
 		sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
-		if err := sys.DrainRecovery(20); err != nil {
+		if err := sys.DrainRecovery(context.Background(), 20); err != nil {
 			t.Fatal(err)
 		}
 		return sys.Metrics()
@@ -121,7 +122,7 @@ func TestConcurrentVsStrictWorkAccounting(t *testing.T) {
 func TestConcurrentModeWithCleanWorkload(t *testing.T) {
 	cfg := selfheal.Config{AlertBuf: 4, RecoveryBuf: 4, Concurrent: true}
 	sys := newFig1System(t, cfg, false)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	clean, err := scenario.Fig1(false)
@@ -143,7 +144,7 @@ func TestCoalesceAlertsBatchesAnalysis(t *testing.T) {
 	mk := func(coalesce bool) *selfheal.System {
 		cfg := selfheal.Config{AlertBuf: 8, RecoveryBuf: 8, CoalesceAlerts: coalesce}
 		sys := newFig1System(t, cfg, true)
-		if err := sys.RunToCompletion(100); err != nil {
+		if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 			t.Fatal(err)
 		}
 		// A burst of three alerts: the attack plus two flow-damaged
@@ -151,7 +152,7 @@ func TestCoalesceAlertsBatchesAnalysis(t *testing.T) {
 		for _, id := range []wlog.InstanceID{"r1/t1#1", "r1/t2#1", "r2/t8#1"} {
 			sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{id}})
 		}
-		if err := sys.DrainRecovery(20); err != nil {
+		if err := sys.DrainRecovery(context.Background(), 20); err != nil {
 			t.Fatal(err)
 		}
 		return sys
@@ -189,14 +190,14 @@ func TestEagerRecoveryStrategy(t *testing.T) {
 	mk := func(eager bool) *selfheal.System {
 		cfg := selfheal.Config{AlertBuf: 8, RecoveryBuf: 8, EagerRecovery: eager}
 		sys := newFig1System(t, cfg, true)
-		if err := sys.RunToCompletion(100); err != nil {
+		if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 			t.Fatal(err)
 		}
 		// A burst of three alerts queues up before any tick.
 		for _, id := range []wlog.InstanceID{"r1/t1#1", "r1/t2#1", "r2/t8#1"} {
 			sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{id}})
 		}
-		if err := sys.DrainRecovery(30); err != nil {
+		if err := sys.DrainRecovery(context.Background(), 30); err != nil {
 			t.Fatal(err)
 		}
 		return sys

@@ -1,6 +1,7 @@
 package selfheal_test
 
 import (
+	"context"
 	"testing"
 
 	"selfheal/internal/obs"
@@ -18,7 +19,7 @@ func TestQueueDropAccounting(t *testing.T) {
 	sys := newFig1System(t, selfheal.Config{AlertBuf: alertBuf, RecoveryBuf: 2}, true)
 	reg := obs.NewRegistry()
 	sys.Observe(reg)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 
@@ -49,7 +50,7 @@ func TestQueueDropAccounting(t *testing.T) {
 	// Drain the backlog: the queues must empty and the drop counter must
 	// not move — processing never loses alerts, only Report at a full
 	// buffer does.
-	if err := sys.DrainRecovery(50); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 50); err != nil {
 		t.Fatal(err)
 	}
 	snap = reg.Snapshot()
@@ -71,7 +72,7 @@ func TestRecoveryBoundObserved(t *testing.T) {
 	sys := newFig1System(t, selfheal.Config{AlertBuf: 4, RecoveryBuf: 1}, true)
 	reg := obs.NewRegistry()
 	sys.Observe(reg)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 
@@ -98,7 +99,7 @@ func TestRecoveryBoundObserved(t *testing.T) {
 		t.Errorf("%s = %g, want %g (forced drain with an alert queued counts as SCAN)",
 			obs.MTicksScan, got, ticksScanBefore+1)
 	}
-	if err := sys.DrainRecovery(20); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 20); err != nil {
 		t.Fatal(err)
 	}
 	snap = reg.Snapshot()

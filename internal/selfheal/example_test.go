@@ -1,6 +1,7 @@
 package selfheal_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,13 +35,13 @@ func Example() {
 	if err := sys.StartRun("r2", wf2); err != nil {
 		log.Fatal(err)
 	}
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		log.Fatal(err)
 	}
 
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
 	fmt.Println("state after report:", sys.State())
-	if err := sys.DrainRecovery(10); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 10); err != nil {
 		log.Fatal(err)
 	}
 	m := sys.Metrics()

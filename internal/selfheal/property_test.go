@@ -1,6 +1,7 @@
 package selfheal_test
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -34,7 +35,7 @@ func TestPropertyRuntimeMidRunRecovery(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := cleanEng.RunAll(cleanRun); err != nil {
+		if err := cleanEng.RunAll(context.Background(), cleanRun); err != nil {
 			t.Fatal(err)
 		}
 
@@ -71,17 +72,17 @@ func TestPropertyRuntimeMidRunRecovery(t *testing.T) {
 		}
 		if _, committed := sys.Log().Get(attackInst); committed {
 			sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{attackInst}})
-			if err := sys.DrainRecovery(50); err != nil {
+			if err := sys.DrainRecovery(context.Background(), 50); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
 		}
-		if err := sys.RunToCompletion(500); err != nil {
+		if err := sys.RunToCompletion(context.Background(), 500); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		// Catch-up report in case the attack committed after the prefix.
 		if _, committed := sys.Log().Get(attackInst); committed {
 			sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{attackInst}})
-			if err := sys.DrainRecovery(50); err != nil {
+			if err := sys.DrainRecovery(context.Background(), 50); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
 			healed++

@@ -12,8 +12,9 @@ import (
 // metrics when ctx is cancelled or the alert channel is closed and all work
 // has drained.
 //
-// Serve owns the System exclusively while it runs; callers must not invoke
-// other methods concurrently.
+// Serve owns the System's tick loop while it runs; Report, State,
+// QueueLengths and Metrics remain safe to call from other goroutines (so
+// IDS sensors may bypass the channel and call Report directly).
 func (s *System) Serve(ctx context.Context, alerts <-chan Alert) (Metrics, error) {
 	open := true
 	for {
@@ -33,7 +34,7 @@ func (s *System) Serve(ctx context.Context, alerts <-chan Alert) (Metrics, error
 		}
 		select {
 		case <-ctx.Done():
-			return s.metrics, ctx.Err()
+			return s.Metrics(), ctx.Err()
 		default:
 		}
 
@@ -41,12 +42,12 @@ func (s *System) Serve(ctx context.Context, alerts <-chan Alert) (Metrics, error
 		switch {
 		case errors.Is(err, ErrIdle):
 			if !open {
-				return s.metrics, nil
+				return s.Metrics(), nil
 			}
 			// Nothing to do: block until an alert arrives or we stop.
 			select {
 			case <-ctx.Done():
-				return s.metrics, ctx.Err()
+				return s.Metrics(), ctx.Err()
 			case a, ok := <-alerts:
 				if !ok {
 					open = false
@@ -55,7 +56,7 @@ func (s *System) Serve(ctx context.Context, alerts <-chan Alert) (Metrics, error
 				s.Report(a)
 			}
 		case err != nil:
-			return s.metrics, err
+			return s.Metrics(), err
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package selfheal_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/selfheal"
+	"selfheal/internal/stg"
+	"selfheal/internal/wlog"
+)
+
+// TestServeCancelMidRecovery cancels Serve while a recovery unit is queued
+// (state RECOVERY). Serve must return context.Canceled promptly, leave the
+// queued unit intact, and the system must complete the recovery when driven
+// again afterwards.
+func TestServeCancelMidRecovery(t *testing.T) {
+	sys := newFig1System(t, defaultCfg(), true)
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	// Queue the alert and run exactly the analysis tick, so a recovery
+	// unit is pending before Serve ever runs.
+	if !sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}}) {
+		t.Fatal("alert lost")
+	}
+	if err := sys.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.State() != stg.Recovery {
+		t.Fatalf("state = %v, want RECOVERY", sys.State())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Serve must not execute the unit
+	m, err := sys.Serve(ctx, make(chan selfheal.Alert))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.UnitsExecuted != 0 {
+		t.Fatalf("cancelled Serve executed %d units", m.UnitsExecuted)
+	}
+	if sys.State() != stg.Recovery {
+		t.Fatalf("state = %v after cancel, want RECOVERY preserved", sys.State())
+	}
+
+	// The interrupted recovery resumes where it stopped.
+	if err := sys.DrainRecovery(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), sys.Store()); err != nil {
+		t.Error(err)
+	}
+	if m := sys.Metrics(); m.UnitsExecuted != 1 {
+		t.Errorf("units executed after resume = %d, want 1", m.UnitsExecuted)
+	}
+}
+
+// TestServeDrainsQueuedUnitsOnClose closes the alert channel while units
+// are still queued. Serve must not return until the recovery work has
+// drained and the system is NORMAL again.
+func TestServeDrainsQueuedUnitsOnClose(t *testing.T) {
+	sys := newFig1System(t, defaultCfg(), true)
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}}) {
+		t.Fatal("alert lost")
+	}
+	if err := sys.Tick(); err != nil { // analysis only: unit now queued
+		t.Fatal(err)
+	}
+	if _, units := sys.QueueLengths(); units != 1 {
+		t.Fatalf("queued units = %d, want 1", units)
+	}
+
+	alerts := make(chan selfheal.Alert)
+	close(alerts) // closed with recovery work still pending
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m, err := sys.Serve(ctx, alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UnitsExecuted != 1 {
+		t.Fatalf("units executed = %d, want 1", m.UnitsExecuted)
+	}
+	if sys.State() != stg.Normal {
+		t.Fatalf("state = %v after drain, want NORMAL", sys.State())
+	}
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), sys.Store()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestServeConcurrentReport hammers Report, State, Metrics and QueueLengths
+// from many goroutines while Serve owns the tick loop — the documented
+// concurrency contract, checked under -race. Accounting must balance:
+// every report is either analyzed or counted lost.
+func TestServeConcurrentReport(t *testing.T) {
+	sys := newFig1System(t, defaultCfg(), true)
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+
+	alerts := make(chan selfheal.Alert)
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := sys.Serve(context.Background(), alerts)
+		serveDone <- err
+	}()
+
+	const goroutines, reports = 8, 25
+	var wg sync.WaitGroup
+	var acceptedN, rejectedN int
+	var mu sync.Mutex
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reports; i++ {
+				ok := sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
+				mu.Lock()
+				if ok {
+					acceptedN++
+				} else {
+					rejectedN++
+				}
+				mu.Unlock()
+				// Interleave the read-only API the contract promises is
+				// safe alongside Serve.
+				_ = sys.State()
+				_ = sys.Metrics()
+				_, _ = sys.QueueLengths()
+			}
+		}()
+	}
+	wg.Wait()
+	close(alerts)
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not drain after channel close")
+	}
+
+	m := sys.Metrics()
+	if acceptedN+rejectedN != goroutines*reports {
+		t.Fatalf("accounting: accepted %d + rejected %d != %d", acceptedN, rejectedN, goroutines*reports)
+	}
+	if m.AlertsAnalyzed != acceptedN {
+		t.Errorf("alerts analyzed = %d, want %d accepted", m.AlertsAnalyzed, acceptedN)
+	}
+	if m.AlertsLost != rejectedN {
+		t.Errorf("alerts lost = %d, want %d rejected", m.AlertsLost, rejectedN)
+	}
+	if sys.State() != stg.Normal {
+		t.Errorf("state = %v after drain, want NORMAL", sys.State())
+	}
+	// Repeated alerts for the same attack are idempotent: the store still
+	// converges to the clean execution.
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), sys.Store()); err != nil {
+		t.Error(err)
+	}
+}

@@ -30,8 +30,10 @@
 package selfheal
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"selfheal/internal/data"
 	"selfheal/internal/deps"
@@ -120,6 +122,13 @@ type Metrics struct {
 }
 
 // System is the self-healing workflow system.
+//
+// Concurrency contract: one goroutine owns the tick loop (Tick, Serve,
+// DrainRecovery, RunToCompletion, StartRun), while Report, State,
+// QueueLengths and Metrics are safe to call from any goroutine at any time
+// — IDS sensors report asynchronously, exactly like the paper's
+// architecture assumes. The fully concurrent execution layer (normal
+// processing on worker shards while recovery proceeds) is internal/shard.
 type System struct {
 	cfg    Config
 	eng    *engine.Engine
@@ -133,9 +142,18 @@ type System struct {
 	// longer scales with total log length.
 	graph *deps.IncrementalGraph
 
+	// mu guards the queues, the metrics and the in-progress flags; the
+	// expensive analysis and repair work runs outside the lock so a
+	// concurrent Report never blocks behind a recovery unit.
+	mu        sync.Mutex
 	alertQ    []Alert
 	recoveryQ []*Unit
 	metrics   Metrics
+	// analyzing/executing mark a dequeued alert (unit) whose work is still
+	// in flight, so State never transiently under-classifies the system
+	// while the lock is released for the heavy lifting.
+	analyzing, executing bool
+
 	// o is the optional observability wiring (Observe); zero means off.
 	o sysObs
 	// flip alternates recovery and normal work in concurrent mode.
@@ -184,11 +202,19 @@ func (s *System) Store() *data.Store { return s.eng.Store() }
 // Log returns the system log.
 func (s *System) Log() *wlog.Log { return s.eng.Log() }
 
-// Metrics returns a copy of the counters.
-func (s *System) Metrics() Metrics { return s.metrics }
+// Metrics returns a copy of the counters. Safe from any goroutine.
+func (s *System) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
 
-// StartRun registers a workflow run for normal processing.
+// StartRun registers a workflow run for normal processing. Reusing a run ID
+// returns an error wrapping engine.ErrRunExists.
 func (s *System) StartRun(id string, spec *wf.Spec) error {
+	if _, dup := s.specs[id]; dup {
+		return fmt.Errorf("selfheal: run %s: %w", id, engine.ErrRunExists)
+	}
 	r, err := s.eng.NewRun(id, spec)
 	if err != nil {
 		return err
@@ -200,10 +226,16 @@ func (s *System) StartRun(id string, spec *wf.Spec) error {
 
 // State classifies the system per §IV.C.
 func (s *System) State() stg.Class {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateLocked()
+}
+
+func (s *System) stateLocked() stg.Class {
 	switch {
-	case len(s.alertQ) > 0:
+	case len(s.alertQ) > 0 || s.analyzing:
 		return stg.Scan
-	case len(s.recoveryQ) > 0:
+	case len(s.recoveryQ) > 0 || s.executing:
 		return stg.Recovery
 	default:
 		return stg.Normal
@@ -212,12 +244,17 @@ func (s *System) State() stg.Class {
 
 // QueueLengths returns (alerts, recovery units) currently queued.
 func (s *System) QueueLengths() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.alertQ), len(s.recoveryQ)
 }
 
 // Report delivers an IDS alert. It returns false when the alert buffer is
-// full and the alert is lost.
+// full and the alert is lost. Report is safe to call from any goroutine,
+// concurrently with the tick loop.
 func (s *System) Report(a Alert) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.metrics.AlertsReported++
 	s.o.reported.Inc()
 	if len(s.alertQ) >= s.cfg.AlertBuf {
@@ -228,7 +265,7 @@ func (s *System) Report(a Alert) bool {
 	s.alertQ = append(s.alertQ, a)
 	if s.o.enabled {
 		s.o.queues(len(s.alertQ), len(s.recoveryQ))
-		s.o.checkState(s.State())
+		s.o.checkState(s.stateLocked())
 	}
 	return true
 }
@@ -246,36 +283,42 @@ var ErrIdle = errors.New("selfheal: idle")
 func (s *System) Tick() error {
 	err := s.tick()
 	if s.o.enabled {
+		s.mu.Lock()
 		s.o.queues(len(s.alertQ), len(s.recoveryQ))
-		s.o.afterTick(s.State())
+		s.o.afterTick(s.stateLocked())
+		s.mu.Unlock()
 	}
 	return err
 }
 
 func (s *System) tick() error {
-	if s.cfg.Concurrent && s.State() != stg.Normal {
+	s.mu.Lock()
+	if s.cfg.Concurrent && s.stateLocked() != stg.Normal {
 		s.flip = !s.flip
 		if s.flip && s.hasNormalWork() {
 			s.metrics.TicksNormal++
 			s.metrics.ConcurrentNormalSteps++
+			s.mu.Unlock()
 			s.o.ticks[stg.Normal].Inc()
 			s.o.concurrentSteps.Inc()
 			return s.stepNormal()
 		}
 	}
+	aLen, rLen := len(s.alertQ), len(s.recoveryQ)
 	switch {
-	case len(s.recoveryQ) >= s.cfg.RecoveryBuf:
+	case rLen >= s.cfg.RecoveryBuf:
 		// Analyzer blocked: forced drain (§IV.E completion). Alerts may
 		// be queued; the tick is classified as SCAN when so.
-		if len(s.alertQ) == 0 {
+		if aLen == 0 {
 			s.metrics.TicksRecovery++
 			s.o.ticks[stg.Recovery].Inc()
 		} else {
 			s.metrics.TicksScan++
 			s.o.ticks[stg.Scan].Inc()
 		}
+		s.mu.Unlock()
 		return s.executeUnit()
-	case s.cfg.EagerRecovery && len(s.recoveryQ) > 0 && len(s.alertQ) > 0:
+	case s.cfg.EagerRecovery && rLen > 0 && aLen > 0:
 		// §III.D strategy 2: alternate unit execution with analysis
 		// instead of gating recovery behind an empty alert queue.
 		s.eagerFlip = !s.eagerFlip
@@ -283,20 +326,25 @@ func (s *System) tick() error {
 		s.o.ticks[stg.Scan].Inc()
 		if s.eagerFlip {
 			s.metrics.EagerUnits++
+			s.mu.Unlock()
 			s.o.eagerUnit.Inc()
 			return s.executeUnit()
 		}
+		s.mu.Unlock()
 		return s.analyzeAlert()
-	case len(s.alertQ) > 0:
+	case aLen > 0:
 		s.metrics.TicksScan++
+		s.mu.Unlock()
 		s.o.ticks[stg.Scan].Inc()
 		return s.analyzeAlert()
-	case len(s.recoveryQ) > 0:
+	case rLen > 0:
 		s.metrics.TicksRecovery++
+		s.mu.Unlock()
 		s.o.ticks[stg.Recovery].Inc()
 		return s.executeUnit()
 	default:
 		s.metrics.TicksNormal++
+		s.mu.Unlock()
 		s.o.ticks[stg.Normal].Inc()
 		return s.stepNormal()
 	}
@@ -305,15 +353,21 @@ func (s *System) tick() error {
 // analyzeAlert turns the head alert (or, with CoalesceAlerts, the whole
 // alert queue) into a unit of recovery tasks.
 func (s *System) analyzeAlert() error {
+	s.mu.Lock()
 	take := 1
 	if s.cfg.CoalesceAlerts {
 		take = len(s.alertQ)
+	}
+	if len(s.alertQ) == 0 {
+		s.mu.Unlock()
+		return ErrIdle
 	}
 	merged := Alert{}
 	seen := make(map[wlog.InstanceID]bool)
 	for _, a := range s.alertQ[:take] {
 		for _, id := range a.Bad {
 			if _, ok := s.eng.Log().Get(id); !ok {
+				s.mu.Unlock()
 				return fmt.Errorf("selfheal: alert names unknown instance %s", id)
 			}
 			if !seen[id] {
@@ -323,11 +377,20 @@ func (s *System) analyzeAlert() error {
 		}
 	}
 	s.alertQ = s.alertQ[take:]
+	// The heavy analysis runs outside the lock; analyzing keeps the state
+	// classified SCAN so concurrent observers never see a transient gap.
+	s.analyzing = true
+	s.mu.Unlock()
+
 	analyzeStart := s.o.now()
 	an := recovery.AnalyzeGraph(s.graph.Snapshot(), s.eng.Log(), s.specs, merged.Bad)
 	s.o.observeLatency(s.o.analyzeSeconds, analyzeStart)
+
+	s.mu.Lock()
+	s.analyzing = false
 	s.recoveryQ = append(s.recoveryQ, &Unit{Alert: merged, Analysis: an})
 	s.metrics.AlertsAnalyzed += take
+	s.mu.Unlock()
 	s.o.analyzed.Add(int64(take))
 	return nil
 }
@@ -335,11 +398,22 @@ func (s *System) analyzeAlert() error {
 // executeUnit runs the repair for the head recovery unit and installs the
 // repaired store.
 func (s *System) executeUnit() error {
+	s.mu.Lock()
 	if len(s.recoveryQ) == 0 {
+		s.mu.Unlock()
 		return ErrIdle
 	}
 	u := s.recoveryQ[0]
 	s.recoveryQ = s.recoveryQ[1:]
+	// The repair runs outside the lock; executing keeps the state
+	// classified RECOVERY for concurrent observers until it lands.
+	s.executing = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.executing = false
+		s.mu.Unlock()
+	}()
 	// A fresh snapshot (not the unit's analysis-time one): normal tasks
 	// may have committed since the alert was analyzed (Concurrent mode),
 	// and the repair must fold them into the damage closure.
@@ -355,10 +429,12 @@ func (s *System) executeUnit() error {
 		s.o.repairRedo.Observe(res.Phases.Redo.Seconds())
 	}
 	s.eng.SwapStore(res.Store)
+	s.mu.Lock()
 	s.metrics.UnitsExecuted++
 	s.metrics.Undone += len(res.Undone)
 	s.metrics.Redone += len(res.Redone)
 	s.metrics.NewExecuted += len(res.NewExecuted)
+	s.mu.Unlock()
 	s.o.units.Inc()
 	s.o.undone.Add(int64(len(res.Undone)))
 	s.o.redone.Add(int64(len(res.Redone)))
@@ -397,7 +473,9 @@ func (s *System) stepNormal() error {
 		if _, err := s.eng.Step(r); err != nil {
 			return err
 		}
+		s.mu.Lock()
 		s.metrics.NormalSteps++
+		s.mu.Unlock()
 		s.o.normalSteps.Inc()
 		return nil
 	}
@@ -405,9 +483,13 @@ func (s *System) stepNormal() error {
 }
 
 // DrainRecovery ticks until the system returns to NORMAL (all alerts
-// analyzed, all units executed), with a tick budget.
-func (s *System) DrainRecovery(maxTicks int) error {
+// analyzed, all units executed), with a tick budget. A cancelled ctx stops
+// the loop between ticks and returns the context's error.
+func (s *System) DrainRecovery(ctx context.Context, maxTicks int) error {
 	for i := 0; i < maxTicks; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if s.State() == stg.Normal {
 			return nil
 		}
@@ -419,9 +501,13 @@ func (s *System) DrainRecovery(maxTicks int) error {
 }
 
 // RunToCompletion ticks until every registered run is complete and the
-// system is back to NORMAL, with a tick budget.
-func (s *System) RunToCompletion(maxTicks int) error {
+// system is back to NORMAL, with a tick budget. A cancelled ctx stops the
+// loop between ticks and returns the context's error.
+func (s *System) RunToCompletion(ctx context.Context, maxTicks int) error {
 	for i := 0; i < maxTicks; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		err := s.Tick()
 		switch {
 		case errors.Is(err, ErrIdle):

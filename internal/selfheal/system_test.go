@@ -59,7 +59,7 @@ func TestNewValidatesBuffers(t *testing.T) {
 
 func TestNormalProcessingWithoutAlerts(t *testing.T) {
 	sys := newFig1System(t, defaultCfg(), false)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	m := sys.Metrics()
@@ -76,7 +76,7 @@ func TestNormalProcessingWithoutAlerts(t *testing.T) {
 
 func TestStateMachineTransitions(t *testing.T) {
 	sys := newFig1System(t, defaultCfg(), true)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	if sys.State() != stg.Normal {
@@ -111,11 +111,11 @@ func TestStateMachineTransitions(t *testing.T) {
 // complete the workload, report, recover, and compare with the clean twin.
 func TestEndToEndRecoveryMatchesClean(t *testing.T) {
 	sys := newFig1System(t, defaultCfg(), true)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
-	if err := sys.DrainRecovery(10); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	clean, err := scenario.Fig1(false)
@@ -147,11 +147,11 @@ func TestMidRunRecoveryResync(t *testing.T) {
 		t.Fatal("setup: t3 not committed yet; interleaving drifted")
 	}
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
-	if err := sys.DrainRecovery(10); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	// Let the runs finish normally from the corrected frontier.
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	// Final values must be the clean ones.
@@ -173,7 +173,7 @@ func TestMidRunRecoveryResync(t *testing.T) {
 func TestAlertBufferOverflowLosesAlerts(t *testing.T) {
 	cfg := selfheal.Config{AlertBuf: 2, RecoveryBuf: 2}
 	sys := newFig1System(t, cfg, true)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	bad := []wlog.InstanceID{"r1/t1#1"}
@@ -196,7 +196,7 @@ func TestAlertBufferOverflowLosesAlerts(t *testing.T) {
 func TestRecoveryBufferFullForcesDrain(t *testing.T) {
 	cfg := selfheal.Config{AlertBuf: 4, RecoveryBuf: 1}
 	sys := newFig1System(t, cfg, true)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	bad := []wlog.InstanceID{"r1/t1#1"}
@@ -220,7 +220,7 @@ func TestRecoveryBufferFullForcesDrain(t *testing.T) {
 	if a != 1 || r != 0 {
 		t.Fatalf("after drain: queues = %d/%d, want 1/0", a, r)
 	}
-	if err := sys.DrainRecovery(10); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Metrics().UnitsExecuted != 2 {
@@ -257,7 +257,7 @@ func TestTheorem4Gating(t *testing.T) {
 
 func TestAlertUnknownInstanceFails(t *testing.T) {
 	sys := newFig1System(t, defaultCfg(), false)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r9/ghost#1"}})
@@ -268,13 +268,13 @@ func TestAlertUnknownInstanceFails(t *testing.T) {
 
 func TestRepeatedAlertsSameAttackIdempotent(t *testing.T) {
 	sys := newFig1System(t, defaultCfg(), true)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	bad := []wlog.InstanceID{"r1/t1#1"}
 	sys.Report(selfheal.Alert{Bad: bad})
 	sys.Report(selfheal.Alert{Bad: bad})
-	if err := sys.DrainRecovery(20); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 20); err != nil {
 		t.Fatal(err)
 	}
 	clean, err := scenario.Fig1(false)
@@ -314,15 +314,15 @@ func TestSequentialDistinctAlerts(t *testing.T) {
 	if err := sys.StartRun("r2", wf2); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r1/t1#1"}})
-	if err := sys.DrainRecovery(10); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	sys.Report(selfheal.Alert{Bad: []wlog.InstanceID{"r2/t9#1"}})
-	if err := sys.DrainRecovery(10); err != nil {
+	if err := sys.DrainRecovery(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	clean, err := scenario.Fig1(false)
@@ -339,7 +339,7 @@ func TestSequentialDistinctAlerts(t *testing.T) {
 
 func TestServeProcessesAlertsAndStops(t *testing.T) {
 	sys := newFig1System(t, defaultCfg(), true)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	alerts := make(chan selfheal.Alert, 1)
@@ -366,7 +366,7 @@ func TestServeProcessesAlertsAndStops(t *testing.T) {
 
 func TestServeHonorsContextCancel(t *testing.T) {
 	sys := newFig1System(t, defaultCfg(), false)
-	if err := sys.RunToCompletion(100); err != nil {
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	alerts := make(chan selfheal.Alert) // never closed, never sent

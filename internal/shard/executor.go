@@ -1,0 +1,526 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/obs"
+	"selfheal/internal/wf"
+)
+
+// ErrQueueFull marks a submission rejected by a bounded queue: the deferred
+// run queue (key-footprint conflict backlog) or the alert queue. The HTTP
+// layer maps it to 429.
+var ErrQueueFull = errors.New("queue full")
+
+// RunStatus classifies a submitted run's lifecycle.
+type RunStatus int
+
+const (
+	// RunActive: the run is assigned to a shard and stepping (or waiting
+	// for its turn on that shard).
+	RunActive RunStatus = iota
+	// RunDeferred: the run's key footprint overlaps runs on more than one
+	// shard; it waits in the bounded deferred queue for a sound placement.
+	RunDeferred
+	// RunDone: the run reached an end node.
+	RunDone
+	// RunFailed: a task of the run crashed before committing.
+	RunFailed
+)
+
+// String returns the lowercase wire name used by the HTTP API.
+func (s RunStatus) String() string {
+	switch s {
+	case RunActive:
+		return "active"
+	case RunDeferred:
+		return "deferred"
+	case RunDone:
+		return "done"
+	case RunFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// runState is the executor's bookkeeping for one submitted run.
+type runState struct {
+	run   *engine.Run
+	keys  []data.Key // sorted unique key footprint of the spec
+	shard int        // owning shard; -1 while deferred
+	state RunStatus
+	err   error // terminal error for RunFailed
+}
+
+// executor partitions runs across shard workers. The dispatcher invariant
+// is key disjointness: at any moment, each data key is touched by runs of
+// at most one shard. Combined with the engine's read-latest semantics and
+// the single commit pipeline, this makes every concurrent execution
+// trace-equivalent to the serial execution in LSN order — a task's recorded
+// reads always name the latest versions committed before its LSN, exactly
+// as if the steps had been executed one at a time (shard_test.go replays
+// the log to verify this).
+type executor struct {
+	eng *engine.Engine
+	com *committer
+	gt  *gate
+
+	mu       sync.Mutex
+	runs     map[string]*runState
+	keyOwner map[data.Key]int // shard currently owning the key
+	keyRefs  map[data.Key]int // active runs on the owner touching it
+	load     []int            // active runs per shard
+	deferred []*runState      // bounded conflict backlog, FIFO
+	deferMax int
+
+	workers []*worker
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+
+	steps     []atomic.Int64 // normal steps committed, per shard
+	completed atomic.Int64
+	failed    atomic.Int64
+	obs       execObs // optional instrumentation; zero means off
+}
+
+// execObs mirrors the executor's counters into the obs registry. The obs
+// handle types are nil-safe, so the zero value is a no-op.
+type execObs struct {
+	steps     []*obs.Counter
+	active    []*obs.Gauge
+	deferred  *obs.Gauge
+	completed *obs.Counter
+	failed    *obs.Counter
+}
+
+func (o execObs) step(shard int) {
+	if shard < len(o.steps) {
+		o.steps[shard].Inc()
+	}
+}
+
+func (o execObs) load(shard, n int) {
+	if shard < len(o.active) {
+		o.active[shard].Set(int64(n))
+	}
+}
+
+func newExecutor(eng *engine.Engine, com *committer, shards, inbox, deferMax int) *executor {
+	if shards < 1 {
+		shards = 1
+	}
+	if inbox < 1 {
+		inbox = 16
+	}
+	if deferMax < 0 {
+		deferMax = 0
+	}
+	x := &executor{
+		eng:      eng,
+		com:      com,
+		gt:       newGate(),
+		runs:     make(map[string]*runState),
+		keyOwner: make(map[data.Key]int),
+		keyRefs:  make(map[data.Key]int),
+		load:     make([]int, shards),
+		deferMax: deferMax,
+		stopCh:   make(chan struct{}),
+		steps:    make([]atomic.Int64, shards),
+	}
+	for i := 0; i < shards; i++ {
+		x.workers = append(x.workers, &worker{id: i, x: x, inbox: make(chan *runState, inbox)})
+	}
+	return x
+}
+
+func (x *executor) start() {
+	for _, w := range x.workers {
+		x.wg.Add(1)
+		go w.loop()
+	}
+}
+
+// stop halts the workers. The commit pipeline must still be running so
+// in-flight commits can acknowledge.
+func (x *executor) stop() {
+	close(x.stopCh)
+	x.gt.close()
+	x.wg.Wait()
+}
+
+// footprint returns the sorted unique key set a spec can touch.
+func footprint(spec *wf.Spec) []data.Key {
+	set := make(map[data.Key]bool)
+	for _, t := range spec.Tasks {
+		for _, k := range t.Reads {
+			set[k] = true
+		}
+		for _, k := range t.Writes {
+			set[k] = true
+		}
+	}
+	keys := make([]data.Key, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// submit registers a run and dispatches it to a shard — or defers it when
+// its footprint conflicts across shards. Returns ErrRunExists, ErrBadSpec
+// (via engine.NewRun) or ErrQueueFull.
+func (x *executor) submit(id string, spec *wf.Spec) error {
+	r, err := x.eng.NewRun(id, spec)
+	if err != nil {
+		return err
+	}
+	rs := &runState{run: r, keys: footprint(spec), shard: -1}
+
+	x.mu.Lock()
+	if _, dup := x.runs[id]; dup {
+		x.mu.Unlock()
+		return fmt.Errorf("shard: run %s: %w", id, engine.ErrRunExists)
+	}
+	shard, ok := x.placeLocked(rs)
+	if !ok {
+		if len(x.deferred) >= x.deferMax {
+			x.mu.Unlock()
+			return fmt.Errorf("shard: run %s conflicts across shards and the deferred queue is full: %w", id, ErrQueueFull)
+		}
+		rs.state = RunDeferred
+		x.deferred = append(x.deferred, rs)
+		x.runs[id] = rs
+		x.obs.deferred.Set(int64(len(x.deferred)))
+		x.mu.Unlock()
+		return nil
+	}
+	x.claimLocked(rs, shard)
+	x.runs[id] = rs
+	w := x.workers[shard]
+	x.mu.Unlock()
+
+	// The inbox is sized for bursts; a full inbox only delays delivery,
+	// never drops (the worker drains it each iteration).
+	w.inbox <- rs
+	return nil
+}
+
+// placeLocked picks a shard for rs per the ownership rule: zero owning
+// shards → least loaded; one owning shard → that shard (keeps overlapping
+// runs serialized); more than one → no sound placement (defer).
+func (x *executor) placeLocked(rs *runState) (int, bool) {
+	owner := -1
+	for _, k := range rs.keys {
+		if x.keyRefs[k] == 0 {
+			continue
+		}
+		o := x.keyOwner[k]
+		if owner == -1 {
+			owner = o
+		} else if owner != o {
+			return 0, false
+		}
+	}
+	if owner >= 0 {
+		return owner, true
+	}
+	least := 0
+	for i := 1; i < len(x.load); i++ {
+		if x.load[i] < x.load[least] {
+			least = i
+		}
+	}
+	return least, true
+}
+
+func (x *executor) claimLocked(rs *runState, shard int) {
+	rs.shard = shard
+	rs.state = RunActive
+	for _, k := range rs.keys {
+		x.keyOwner[k] = shard
+		x.keyRefs[k]++
+	}
+	x.load[shard]++
+	x.obs.load(shard, x.load[shard])
+}
+
+// finish retires a run, releases its key claims and redispatches any
+// deferred runs that became placeable.
+func (x *executor) finish(rs *runState, state RunStatus, err error) {
+	x.mu.Lock()
+	rs.state = state
+	rs.err = err
+	for _, k := range rs.keys {
+		if x.keyRefs[k]--; x.keyRefs[k] == 0 {
+			delete(x.keyRefs, k)
+			delete(x.keyOwner, k)
+		}
+	}
+	x.load[rs.shard]--
+	x.obs.load(rs.shard, x.load[rs.shard])
+
+	var dispatch []*runState
+	kept := x.deferred[:0]
+	for _, d := range x.deferred {
+		if shard, ok := x.placeLocked(d); ok {
+			x.claimLocked(d, shard)
+			dispatch = append(dispatch, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	x.deferred = kept
+	x.obs.deferred.Set(int64(len(x.deferred)))
+	x.mu.Unlock()
+
+	if state == RunDone {
+		x.completed.Add(1)
+		x.obs.completed.Inc()
+	} else {
+		x.failed.Add(1)
+		x.obs.failed.Inc()
+	}
+	for _, d := range dispatch {
+		// finish runs on a worker goroutine inside the gate; a blocking
+		// send into a sibling's full inbox could deadlock against a pause,
+		// so overflow is handed to a goroutine instead.
+		select {
+		case x.workers[d.shard].inbox <- d:
+		default:
+			go func(d *runState) { x.workers[d.shard].inbox <- d }(d)
+		}
+	}
+}
+
+// idle reports whether no run is active or deferred.
+func (x *executor) idle() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(x.deferred) > 0 {
+		return false
+	}
+	for _, n := range x.load {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// waitIdle polls until every submitted run has retired or ctx expires.
+func (x *executor) waitIdle(ctx context.Context) error {
+	for {
+		if x.idle() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// activeRuns returns the runs currently assigned to shards (not deferred,
+// not retired). Callers must hold the shards quiesced (gate paused) —
+// recovery resync mutates these runs' frontiers.
+func (x *executor) activeRuns() []*runState {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var out []*runState
+	for _, rs := range x.runs {
+		if rs.state == RunActive {
+			out = append(out, rs)
+		}
+	}
+	return out
+}
+
+// worker is one shard: a goroutine stepping its assigned runs round-robin,
+// preparing locally and committing through the shared pipeline.
+type worker struct {
+	id     int
+	x      *executor
+	inbox  chan *runState
+	active []*runState
+	next   int
+}
+
+func (w *worker) loop() {
+	defer w.x.wg.Done()
+	for {
+		w.drainInbox()
+		// The gate brackets every access to the runs' mutable state (pick
+		// reads frontiers, step advances them): a paused gate therefore
+		// guarantees recovery an exclusive, quiescent view for the store
+		// swap and the frontier resyncs.
+		if !w.x.gt.enter() {
+			return
+		}
+		rs := w.pick()
+		if rs == nil {
+			w.x.gt.exit()
+			// Nothing runnable: block for new work or stop.
+			select {
+			case <-w.x.stopCh:
+				return
+			case got := <-w.inbox:
+				w.active = append(w.active, got)
+			}
+			continue
+		}
+		w.step(rs)
+		w.x.gt.exit()
+	}
+}
+
+func (w *worker) drainInbox() {
+	for {
+		select {
+		case rs := <-w.inbox:
+			w.active = append(w.active, rs)
+		default:
+			return
+		}
+	}
+}
+
+// pick returns the next incomplete run round-robin, retiring finished ones.
+func (w *worker) pick() *runState {
+	for i := 0; i < len(w.active); {
+		rs := w.active[i]
+		if rs.run.Done() {
+			// Completed (either by its own last step or by a recovery
+			// resync that moved the frontier past the end).
+			w.retire(i, rs, RunDone, nil)
+			continue
+		}
+		i++
+	}
+	if len(w.active) == 0 {
+		return nil
+	}
+	w.next %= len(w.active)
+	rs := w.active[w.next]
+	w.next++
+	return rs
+}
+
+func (w *worker) retire(i int, rs *runState, state RunStatus, err error) {
+	w.active = append(w.active[:i], w.active[i+1:]...)
+	w.x.finish(rs, state, err)
+}
+
+// step prepares and commits one task of rs. Called inside the gate.
+func (w *worker) step(rs *runState) {
+	p, err := w.x.eng.Prepare(rs.run)
+	var cerr error
+	if err == nil && p != nil {
+		cerr = w.x.com.commit(p)
+	}
+
+	idx := w.indexOf(rs)
+	switch {
+	case err != nil:
+		// Prepare failures (task crash) are terminal for the run.
+		w.retire(idx, rs, RunFailed, err)
+	case cerr != nil:
+		w.retire(idx, rs, RunFailed, cerr)
+	default:
+		if p != nil {
+			w.x.steps[w.id].Add(1)
+			w.x.obs.step(w.id)
+		}
+		if rs.run.Done() {
+			w.retire(idx, rs, RunDone, nil)
+		}
+	}
+}
+
+func (w *worker) indexOf(rs *runState) int {
+	for i, a := range w.active {
+		if a == rs {
+			return i
+		}
+	}
+	return -1
+}
+
+// gate is the quiesce barrier between normal stepping and recovery-unit
+// execution: workers enter before preparing and exit after their commit is
+// acknowledged; pause blocks new entries and waits until every in-flight
+// prepare→commit window has drained. Recovery holds the pause only for the
+// repair's store swap and resync — damage analysis runs fully concurrent.
+type gate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	paused bool
+	closed bool
+	active int
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter blocks while the gate is paused; false means the gate closed
+// (executor stopping).
+func (g *gate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.paused && !g.closed {
+		g.cond.Wait()
+	}
+	if g.closed {
+		return false
+	}
+	g.active++
+	return true
+}
+
+func (g *gate) exit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.active--; g.active == 0 {
+		g.cond.Broadcast()
+	}
+}
+
+// pause stops new entries and waits for the active count to drain. The
+// commit pipeline must keep running while pause waits (in-flight steps are
+// blocked on commit acknowledgements).
+func (g *gate) pause() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.paused = true
+	for g.active > 0 && !g.closed {
+		g.cond.Wait()
+	}
+}
+
+func (g *gate) resume() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.paused = false
+	g.cond.Broadcast()
+}
+
+// close releases every waiter permanently.
+func (g *gate) close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	g.cond.Broadcast()
+}

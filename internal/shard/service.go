@@ -1,0 +1,630 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"selfheal/internal/data"
+	"selfheal/internal/deps"
+	"selfheal/internal/engine"
+	"selfheal/internal/obs"
+	"selfheal/internal/recovery"
+	"selfheal/internal/stg"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Config sizes the sharded service.
+type Config struct {
+	// Shards is the number of worker shards executing normal tasks
+	// (default 1).
+	Shards int
+	// BatchMax bounds how many concurrently submitted commits fold into
+	// one group commit (default 8).
+	BatchMax int
+	// CommitQueue buffers the commit pipeline (default 4×Shards).
+	CommitQueue int
+	// Inbox buffers each shard's run-delivery channel (default 32).
+	Inbox int
+	// DeferMax bounds the deferred-run queue holding submissions whose
+	// key footprints conflict across shards; a full queue rejects with
+	// ErrQueueFull (default 16).
+	DeferMax int
+	// AlertBuf bounds the IDS-alert queue; Report on a full queue drops
+	// the alert, counts it lost and returns ErrQueueFull — the explicit
+	// backpressure matching the CTMC's loss edge (default 8).
+	AlertBuf int
+	// RecoveryBuf bounds the recovery-unit queue; a full buffer blocks
+	// the analyzer and forces a drain, §IV.E (default 4).
+	RecoveryBuf int
+	// Repair tunes the recovery executor.
+	Repair recovery.Options
+	// Strict selects the paper's strict-correctness strategy (Theorem-4
+	// gating): the shards quiesce for the whole SCAN and RECOVERY period,
+	// so no normal task executes while recovery work is known or pending.
+	// The default (false) is §III.D strategy 3: shards keep stepping
+	// through analysis, and quiesce only for each repair's store swap;
+	// normal tasks that consumed corrupt data in the window are folded
+	// into the damage closure when the unit executes, so the final state
+	// still converges to the strict one.
+	Strict bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.BatchMax < 1 {
+		c.BatchMax = 8
+	}
+	if c.CommitQueue < 1 {
+		c.CommitQueue = 4 * c.Shards
+	}
+	if c.Inbox < 1 {
+		c.Inbox = 32
+	}
+	if c.DeferMax == 0 {
+		c.DeferMax = 16
+	}
+	if c.AlertBuf < 1 {
+		c.AlertBuf = 8
+	}
+	if c.RecoveryBuf < 1 {
+		c.RecoveryBuf = 4
+	}
+	return c
+}
+
+// Metrics counts the service's activity. All fields are cumulative.
+type Metrics struct {
+	// AlertsReported, AlertsLost, AlertsAnalyzed count IDS reports;
+	// AlertsLost is the measured side of the CTMC loss probability.
+	AlertsReported, AlertsLost, AlertsAnalyzed int
+	// UnitsExecuted counts recovery units completed; RecoveryErrors
+	// counts units whose repair failed.
+	UnitsExecuted, RecoveryErrors int
+	// Undone, Redone, NewExecuted accumulate recovery work sizes.
+	Undone, Redone, NewExecuted int
+	// RunsSubmitted, RunsCompleted, RunsFailed count run lifecycles.
+	RunsSubmitted, RunsCompleted, RunsFailed int
+	// NormalSteps totals committed normal task executions; ShardSteps
+	// splits them per shard.
+	NormalSteps int
+	ShardSteps  []int
+	// CommitBatches and CommitEntries count group commits and the entries
+	// they carried; Entries/Batches is the achieved group-commit fold.
+	CommitBatches, CommitEntries int
+}
+
+// RunInfo is one run's externally visible status (the /api/v1/runs/{id}
+// resource).
+type RunInfo struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Shard  int    `json:"shard"`
+	Steps  int    `json:"steps"`
+	Error  string `json:"error,omitempty"`
+}
+
+// alert is one queued IDS report.
+type alert struct {
+	bad []wlog.InstanceID
+}
+
+// unit is one analyzed unit of recovery tasks.
+type unit struct {
+	bad []wlog.InstanceID
+	an  *recovery.Analysis
+}
+
+// Service is the concurrent self-healing workflow service: N shard workers
+// execute normal tasks (key-disjoint runs in parallel, commits group-
+// committed in LSN order) while a dedicated recovery worker turns IDS
+// alerts into recovery units and executes them — analysis fully concurrent
+// with normal processing, repair under a brief quiescence.
+//
+// Concurrency contract: every exported method is safe from any goroutine.
+type Service struct {
+	cfg   Config
+	eng   *engine.Engine
+	graph *deps.IncrementalGraph
+	com   *committer
+	exec  *executor
+
+	alerts chan alert
+
+	mu            sync.Mutex
+	specs         map[string]*wf.Spec
+	unitQ         []*unit
+	alertsQueued  int
+	analyzing     bool
+	executing     bool
+	metrics       Metrics
+	lastRecovery  error
+	gateHeld      bool // recovery goroutine only; under mu for State readers
+	startStopOnce struct{ started, stopped sync.Once }
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	o svcObs
+}
+
+// svcObs is the service's optional instrumentation; zero means off
+// (obs handles are nil-safe).
+type svcObs struct {
+	enabled                          bool
+	reported, lost, analyzed, units  *obs.Counter
+	undone, redone, newExec          *obs.Counter
+	batches, entries                 *obs.Counter
+	runsCompleted, runsFailed        *obs.Counter
+	alertDepth, unitDepth, deferDpth *obs.Gauge
+	quiesceSeconds                   *obs.Histogram
+	stepsByShard                     []*obs.Counter
+	activeByShard                    []*obs.Gauge
+}
+
+// New builds a sharded service over a fresh store and log. Call Start to
+// spin up the workers and Stop to shut them down.
+func New(cfg Config, store *data.Store) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if store == nil {
+		store = data.NewStore()
+	}
+	eng := engine.New(store, wlog.New())
+	s := &Service{
+		cfg:    cfg,
+		eng:    eng,
+		graph:  deps.NewIncremental(eng.Log()),
+		com:    newCommitter(eng, cfg.BatchMax, cfg.CommitQueue),
+		specs:  make(map[string]*wf.Spec),
+		alerts: make(chan alert, cfg.AlertBuf),
+		stopCh: make(chan struct{}),
+	}
+	s.exec = newExecutor(eng, s.com, cfg.Shards, cfg.Inbox, cfg.DeferMax)
+	return s, nil
+}
+
+// Observe wires the service's instrumentation into reg: the engine's and
+// log's metrics plus the shard-layer families (docs/OBSERVABILITY.md). Must
+// be called before Start.
+func (s *Service) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.eng.Observe(reg)
+	s.eng.Log().Observe(reg)
+	s.o = svcObs{
+		enabled:       true,
+		reported:      reg.Counter(obs.MAlertsReported),
+		lost:          reg.Counter(obs.MAlertsLost),
+		analyzed:      reg.Counter(obs.MAlertsAnalyzed),
+		units:         reg.Counter(obs.MUnitsExecuted),
+		undone:        reg.Counter(obs.MUndone),
+		redone:        reg.Counter(obs.MRedone),
+		newExec:       reg.Counter(obs.MNewExecuted),
+		batches:       reg.Counter(obs.MShardCommitBatches),
+		entries:       reg.Counter(obs.MShardCommitEntries),
+		runsCompleted: reg.Counter(obs.MShardRunsCompleted),
+		runsFailed:    reg.Counter(obs.MShardRunsFailed),
+		alertDepth:    reg.Gauge(obs.MAlertQueueDepth),
+		unitDepth:     reg.Gauge(obs.MRecoveryQueueDepth),
+		deferDpth:     reg.Gauge(obs.MShardDeferredRuns),
+		quiesceSeconds: reg.Histogram(obs.MShardQuiesceSeconds,
+			obs.LatencyBuckets),
+	}
+	for i := 0; i < s.cfg.Shards; i++ {
+		s.o.stepsByShard = append(s.o.stepsByShard,
+			reg.Counter(fmt.Sprintf("%s{shard=\"%d\"}", obs.MShardSteps, i)))
+		s.o.activeByShard = append(s.o.activeByShard,
+			reg.Gauge(fmt.Sprintf("%s{shard=\"%d\"}", obs.MShardActiveRuns, i)))
+	}
+	s.exec.obs = execObs{steps: s.o.stepsByShard, active: s.o.activeByShard,
+		deferred: s.o.deferDpth, completed: s.o.runsCompleted, failed: s.o.runsFailed}
+	s.com.obs = comObs{batches: s.o.batches, entries: s.o.entries}
+}
+
+// Engine exposes the underlying engine (attack injection in tests goes
+// through it — quiesce via Pause or route through InjectForged for safety).
+func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// Store returns the current (possibly repaired) store.
+func (s *Service) Store() *data.Store { return s.eng.Store() }
+
+// Log returns the system log.
+func (s *Service) Log() *wlog.Log { return s.eng.Log() }
+
+// Start spins up the commit pipeline, the shard workers and the recovery
+// worker.
+func (s *Service) Start() {
+	s.startStopOnce.started.Do(func() {
+		s.com.start()
+		s.exec.start()
+		s.wg.Add(1)
+		go s.recoveryLoop()
+	})
+}
+
+// Stop shuts the service down: recovery worker first (it may hold the
+// quiesce gate), then the shard workers, then the commit pipeline (still
+// needed to acknowledge in-flight commits until the workers have joined).
+func (s *Service) Stop() {
+	s.startStopOnce.stopped.Do(func() {
+		close(s.stopCh)
+		s.wg.Wait()
+		s.exec.stop()
+		s.com.stop()
+	})
+}
+
+// SubmitRun registers a workflow run for sharded execution. Errors wrap
+// engine.ErrBadSpec, engine.ErrRunExists or ErrQueueFull.
+func (s *Service) SubmitRun(id string, spec *wf.Spec) error {
+	s.mu.Lock()
+	if _, dup := s.specs[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("shard: run %s: %w", id, engine.ErrRunExists)
+	}
+	// Register the spec before the first commit can land, so a concurrent
+	// damage analysis never sees a spec-less run.
+	s.specs[id] = spec
+	s.mu.Unlock()
+
+	if err := s.exec.submit(id, spec); err != nil {
+		s.mu.Lock()
+		delete(s.specs, id)
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.metrics.RunsSubmitted++
+	s.mu.Unlock()
+	return nil
+}
+
+// RunInfo returns the status of a submitted run; unknown IDs wrap
+// engine.ErrUnknownRun.
+func (s *Service) RunInfo(id string) (RunInfo, error) {
+	x := s.exec
+	x.mu.Lock()
+	rs, ok := x.runs[id]
+	if !ok {
+		x.mu.Unlock()
+		return RunInfo{}, fmt.Errorf("shard: run %s: %w", id, engine.ErrUnknownRun)
+	}
+	info := RunInfo{ID: id, Status: rs.state.String(), Shard: rs.shard}
+	if rs.err != nil {
+		info.Error = rs.err.Error()
+	}
+	x.mu.Unlock()
+	info.Steps = len(s.eng.Log().Trace(id, false))
+	return info, nil
+}
+
+// Runs lists every submitted run, sorted by ID.
+func (s *Service) Runs() []RunInfo {
+	x := s.exec
+	x.mu.Lock()
+	ids := make([]string, 0, len(x.runs))
+	for id := range x.runs {
+		ids = append(ids, id)
+	}
+	x.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]RunInfo, 0, len(ids))
+	for _, id := range ids {
+		if info, err := s.RunInfo(id); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Report delivers an IDS alert naming malicious committed instances. A full
+// alert queue drops the alert, counts it lost and returns ErrQueueFull;
+// alerts naming instances absent from the log wrap engine.ErrUnknownRun.
+// Safe from any goroutine.
+func (s *Service) Report(bad []wlog.InstanceID) error {
+	if len(bad) == 0 {
+		return fmt.Errorf("shard: %w: alert names no instances", engine.ErrBadSpec)
+	}
+	for _, id := range bad {
+		if _, ok := s.eng.Log().Get(id); !ok {
+			return fmt.Errorf("shard: alert names unknown instance %s: %w", id, engine.ErrUnknownRun)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.AlertsReported++
+	s.o.reported.Inc()
+	select {
+	case s.alerts <- alert{bad: bad}:
+		s.alertsQueued++
+		s.o.alertDepth.Set(int64(s.alertsQueued))
+		return nil
+	default:
+		s.metrics.AlertsLost++
+		s.o.lost.Inc()
+		return fmt.Errorf("shard: alert queue full (capacity %d): %w", s.cfg.AlertBuf, ErrQueueFull)
+	}
+}
+
+// State classifies the service per §IV.C: SCAN while alerts are queued or
+// under analysis, RECOVERY while units are queued or executing, NORMAL
+// otherwise.
+func (s *Service) State() stg.Class {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateLocked()
+}
+
+func (s *Service) stateLocked() stg.Class {
+	switch {
+	case s.alertsQueued > 0 || s.analyzing:
+		return stg.Scan
+	case len(s.unitQ) > 0 || s.executing:
+		return stg.Recovery
+	default:
+		return stg.Normal
+	}
+}
+
+// QueueLengths returns (alerts queued, recovery units queued, runs
+// deferred).
+func (s *Service) QueueLengths() (int, int, int) {
+	s.mu.Lock()
+	a, r := s.alertsQueued, len(s.unitQ)
+	s.mu.Unlock()
+	s.exec.mu.Lock()
+	d := len(s.exec.deferred)
+	s.exec.mu.Unlock()
+	return a, r, d
+}
+
+// Metrics returns a copy of the counters. Safe from any goroutine.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	m := s.metrics
+	s.mu.Unlock()
+	m.CommitBatches = int(s.com.batches.Load())
+	m.CommitEntries = int(s.com.entries.Load())
+	m.RunsCompleted = int(s.exec.completed.Load())
+	m.RunsFailed = int(s.exec.failed.Load())
+	for i := range s.exec.steps {
+		n := int(s.exec.steps[i].Load())
+		m.ShardSteps = append(m.ShardSteps, n)
+		m.NormalSteps += n
+	}
+	return m
+}
+
+// LastRecoveryError returns the most recent failed repair, if any.
+func (s *Service) LastRecoveryError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRecovery
+}
+
+// InjectForged commits a forged task through the commit pipeline, so the
+// injection serializes with concurrent group commits exactly like any other
+// log append.
+func (s *Service) InjectForged(run string, task wf.TaskID, readKeys []data.Key, writes map[data.Key]data.Value) (wlog.InstanceID, error) {
+	var inst wlog.InstanceID
+	err := s.com.exec(func() error {
+		var e error
+		inst, e = s.eng.InjectForged(run, task, readKeys, writes)
+		return e
+	})
+	return inst, err
+}
+
+// WaitIdle blocks until every submitted run has retired and the service is
+// back to NORMAL with no recovery work pending, or ctx expires.
+func (s *Service) WaitIdle(ctx context.Context) error {
+	for {
+		if s.exec.idle() && s.State() == stg.Normal {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// DrainRecovery blocks until the service returns to NORMAL (all alerts
+// analyzed, all units executed), or ctx expires. Normal runs may still be
+// stepping.
+func (s *Service) DrainRecovery(ctx context.Context) error {
+	for {
+		if s.State() == stg.Normal {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// recoveryLoop is the dedicated recovery worker: it drains alerts into
+// units (SCAN) and executes units (RECOVERY) with alert analysis taking
+// priority, per the §IV.C discipline — a normal task cannot run before all
+// recovery tasks are known only in Strict mode, where the loop holds the
+// shard gate for the whole SCAN+RECOVERY period.
+func (s *Service) recoveryLoop() {
+	defer s.wg.Done()
+	defer s.releaseGate()
+	for {
+		// Alerts first: SCAN precedes RECOVERY.
+		select {
+		case <-s.stopCh:
+			return
+		case a := <-s.alerts:
+			s.handleAlert(a)
+			continue
+		default:
+		}
+		if s.pendingUnits() > 0 {
+			s.executeUnit()
+			continue
+		}
+		// Back to NORMAL: release the strict-mode gate and block for the
+		// next alert.
+		s.releaseGate()
+		select {
+		case <-s.stopCh:
+			return
+		case a := <-s.alerts:
+			s.handleAlert(a)
+		}
+	}
+}
+
+func (s *Service) pendingUnits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.unitQ)
+}
+
+// holdGate quiesces the shards (idempotent); releaseGate resumes them.
+// Only the recovery goroutine calls either.
+func (s *Service) holdGate() {
+	s.mu.Lock()
+	held := s.gateHeld
+	s.mu.Unlock()
+	if held {
+		return
+	}
+	s.exec.gt.pause()
+	s.mu.Lock()
+	s.gateHeld = true
+	s.mu.Unlock()
+}
+
+func (s *Service) releaseGate() {
+	s.mu.Lock()
+	held := s.gateHeld
+	s.gateHeld = false
+	s.mu.Unlock()
+	if held {
+		s.exec.gt.resume()
+	}
+}
+
+// handleAlert analyzes one alert into a unit of recovery tasks. The damage
+// analysis runs fully concurrently with normal stepping (except in Strict
+// mode): it reads an epoch-pinned snapshot of the incremental dependence
+// graph, so concurrent commits never tear the view.
+func (s *Service) handleAlert(a alert) {
+	if s.cfg.Strict {
+		// Theorem-4 gating: no normal task may run once recovery work is
+		// known to be pending.
+		s.holdGate()
+	}
+	// §IV.E forced drain: a full unit buffer blocks the analyzer until the
+	// scheduler drains a unit.
+	for s.pendingUnits() >= s.cfg.RecoveryBuf {
+		s.executeUnit()
+	}
+	s.mu.Lock()
+	s.alertsQueued--
+	s.analyzing = true
+	s.o.alertDepth.Set(int64(s.alertsQueued))
+	specs := s.specsCopyLocked()
+	s.mu.Unlock()
+
+	an := recovery.AnalyzeGraph(s.graph.Snapshot(), s.eng.Log(), specs, a.bad)
+
+	s.mu.Lock()
+	s.analyzing = false
+	s.unitQ = append(s.unitQ, &unit{bad: a.bad, an: an})
+	s.metrics.AlertsAnalyzed++
+	s.o.analyzed.Inc()
+	s.o.unitDepth.Set(int64(len(s.unitQ)))
+	s.mu.Unlock()
+}
+
+func (s *Service) specsCopyLocked() map[string]*wf.Spec {
+	specs := make(map[string]*wf.Spec, len(s.specs))
+	for id, sp := range s.specs {
+		specs[id] = sp
+	}
+	return specs
+}
+
+// executeUnit runs the repair for the head recovery unit. The repair
+// re-analyzes the full log (normal tasks that consumed corrupt data since
+// the alert are folded into the damage closure), quiesces the shards, and
+// installs the repaired store plus the corrected run frontiers through the
+// commit pipeline — atomically with respect to every group commit.
+func (s *Service) executeUnit() {
+	s.mu.Lock()
+	if len(s.unitQ) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	u := s.unitQ[0]
+	s.unitQ = s.unitQ[1:]
+	s.executing = true
+	s.o.unitDepth.Set(int64(len(s.unitQ)))
+	specs := s.specsCopyLocked()
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.executing = false
+		s.mu.Unlock()
+	}()
+
+	wasHeld := s.cfg.Strict
+	if !wasHeld {
+		s.holdGate()
+	}
+	quiesceStart := time.Now()
+	err := s.com.exec(func() error {
+		res, err := recovery.RepairGraph(s.graph.Snapshot(), s.eng.Store(), s.eng.Log(), specs, u.bad, s.cfg.Repair)
+		if err != nil {
+			return err
+		}
+		s.eng.SwapStore(res.Store)
+		// Resynchronize in-flight runs whose execution path the repair
+		// rewrote; the shards are quiesced, so the frontiers are stable.
+		for _, rs := range s.exec.activeRuns() {
+			cur, done, ok := res.Frontier(rs.run.ID, specs[rs.run.ID])
+			if !ok {
+				continue
+			}
+			if e := s.eng.Resync(rs.run, cur, done); e != nil {
+				return fmt.Errorf("resync %s: %w", rs.run.ID, e)
+			}
+		}
+		s.mu.Lock()
+		s.metrics.UnitsExecuted++
+		s.metrics.Undone += len(res.Undone)
+		s.metrics.Redone += len(res.Redone)
+		s.metrics.NewExecuted += len(res.NewExecuted)
+		s.mu.Unlock()
+		s.o.units.Inc()
+		s.o.undone.Add(int64(len(res.Undone)))
+		s.o.redone.Add(int64(len(res.Redone)))
+		s.o.newExec.Add(int64(len(res.NewExecuted)))
+		return nil
+	})
+	if s.o.enabled {
+		s.o.quiesceSeconds.Observe(time.Since(quiesceStart).Seconds())
+	}
+	if !wasHeld {
+		s.releaseGate()
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.metrics.RecoveryErrors++
+		s.lastRecovery = fmt.Errorf("shard: recovery unit failed: %w", err)
+		s.mu.Unlock()
+	}
+}

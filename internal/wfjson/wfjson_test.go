@@ -1,6 +1,7 @@
 package wfjson
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestDecodedSpecExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RunAll(r); err != nil {
+	if err := eng.RunAll(context.Background(), r); err != nil {
 		t.Fatal(err)
 	}
 	// Clean path: t1(a=1) t2(b=2) t5(e=7) t6(f=14).

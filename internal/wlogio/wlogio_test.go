@@ -2,6 +2,7 @@ package wlogio
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -157,7 +158,7 @@ func TestRestartMidWorkload(t *testing.T) {
 
 	// Uninterrupted reference.
 	refEng, refRuns := mkEngine()
-	if err := refEng.RunAll(refRuns...); err != nil {
+	if err := refEng.RunAll(context.Background(), refRuns...); err != nil {
 		t.Fatal(err)
 	}
 
@@ -190,7 +191,7 @@ func TestRestartMidWorkload(t *testing.T) {
 			t.Errorf("run %s resumed as done", r.ID)
 		}
 	}
-	if err := eng2.RunAll(resumed...); err != nil {
+	if err := eng2.RunAll(context.Background(), resumed...); err != nil {
 		t.Fatal(err)
 	}
 	if !data.Equal(refEng.Store(), eng2.Store()) {
@@ -227,7 +228,7 @@ func TestResumeCompletedRuns(t *testing.T) {
 		}
 	}
 	before := log2.Len()
-	if err := eng2.RunAll(resumed...); err != nil {
+	if err := eng2.RunAll(context.Background(), resumed...); err != nil {
 		t.Fatal(err)
 	}
 	if log2.Len() != before {

@@ -1,0 +1,140 @@
+// Command apismoke is the CI smoke test for the versioned workflow API
+// (docs/API.md). Pointed at a running selfheal-server it exercises the full
+// loop through the wire:
+//
+//  1. POST /api/v1/runs      submit a 6-task chain workflow
+//  2. GET  /api/v1/runs/{id} poll until the run completes
+//  3. POST /api/v1/alerts    report a committed instance as malicious
+//  4. GET  /api/v1/state     poll until recovery executed and state is NORMAL
+//  5. GET  /api/v1/runs/none assert the 404 error envelope
+//
+// Exits 0 and prints "API SMOKE OK" on success; any deviation is fatal.
+// scripts/ci.sh boots selfheal-server on an ephemeral port and runs this
+// against it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"selfheal/internal/shard"
+	"selfheal/internal/wfjson"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		log.Fatal("usage: apismoke http://host:port")
+	}
+	base := os.Args[1]
+
+	spec := wfjson.SpecJSON{Name: "smoke", Start: "t1"}
+	for i := 1; i <= 6; i++ {
+		tj := wfjson.TaskJSON{
+			ID:     fmt.Sprintf("t%d", i),
+			Writes: []string{fmt.Sprintf("smoke.k%d", i)},
+			Bias:   int64(i),
+		}
+		if i > 1 {
+			tj.Reads = []string{fmt.Sprintf("smoke.k%d", i-1)}
+		}
+		if i < 6 {
+			tj.Next = []string{fmt.Sprintf("t%d", i+1)}
+		}
+		spec.Tasks = append(spec.Tasks, tj)
+	}
+
+	status, body := do("POST", base+"/api/v1/runs",
+		map[string]any{"id": "smoke", "spec": spec})
+	if status != http.StatusCreated {
+		log.Fatalf("submit run: status %d body %s", status, body)
+	}
+	log.Printf("submitted run: %s", bytes.TrimSpace(body))
+
+	var info shard.RunInfo
+	poll("run completion", func() bool {
+		status, body = do("GET", base+"/api/v1/runs/smoke", nil)
+		if status != http.StatusOK {
+			log.Fatalf("get run: status %d body %s", status, body)
+		}
+		must(json.Unmarshal(body, &info))
+		return info.Status == "done"
+	})
+	log.Printf("run done after %d steps on shard %d", info.Steps, info.Shard)
+
+	status, body = do("POST", base+"/api/v1/alerts",
+		map[string]any{"bad": []string{"smoke/t2#1"}})
+	if status != http.StatusAccepted {
+		log.Fatalf("alert: status %d body %s", status, body)
+	}
+	log.Printf("alert accepted: %s", bytes.TrimSpace(body))
+
+	var st struct {
+		State   string        `json:"state"`
+		Metrics shard.Metrics `json:"metrics"`
+	}
+	poll("recovery", func() bool {
+		status, body = do("GET", base+"/api/v1/state", nil)
+		if status != http.StatusOK {
+			log.Fatalf("state: status %d body %s", status, body)
+		}
+		must(json.Unmarshal(body, &st))
+		return st.State == "NORMAL" && st.Metrics.UnitsExecuted >= 1
+	})
+	if st.Metrics.Undone < 1 || st.Metrics.Redone < 1 {
+		log.Fatalf("recovery did no undo/redo work: %+v", st.Metrics)
+	}
+	log.Printf("recovered: undone=%d redone=%d alerts_analyzed=%d",
+		st.Metrics.Undone, st.Metrics.Redone, st.Metrics.AlertsAnalyzed)
+
+	status, body = do("GET", base+"/api/v1/runs/no-such-run", nil)
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	must(json.Unmarshal(body, &env))
+	if status != http.StatusNotFound || env.Error.Code != "not_found" {
+		log.Fatalf("unknown run: status %d body %s", status, body)
+	}
+
+	fmt.Println("API SMOKE OK")
+}
+
+func do(method, url string, payload any) (int, []byte) {
+	var buf bytes.Buffer
+	if payload != nil {
+		must(json.NewEncoder(&buf).Encode(payload))
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	must(err)
+	resp, err := http.DefaultClient.Do(req)
+	must(err)
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	_, err = out.ReadFrom(resp.Body)
+	must(err)
+	return resp.StatusCode, out.Bytes()
+}
+
+// poll retries cond every 50ms for up to 30s, failing the smoke test on
+// timeout.
+func poll(what string, cond func() bool) {
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -32,3 +32,27 @@ for name in $names; do
         exit 1
     fi
 done
+
+# API smoke test: boot selfheal-server on an ephemeral port, then drive the
+# versioned workflow API through the wire — submit a run, inject an alert,
+# assert recovery via /api/v1/state (scripts/apismoke).
+tmpdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/selfheal-server" ./cmd/selfheal-server
+go build -o "$tmpdir/apismoke" ./scripts/apismoke
+"$tmpdir/selfheal-server" -addr 127.0.0.1:0 -shards 4 > "$tmpdir/server.out" 2>&1 &
+server_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^selfheal-server listening on //p' "$tmpdir/server.out" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "selfheal-server never reported its address:" >&2
+    cat "$tmpdir/server.out" >&2
+    exit 1
+fi
+"$tmpdir/apismoke" "http://$addr"
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
