@@ -456,6 +456,140 @@ func BenchmarkShardedThroughput2(b *testing.B) { benchShardedThroughput(b, 2) }
 func BenchmarkShardedThroughput4(b *testing.B) { benchShardedThroughput(b, 4) }
 func BenchmarkShardedThroughput8(b *testing.B) { benchShardedThroughput(b, 8) }
 
+// Parallel DAG-driven repair (the §IV perf tentpole): 64 key-disjoint
+// attacked chains form 64 independent key-footprint components, and the
+// component executor replays them over a worker pool. Each compute sleeps —
+// replay re-executes the computes, and that wait is what the workers
+// overlap, so the executor scales even on a single-core host. EXPERIMENTS.md
+// records the serial vs parallel series and the ≥2× claim.
+
+func benchParallelRepairWorkload(b *testing.B) (*engine.Engine, map[string]*wf.Spec, []wlog.InstanceID) {
+	b.Helper()
+	const (
+		runs  = 64
+		chain = 4
+		delay = time.Millisecond
+	)
+	eng := engine.New(data.NewStore(), wlog.New())
+	specs := map[string]*wf.Spec{}
+	var bad []wlog.InstanceID
+	var rlist []*engine.Run
+	for r := 0; r < runs; r++ {
+		name := fmt.Sprintf("p%d", r)
+		specs[name] = benchChainSpec(name, chain, delay)
+		k1 := data.Key(name + ".k1")
+		eng.AddAttack(engine.Attack{
+			Run: name, Task: "t1", Visit: 1,
+			Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+				return map[data.Key]data.Value{k1: -1}
+			},
+		})
+		run, err := eng.NewRun(name, specs[name])
+		if err != nil {
+			b.Fatal(err)
+		}
+		rlist = append(rlist, run)
+		bad = append(bad, wlog.FormatInstance(name, "t1", 1))
+	}
+	if err := eng.RunAll(context.Background(), rlist...); err != nil {
+		b.Fatal(err)
+	}
+	return eng, specs, bad
+}
+
+func benchRepairWorkers(b *testing.B, workers int) {
+	eng, specs, bad := benchParallelRepairWorkload(b)
+	var res *recovery.Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = recovery.Repair(eng.Store(), eng.Log(), specs, bad, recovery.Options{Parallel: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Components), "components")
+	b.ReportMetric(float64(res.Workers), "workers")
+	b.ReportMetric(float64(len(res.Undone)), "undone")
+}
+
+func BenchmarkRepairSerial(b *testing.B)    { benchRepairWorkers(b, 0) }
+func BenchmarkRepairParallel2(b *testing.B) { benchRepairWorkers(b, 2) }
+func BenchmarkRepairParallel4(b *testing.B) { benchRepairWorkers(b, 4) }
+func BenchmarkRepairParallel8(b *testing.B) { benchRepairWorkers(b, 8) }
+
+// Mid-recovery service latency (§IV partial quiescence): how long a clean
+// run submitted during an in-flight repair takes to complete. Strict mode
+// gates every shard for the whole repair; partial quiescence pauses only the
+// damaged component's owners, so the clean run's latency is independent of
+// the repair duration.
+
+func benchRepairMidRecovery(b *testing.B, strict bool) {
+	const delay = 2 * time.Millisecond
+	var clean time.Duration
+	for i := 0; i < b.N; i++ {
+		svc, err := shard.New(shard.Config{Shards: 2, Strict: strict}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc.Start()
+		svc.Engine().AddAttack(engine.Attack{
+			Run: "d", Task: "t2", Visit: 1,
+			Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+				return map[data.Key]data.Value{"d.k2": -1}
+			},
+		})
+		if err := svc.SubmitRun("d", benchChainSpec("d", 16, delay)); err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := svc.WaitIdle(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Report([]wlog.InstanceID{wlog.FormatInstance("d", "t2", 1)}); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for svc.State() != stg.Recovery {
+			if time.Now().After(deadline) {
+				b.Fatal("service never entered RECOVERY")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		start := time.Now()
+		name := fmt.Sprintf("c%d", i)
+		if err := svc.SubmitRun(name, benchChainSpec(name, 8, 0)); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			info, err := svc.RunInfo(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if info.Status == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("clean run stuck %q mid-recovery", info.Status)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		clean += time.Since(start)
+		if err := svc.WaitIdle(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		if m := svc.Metrics(); m.RecoveryErrors > 0 {
+			b.Fatalf("recovery failed: %v", svc.LastRecoveryError())
+		}
+		svc.Stop()
+	}
+	b.ReportMetric(clean.Seconds()/float64(b.N)*1e3, "clean-run-ms")
+}
+
+func BenchmarkRepairMidRecoveryPartial(b *testing.B) { benchRepairMidRecovery(b, false) }
+func BenchmarkRepairMidRecoveryStrict(b *testing.B)  { benchRepairMidRecovery(b, true) }
+
 // Baseline comparison (§I, §VII): dependency-based recovery vs
 // checkpoint/rollback on the same attacked history. The reported metrics
 // show rollback discarding far more committed work than recovery undoes.

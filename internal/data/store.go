@@ -7,6 +7,12 @@
 // (GetBefore) give recovery re-executions a consistent view of the corrected
 // history without blocking on anti-flow and output dependencies, the
 // multi-version effect discussed in §III.D.
+//
+// The store keeps a writer → key index alongside the chains, so the undo
+// primitive (DeleteWrites, VersionsBy) costs O(versions by that writer)
+// instead of a scan over every chain in the store — the difference between
+// an undo set staging in microseconds and one that stalls the repair on a
+// large store.
 package data
 
 import (
@@ -39,6 +45,12 @@ type Version struct {
 	Value Value
 	// Recovery marks versions written during attack recovery.
 	Recovery bool
+	// Checkpoint marks a compaction boundary: the surviving version that
+	// carries the key's value as of the horizon. The history beneath it
+	// has been discarded, so the version can never be undone —
+	// DeleteWrites and DeleteRecoveryVersions preserve it (removing it
+	// would expose nothing, corrupting the chain for every later reader).
+	Checkpoint bool
 }
 
 // Store is a multi-version key/value store. The zero value is not usable;
@@ -46,11 +58,50 @@ type Version struct {
 type Store struct {
 	mu     sync.RWMutex
 	chains map[Key][]Version // ascending Pos
+	// writers[w][k] counts the versions written by w in k's chain. The
+	// index makes DeleteWrites/VersionsBy proportional to the writer's
+	// own version count. Counts (not booleans) because a replay pass may
+	// transiently hold two versions of one writer on one key (an
+	// original commit plus its repositioned re-execution).
+	writers map[string]map[Key]int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{chains: make(map[Key][]Version)}
+	return &Store{
+		chains:  make(map[Key][]Version),
+		writers: make(map[string]map[Key]int),
+	}
+}
+
+// indexAdd records one version by writer w on key k. Callers hold mu.
+func (s *Store) indexAdd(w string, k Key) {
+	if w == "" {
+		return
+	}
+	m := s.writers[w]
+	if m == nil {
+		m = make(map[Key]int)
+		s.writers[w] = m
+	}
+	m[k]++
+}
+
+// indexDrop removes n versions by writer w on key k. Callers hold mu.
+func (s *Store) indexDrop(w string, k Key, n int) {
+	if w == "" || n == 0 {
+		return
+	}
+	m := s.writers[w]
+	if m == nil {
+		return
+	}
+	if m[k] -= n; m[k] <= 0 {
+		delete(m, k)
+	}
+	if len(m) == 0 {
+		delete(s.writers, w)
+	}
 }
 
 // Init installs an initial version (position InitPos, no writer) for key k.
@@ -73,6 +124,7 @@ func (s *Store) Write(k Key, v Value, pos float64, writer string, recovery bool)
 	// Fast path: appends are almost always in increasing position order.
 	if n := len(chain); n == 0 || chain[n-1].Pos < pos {
 		s.chains[k] = append(chain, ver)
+		s.indexAdd(writer, k)
 		return
 	}
 	i := sort.Search(len(chain), func(i int) bool { return chain[i].Pos >= pos })
@@ -84,6 +136,7 @@ func (s *Store) Write(k Key, v Value, pos float64, writer string, recovery bool)
 	copy(chain[i+1:], chain[i:])
 	chain[i] = ver
 	s.chains[k] = chain
+	s.indexAdd(writer, k)
 }
 
 // Get returns the latest version of k. ok is false when k has no versions.
@@ -117,6 +170,15 @@ func (s *Store) GetBefore(k Key, pos float64) (Version, bool) {
 // to checkpoints (§I) — at the cost of recoverability: an undo that needs a
 // pre-horizon version can no longer be performed, which the recovery engine
 // detects against the log and refuses (ErrHorizon).
+//
+// The surviving boundary version is marked Checkpoint (and its Recovery flag
+// cleared — a compacted boundary is permanent history): the version beneath
+// it is gone, so later DeleteWrites/DeleteRecoveryVersions calls must not
+// remove it. Chains that have degenerated into runs of duplicate compaction
+// boundaries (possible when differently-compacted stores are merged through
+// AdoptChains) collapse to the single latest boundary, and keys whose chains
+// empty out are dropped from the store. The writer index is kept consistent
+// throughout.
 func (s *Store) CompactBefore(horizon float64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -133,9 +195,28 @@ func (s *Store) CompactBefore(horizon float64) int {
 			}
 		}
 		if keep > 0 {
+			for _, v := range chain[:keep] {
+				s.indexDrop(v.Writer, k, 1)
+			}
 			n += keep
-			s.chains[k] = append(chain[:0], chain[keep:]...)
+			chain = append(chain[:0], chain[keep:]...)
 		}
+		if len(chain) > 0 && chain[0].Pos <= horizon {
+			chain[0].Checkpoint = true
+			chain[0].Recovery = false
+		}
+		// Collapse leading duplicate boundaries: only the latest carries
+		// information.
+		for len(chain) >= 2 && chain[0].Checkpoint && chain[1].Checkpoint {
+			s.indexDrop(chain[0].Writer, k, 1)
+			n++
+			chain = chain[1:]
+		}
+		if len(chain) == 0 {
+			delete(s.chains, k)
+			continue
+		}
+		s.chains[k] = chain
 	}
 	return n
 }
@@ -155,21 +236,55 @@ func (s *Store) VersionAt(k Key, pos float64) (Version, bool) {
 // DeleteWrites removes every version written by the given writer and returns
 // how many versions were deleted. This is the undo(t) primitive: deleting a
 // task's versions exposes the last version before it, for every object it
-// wrote.
+// wrote. Checkpoint versions are preserved (the history beneath a compaction
+// boundary is gone; removing the boundary would corrupt the chain), and keys
+// whose chains empty out are dropped. Cost is proportional to the writer's
+// own chains via the writer index, not to the store size.
 func (s *Store) DeleteWrites(writer string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.deleteWritesLocked(writer)
+}
+
+// DeleteWritesBatch removes the versions of every listed writer in one lock
+// acquisition — the undo-group staging path of the recovery executor.
+func (s *Store) DeleteWritesBatch(writers []string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var n int
-	for k, chain := range s.chains {
+	for _, w := range writers {
+		n += s.deleteWritesLocked(w)
+	}
+	return n
+}
+
+func (s *Store) deleteWritesLocked(writer string) int {
+	keys := make([]Key, 0, len(s.writers[writer]))
+	for k := range s.writers[writer] {
+		keys = append(keys, k)
+	}
+	var n int
+	for _, k := range keys {
+		chain := s.chains[k]
 		out := chain[:0]
+		removed := 0
 		for _, v := range chain {
-			if v.Writer == writer {
-				n++
+			if v.Writer == writer && !v.Checkpoint {
+				removed++
 				continue
 			}
 			out = append(out, v)
 		}
-		s.chains[k] = out
+		if removed == 0 {
+			continue
+		}
+		n += removed
+		s.indexDrop(writer, k, removed)
+		if len(out) == 0 {
+			delete(s.chains, k)
+		} else {
+			s.chains[k] = out
+		}
 	}
 	return n
 }
@@ -182,28 +297,61 @@ func (s *Store) DeleteRecoveryVersions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var n int
-	for k, chain := range s.chains {
-		out := chain[:0]
-		for _, v := range chain {
-			if v.Recovery {
-				n++
-				continue
-			}
-			out = append(out, v)
+	for k := range s.chains {
+		n += s.deleteRecoveryLocked(k)
+	}
+	return n
+}
+
+// DeleteRecoveryVersionsIn is DeleteRecoveryVersions restricted to the given
+// keys. A damage-scoped repair pass (recovery.Options.ScopeToDamage) strips
+// and rebuilds only the chains of the damaged components; recovery versions
+// on untouched keys — left by earlier repairs of unrelated damage — must
+// survive, because no walker will reconstruct them.
+func (s *Store) DeleteRecoveryVersionsIn(keys []Key) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for _, k := range keys {
+		n += s.deleteRecoveryLocked(k)
+	}
+	return n
+}
+
+func (s *Store) deleteRecoveryLocked(k Key) int {
+	chain, ok := s.chains[k]
+	if !ok {
+		return 0
+	}
+	out := chain[:0]
+	var n int
+	for _, v := range chain {
+		if v.Recovery && !v.Checkpoint {
+			s.indexDrop(v.Writer, k, 1)
+			n++
+			continue
 		}
+		out = append(out, v)
+	}
+	if n == 0 {
+		return 0
+	}
+	if len(out) == 0 {
+		delete(s.chains, k)
+	} else {
 		s.chains[k] = out
 	}
 	return n
 }
 
 // VersionsBy returns every version written by the given writer, keyed by
-// object. At most one version per key can exist for one writer.
+// object, in O(versions by that writer) via the writer index.
 func (s *Store) VersionsBy(writer string) map[Key]Version {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[Key]Version)
-	for k, chain := range s.chains {
-		for _, v := range chain {
+	for k := range s.writers[writer] {
+		for _, v := range s.chains[k] {
 			if v.Writer == writer {
 				out[k] = v
 			}
@@ -260,7 +408,93 @@ func (s *Store) Clone() *Store {
 		copy(cp, chain)
 		c.chains[k] = cp
 	}
+	for w, m := range s.writers {
+		cm := make(map[Key]int, len(m))
+		for k, n := range m {
+			cm[k] = n
+		}
+		c.writers[w] = cm
+	}
 	return c
+}
+
+// AdoptChains replaces s's version chains for the given keys with deep
+// copies of from's chains (keys absent from from are deleted), keeping the
+// writer index consistent. The shard layer's recovery installer uses it to
+// merge a repaired store's damaged-component chains into the live store
+// while clean shards keep committing to their own keys.
+func (s *Store) AdoptChains(from *Store, keys []Key) {
+	incoming := make(map[Key][]Version, len(keys))
+	from.mu.RLock()
+	for _, k := range keys {
+		if chain, ok := from.chains[k]; ok {
+			cp := make([]Version, len(chain))
+			copy(cp, chain)
+			incoming[k] = cp
+		}
+	}
+	from.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		for _, v := range s.chains[k] {
+			s.indexDrop(v.Writer, k, 1)
+		}
+		chain, ok := incoming[k]
+		if !ok {
+			delete(s.chains, k)
+			continue
+		}
+		s.chains[k] = chain
+		for _, v := range chain {
+			s.indexAdd(v.Writer, k)
+		}
+	}
+}
+
+// CheckIndex verifies the internal invariants — chains sorted ascending by
+// position, no empty chains lingering in the map, and the writer index in
+// exact agreement with the chains. Tests call it after mutation sequences;
+// it is not needed in production paths.
+func (s *Store) CheckIndex() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	want := make(map[string]map[Key]int)
+	for k, chain := range s.chains {
+		if len(chain) == 0 {
+			return fmt.Errorf("data: empty chain left in map for %q", k)
+		}
+		for i, v := range chain {
+			if i > 0 && chain[i-1].Pos >= v.Pos {
+				return fmt.Errorf("data: chain %q not ascending at index %d", k, i)
+			}
+			if v.Writer == "" {
+				continue
+			}
+			m := want[v.Writer]
+			if m == nil {
+				m = make(map[Key]int)
+				want[v.Writer] = m
+			}
+			m[k]++
+		}
+	}
+	if len(want) != len(s.writers) {
+		return fmt.Errorf("data: writer index has %d writers, chains have %d", len(s.writers), len(want))
+	}
+	for w, m := range want {
+		got := s.writers[w]
+		if len(got) != len(m) {
+			return fmt.Errorf("data: writer %q indexed on %d keys, chains show %d", w, len(got), len(m))
+		}
+		for k, n := range m {
+			if got[k] != n {
+				return fmt.Errorf("data: writer %q on %q indexed %d times, chains show %d", w, k, got[k], n)
+			}
+		}
+	}
+	return nil
 }
 
 // Equal reports whether the final values of both stores agree on every key.

@@ -265,3 +265,172 @@ func TestCompactBefore(t *testing.T) {
 		t.Errorf("pre-history horizon discarded %d", n)
 	}
 }
+
+func TestWriterIndexConsistency(t *testing.T) {
+	// Random interleavings of every mutating operation must leave the
+	// writer index in exact agreement with the chains.
+	rng := rand.New(rand.NewSource(7))
+	s := NewStore()
+	keys := []Key{"a", "b", "c", "d"}
+	writers := []string{"w1", "w2", "w3"}
+	pos := 1.0
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(6) {
+		case 0, 1, 2:
+			s.Write(keys[rng.Intn(len(keys))], Value(rng.Intn(100)), pos, writers[rng.Intn(len(writers))], rng.Intn(3) == 0)
+			pos++
+		case 3:
+			s.DeleteWrites(writers[rng.Intn(len(writers))])
+		case 4:
+			s.DeleteRecoveryVersions()
+		case 5:
+			s.CompactBefore(pos - float64(rng.Intn(20)))
+		}
+		if err := s.CheckIndex(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if err := s.Clone().CheckIndex(); err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+}
+
+func TestDeleteWritesBatch(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 1)
+	s.Write("x", 2, 1, "a", false)
+	s.Write("x", 3, 2, "b", false)
+	s.Write("y", 4, 3, "a", false)
+	if n := s.DeleteWritesBatch([]string{"a", "b", "missing"}); n != 3 {
+		t.Fatalf("deleted %d versions, want 3", n)
+	}
+	if v, _ := s.Get("x"); v.Value != 1 {
+		t.Errorf("x = %d after batch undo, want initial 1", v.Value)
+	}
+	// y had only a's write: chain emptied, key dropped.
+	if _, ok := s.Get("y"); ok {
+		t.Error("y still present after its only writer was undone")
+	}
+	if err := s.CheckIndex(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactThenDeleteWritesKeepsChain(t *testing.T) {
+	// Regression: compaction promotes a surviving version to a checkpoint
+	// boundary; undoing its writer afterwards must not remove the boundary
+	// (the history beneath it is gone — deleting it would corrupt every
+	// later positional read on the chain).
+	s := NewStore()
+	s.Init("x", 1)
+	s.Write("x", 10, 3, "w3", false)
+	s.Write("x", 20, 7, "w7", true) // recovery write survives as the boundary
+	s.Write("x", 30, 9, "w9", false)
+	if n := s.CompactBefore(7); n != 2 {
+		t.Fatalf("compaction discarded %d, want 2", n)
+	}
+	boundary := s.Chain("x")[0]
+	if !boundary.Checkpoint || boundary.Recovery {
+		t.Fatalf("boundary not promoted to permanent checkpoint: %+v", boundary)
+	}
+	// Undoing the boundary's writer is a no-op on the checkpoint.
+	if n := s.DeleteWrites("w7"); n != 0 {
+		t.Errorf("DeleteWrites removed %d checkpointed versions", n)
+	}
+	// Stripping recovery versions preserves it too.
+	if n := s.DeleteRecoveryVersions(); n != 0 {
+		t.Errorf("DeleteRecoveryVersions removed %d checkpointed versions", n)
+	}
+	if v, ok := s.GetBefore("x", 9); !ok || v.Value != 20 {
+		t.Errorf("GetBefore(x, 9) = %+v, %v; want the checkpoint value 20", v, ok)
+	}
+	// Undoing a later writer still works and never empties past the boundary.
+	s.DeleteWrites("w9")
+	if v, _ := s.Get("x"); v.Value != 20 {
+		t.Errorf("x = %d after undoing w9, want 20", v.Value)
+	}
+	if err := s.CheckIndex(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactCollapsesDuplicateBoundaries(t *testing.T) {
+	// Chains that degenerate into runs of compaction boundaries (merges of
+	// differently-compacted stores) collapse to the single latest boundary.
+	s := NewStore()
+	s.Init("x", 1)
+	s.Write("x", 2, 4, "a", false)
+	s.CompactBefore(1) // init version becomes a checkpoint
+	other := NewStore()
+	other.Init("x", 1)
+	other.Write("x", 2, 4, "a", false)
+	other.Write("x", 3, 6, "b", false)
+	other.CompactBefore(4) // a's version becomes a checkpoint
+	s.AdoptChains(other, []Key{"x"})
+	// s now has checkpoint@0 replaced by other's chain: checkpoint@4, b@6.
+	s.Write("x", 9, 8, "c", false)
+	if n := s.CompactBefore(6); n != 1 {
+		t.Fatalf("compaction discarded %d, want 1 (the stale boundary)", n)
+	}
+	chain := s.Chain("x")
+	if len(chain) != 2 || !chain[0].Checkpoint || chain[0].Pos != 6 {
+		t.Fatalf("chain after recompaction: %+v", chain)
+	}
+	if err := s.CheckIndex(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdoptChains(t *testing.T) {
+	live := NewStore()
+	live.Init("x", 1)
+	live.Write("x", 2, 1, "a", false)
+	live.Init("y", 5)
+	live.Write("y", 6, 2, "b", false)
+	live.Init("z", 9)
+
+	repaired := NewStore()
+	repaired.Init("x", 1)
+	repaired.Write("x", 3, 1.0000001, "a", true)
+	// Repaired store dropped z entirely.
+
+	live.AdoptChains(repaired, []Key{"x", "z"})
+	if v, _ := live.Get("x"); v.Value != 3 {
+		t.Errorf("x = %d after adopt, want repaired 3", v.Value)
+	}
+	if _, ok := live.Get("z"); ok {
+		t.Error("z survived adoption from a store without it")
+	}
+	// y untouched.
+	if v, _ := live.Get("y"); v.Value != 6 {
+		t.Errorf("y = %d after adopt, want 6", v.Value)
+	}
+	if err := live.CheckIndex(); err != nil {
+		t.Fatal(err)
+	}
+	// Adoption deep-copies: mutating the source must not alias.
+	repaired.Write("x", 99, 5, "c", false)
+	if v, _ := live.Get("x"); v.Value != 3 {
+		t.Errorf("x = %d after source mutation, want 3", v.Value)
+	}
+}
+
+func TestDeleteRecoveryVersionsIn(t *testing.T) {
+	s := NewStore()
+	s.Init("x", 1)
+	s.Write("x", 2, 1.5, "a", true)
+	s.Init("y", 3)
+	s.Write("y", 4, 2.5, "b", true)
+	if n := s.DeleteRecoveryVersionsIn([]Key{"x"}); n != 1 {
+		t.Fatalf("deleted %d, want 1", n)
+	}
+	if v, _ := s.Get("x"); v.Value != 1 {
+		t.Errorf("x = %d, want 1", v.Value)
+	}
+	if v, _ := s.Get("y"); v.Value != 4 {
+		t.Errorf("y = %d, want recovery version 4 preserved", v.Value)
+	}
+	if err := s.CheckIndex(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,6 +41,8 @@ const (
 	MUndone                = "selfheal_undone_total"
 	MRedone                = "selfheal_redone_total"
 	MNewExecuted           = "selfheal_new_executed_total"
+	MRepairComponents      = "selfheal_repair_components"
+	MRepairWorkers         = "selfheal_repair_workers"
 
 	// internal/rtsim — virtual-time occupancy of the real runtime (§V).
 	MTimeNormalSeconds   = "selfheal_time_normal_seconds_total"
@@ -57,6 +59,7 @@ const (
 	MShardRunsCompleted  = "shard_runs_completed_total"
 	MShardRunsFailed     = "shard_runs_failed_total"
 	MShardQuiesceSeconds = "shard_quiesce_seconds"
+	MShardQuiescedShards = "shard_quiesced_shards"
 
 	// internal/httpapi — the analysis service.
 	MHTTPRequests       = "http_requests_total"
@@ -111,6 +114,8 @@ func Catalog() []Def {
 		{MUndone, "counter", "B_a", "Thm. 1", "Task instances undone across all executed recovery units."},
 		{MRedone, "counter", "B_r", "Thm. 2", "Task instances re-executed at their original positions."},
 		{MNewExecuted, "counter", "—", "§III.B", "Task instances executed for the first time during recovery."},
+		{MRepairComponents, "histogram", "—", "§IV", "Independent key-footprint components replayed by one repair."},
+		{MRepairWorkers, "histogram", "—", "§IV", "Concurrent replay workers used by one repair."},
 		{MTimeNormalSeconds, "sum", "π_N", "§V", "Virtual time the runtime spent in NORMAL (rtsim)."},
 		{MTimeScanSeconds, "sum", "π_S", "§V", "Virtual time the runtime spent in SCAN (rtsim)."},
 		{MTimeRecoverySeconds, "sum", "π_R", "§V", "Virtual time the runtime spent in RECOVERY (rtsim)."},
@@ -123,6 +128,7 @@ func Catalog() []Def {
 		{MShardRunsCompleted, "counter", "—", "Fig 2", "Sharded runs that reached an end node."},
 		{MShardRunsFailed, "counter", "—", "§VII", "Sharded runs aborted by a task failure."},
 		{MShardQuiesceSeconds, "histogram", "ξ_r", "§IV.C", "Wall-clock time the shards were quiesced for one recovery-unit repair."},
+		{MShardQuiescedShards, "histogram", "—", "§IV", "Shards paused for one recovery-unit repair (partial quiescence scope)."},
 		{MHTTPRequests, "counter", "—", "—", "HTTP requests served, labeled by route."},
 		{MHTTPRequestSeconds, "histogram", "—", "—", "HTTP request latency across all routes."},
 	}

@@ -1,0 +1,254 @@
+package recovery_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/scenario"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// sortedSchedule returns a copy of a schedule in canonical (Epos, Kind,
+// Inst) order, so schedules from executors with different tie-breaking can
+// be compared as sets of positioned actions.
+func sortedSchedule(s []recovery.Action) []recovery.Action {
+	out := append([]recovery.Action(nil), s...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Epos != out[j].Epos {
+			return out[i].Epos < out[j].Epos
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Inst < out[j].Inst
+	})
+	return out
+}
+
+func sortedOrders(edges []recovery.OrderEdge) []recovery.OrderEdge {
+	out := append([]recovery.OrderEdge(nil), edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Before != out[j].Before {
+			if out[i].Before.Inst != out[j].Before.Inst {
+				return out[i].Before.Inst < out[j].Before.Inst
+			}
+			return out[i].Before.Kind < out[j].Before.Kind
+		}
+		if out[i].After != out[j].After {
+			if out[i].After.Inst != out[j].After.Inst {
+				return out[i].After.Inst < out[j].After.Inst
+			}
+			return out[i].After.Kind < out[j].After.Kind
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// TestParallelRepairMatchesSerial is the executor-equivalence property: on
+// randomized multi-run workloads with shared keys, branches (candidate
+// undos/redos) and forged entries, the parallel component executor and the
+// damage-scoped executor must agree with the serial executor on the final
+// store, the audited instance sets and the damage analysis. Run it with
+// -race: the per-component goroutines share one store.
+func TestParallelRepairMatchesSerial(t *testing.T) {
+	cfg := scenario.RandomConfig{
+		Runs:    5,
+		Gen:     wf.GenConfig{Tasks: 10, Keys: 9, MaxReads: 3, BranchProb: 0.4},
+		Attacks: 3,
+		Forged:  1,
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		attacked, err := scenario.Random(seed, cfg, true)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serial, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: serial repair: %v", seed, err)
+		}
+		check := func(name string, res *recovery.Result, scoped bool) {
+			t.Helper()
+			if !data.Equal(serial.Store, res.Store) {
+				t.Fatalf("seed %d: %s store diverged from serial:\n%s", seed, name, data.Diff(serial.Store, res.Store))
+			}
+			if !reflect.DeepEqual(serial.Undone, res.Undone) {
+				t.Fatalf("seed %d: %s undone %v != serial %v", seed, name, res.Undone, serial.Undone)
+			}
+			if !reflect.DeepEqual(serial.Redone, res.Redone) {
+				t.Fatalf("seed %d: %s redone %v != serial %v", seed, name, res.Redone, serial.Redone)
+			}
+			if !reflect.DeepEqual(serial.NewExecuted, res.NewExecuted) {
+				t.Fatalf("seed %d: %s newExecuted %v != serial %v", seed, name, res.NewExecuted, serial.NewExecuted)
+			}
+			if !reflect.DeepEqual(serial.DroppedNotRedone, res.DroppedNotRedone) {
+				t.Fatalf("seed %d: %s dropped %v != serial %v", seed, name, res.DroppedNotRedone, serial.DroppedNotRedone)
+			}
+			if serial.Iterations != res.Iterations {
+				t.Fatalf("seed %d: %s took %d iterations, serial %d", seed, name, res.Iterations, serial.Iterations)
+			}
+			// The analysis is static: identical regardless of executor.
+			if !reflect.DeepEqual(serial.Analysis.DefiniteUndo, res.Analysis.DefiniteUndo) ||
+				!reflect.DeepEqual(serial.Analysis.DefiniteRedo, res.Analysis.DefiniteRedo) ||
+				!reflect.DeepEqual(serial.Analysis.CandidateUndo, res.Analysis.CandidateUndo) ||
+				!reflect.DeepEqual(serial.Analysis.CandidateRedo, res.Analysis.CandidateRedo) ||
+				!reflect.DeepEqual(sortedOrders(serial.Analysis.Orders), sortedOrders(res.Analysis.Orders)) {
+				t.Fatalf("seed %d: %s analysis diverged from serial", seed, name)
+			}
+			if errs := recovery.AuditSchedule(res); len(errs) != 0 {
+				t.Fatalf("seed %d: %s audit: %v", seed, name, errs)
+			}
+			if scoped {
+				// A scoped repair's store must match the input store
+				// exactly outside its declared damaged keys.
+				dk := make(map[data.Key]bool, len(res.DamagedKeys))
+				for _, k := range res.DamagedKeys {
+					dk[k] = true
+				}
+				for _, k := range attacked.Store().Keys() {
+					if dk[k] {
+						continue
+					}
+					if !reflect.DeepEqual(attacked.Store().Chain(k), res.Store.Chain(k)) {
+						t.Fatalf("seed %d: %s modified clean key %s", seed, name, k)
+					}
+				}
+				return
+			}
+			// Unscoped executors replay the full history: the kept count,
+			// the corrected history and the positioned schedule all match.
+			if serial.KeptVerified != res.KeptVerified {
+				t.Fatalf("seed %d: %s kept %d != serial %d", seed, name, res.KeptVerified, serial.KeptVerified)
+			}
+			if !reflect.DeepEqual(sortedSchedule(serial.Schedule), sortedSchedule(res.Schedule)) {
+				t.Fatalf("seed %d: %s schedule diverged from serial", seed, name)
+			}
+			if errs := recovery.VerifyResult(res, attacked.Log(), attacked.Specs); len(errs) != 0 {
+				t.Fatalf("seed %d: %s verify: %v", seed, name, errs)
+			}
+		}
+		for _, workers := range []int{2, 4, 8} {
+			res, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{Parallel: workers})
+			if err != nil {
+				t.Fatalf("seed %d: parallel(%d) repair: %v", seed, workers, err)
+			}
+			if res.Components < 1 || res.Workers < 1 || res.Workers > workers {
+				t.Fatalf("seed %d: parallel(%d) reported components=%d workers=%d", seed, workers, res.Components, res.Workers)
+			}
+			check("parallel", res, false)
+		}
+		scoped, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{Parallel: 4, ScopeToDamage: true})
+		if err != nil {
+			t.Fatalf("seed %d: scoped repair: %v", seed, err)
+		}
+		check("scoped", scoped, true)
+	}
+}
+
+// TestParallelRepairGolden extends the single-run golden-oracle property to
+// the parallel executor: repairing with workers must still reproduce the
+// attack-free execution exactly (parallel ≡ serial ≡ benign execution).
+func TestParallelRepairGolden(t *testing.T) {
+	cfg := scenario.RandomConfig{
+		Runs:    1,
+		Gen:     wf.GenConfig{Tasks: 14, Keys: 9, MaxReads: 3, BranchProb: 0.4},
+		Attacks: 2,
+		Forged:  1,
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		attacked, err := scenario.Random(seed, cfg, true)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		clean, err := scenario.Random(seed, cfg, false)
+		if err != nil {
+			t.Fatalf("seed %d clean: %v", seed, err)
+		}
+		res, err := recovery.Repair(attacked.Store(), attacked.Log(), attacked.Specs, attacked.Bad, recovery.Options{Parallel: 4, ScopeToDamage: true})
+		if err != nil {
+			t.Fatalf("seed %d: repair: %v", seed, err)
+		}
+		if err := recovery.CheckStrictCorrectness(clean.Store(), res.Store); err != nil {
+			t.Errorf("seed %d: %v\nbad=%v undone=%v", seed, err, attacked.Bad, res.Undone)
+		}
+		if errs := recovery.AuditSchedule(res); len(errs) != 0 {
+			t.Errorf("seed %d: audit: %v", seed, errs)
+		}
+	}
+}
+
+// TestScopedRepairLeavesCleanComponents builds two key-disjoint runs,
+// attacks one, and verifies the scoped executor repairs the damaged
+// component while passing the clean component's chains through untouched —
+// including recovery versions left there by an earlier, unrelated repair.
+func TestScopedRepairLeavesCleanComponents(t *testing.T) {
+	chain := func(name string, n int) *wf.Spec {
+		b := wf.NewBuilder(name, "t1")
+		key := func(i int) data.Key { return data.Key(fmt.Sprintf("%s.k%d", name, i)) }
+		for i := 1; i <= n; i++ {
+			tb := b.Task(wf.TaskID(fmt.Sprintf("t%d", i))).Writes(key(i))
+			if i > 1 {
+				tb.Reads(key(i - 1))
+			}
+			tb.Compute(wf.SumCompute(data.Value(i), key(i)))
+			if i < n {
+				tb.Then(wf.TaskID(fmt.Sprintf("t%d", i+1)))
+			}
+		}
+		return b.MustBuild()
+	}
+	specA, specB := chain("a", 4), chain("b", 4)
+	eng := engine.New(data.NewStore(), wlog.New())
+	eng.AddAttack(engine.Attack{Run: "a", Task: "t2", Visit: 1, Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+		return map[data.Key]data.Value{"a.k2": 9999}
+	}})
+	ra, err := eng.NewRun("a", specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := eng.NewRun("b", specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(context.Background(), ra, rb); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an earlier unrelated repair leaving a recovery version on
+	// the clean component.
+	eng.Store().Write("b.k9", 42, 0.5, "b/old#1", true)
+
+	specs := map[string]*wf.Spec{"a": specA, "b": specB}
+	bad := []wlog.InstanceID{wlog.FormatInstance("a", "t2", 1)}
+	res, err := recovery.Repair(eng.Store(), eng.Log(), specs, bad, recovery.Options{Parallel: 2, ScopeToDamage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range res.DamagedKeys {
+		if k[0] != 'a' {
+			t.Errorf("clean key %s reported damaged", k)
+		}
+	}
+	for _, k := range []data.Key{"b.k1", "b.k2", "b.k3", "b.k4", "b.k9"} {
+		if !reflect.DeepEqual(eng.Store().Chain(k), res.Store.Chain(k)) {
+			t.Errorf("clean chain %s modified by scoped repair", k)
+		}
+	}
+	// The damaged chain is corrected: a.k2 must no longer read 9999.
+	if v, _ := res.Store.Get("a.k2"); v.Value == 9999 {
+		t.Error("a.k2 still corrupt after scoped repair")
+	}
+	// The clean run produced no schedule actions: its frontier is unmoved.
+	if _, _, ok := res.Frontier("b", specB); ok {
+		t.Error("scoped repair produced a frontier for the clean run")
+	}
+	if res.Components != 1 {
+		t.Errorf("scoped repair executed %d components, want 1", res.Components)
+	}
+}

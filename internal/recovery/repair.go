@@ -53,6 +53,31 @@ type Options struct {
 	// missing old versions are attributed to earlier repairs (whose
 	// drops the replay re-derives deterministically).
 	CompactionHorizon float64
+	// Parallel is the number of worker goroutines replaying independent
+	// repair components concurrently; 0 or 1 selects the serial executor.
+	// Components are the connected components of the runs' key-footprint
+	// graph: the Theorem-3 constraint DAG never places an edge between
+	// instances that share no data object, so each component's replay is
+	// an independent subgraph of the partial order and the actions of
+	// different components commute (§IV; docs/RECOVERY.md). Within a
+	// component the replay still advances in ascending effective-position
+	// order, so every rule 1–5 edge is honored.
+	Parallel int
+	// ScopeToDamage restricts the replay to components connected to the
+	// damage (undo set): clean components are neither stripped of their
+	// recovery versions nor re-walked, their store chains pass through
+	// unchanged, and they produce no schedule actions. Result.DamagedKeys
+	// reports exactly which chains may differ from the input store.
+	// Required when Epoch pins the repair below the log head.
+	ScopeToDamage bool
+	// Epoch pins the repair to the log prefix ending at this LSN (0 means
+	// the full log). The dependence snapshot must be taken at this epoch,
+	// and the caller must guarantee that no entry after Epoch belongs to
+	// a damaged component — the shard layer guarantees it by quiescing
+	// the damaged shards before snapshotting, while clean shards keep
+	// committing past the epoch. Requires ScopeToDamage, which confines
+	// the replay to chains the post-epoch suffix cannot touch.
+	Epoch int
 }
 
 func (o Options) withDefaults(logLen int) Options {
@@ -97,6 +122,15 @@ type Result struct {
 	// observability layer (internal/obs) exports it as the per-repair
 	// analyze/undo/redo histograms of docs/OBSERVABILITY.md.
 	Phases PhaseTimings
+	// Components is the number of independent replay components the final
+	// iteration executed (1 for the serial executor).
+	Components int
+	// Workers is the number of replay workers the final iteration used.
+	Workers int
+	// DamagedKeys lists, sorted, the keys of the damaged components when
+	// Options.ScopeToDamage was set: the only chains that may differ
+	// between the input store and Store. Nil for unscoped repairs.
+	DamagedKeys []data.Key
 }
 
 // PhaseTimings splits a repair's latency into its phases: the static damage
@@ -123,19 +157,34 @@ func Repair(store *data.Store, log *wlog.Log, specs map[string]*wf.Spec, bad []w
 // repairing against missing dependence edges.
 func RepairGraph(g *deps.Graph, store *data.Store, log *wlog.Log, specs map[string]*wf.Spec, bad []wlog.InstanceID, opts Options) (*Result, error) {
 	opts = opts.withDefaults(log.Len())
-	if g.Epoch() != log.Len() {
-		return nil, fmt.Errorf("recovery: dependence snapshot at epoch %d is stale for a log of %d entries", g.Epoch(), log.Len())
+	pin := log.Len()
+	if opts.Epoch > 0 {
+		if !opts.ScopeToDamage {
+			return nil, errors.New("recovery: Options.Epoch requires ScopeToDamage")
+		}
+		if opts.Epoch > log.Len() {
+			return nil, fmt.Errorf("recovery: pinned epoch %d is beyond the log's %d entries", opts.Epoch, log.Len())
+		}
+		pin = opts.Epoch
+	}
+	if g.Epoch() != pin {
+		return nil, fmt.Errorf("recovery: dependence snapshot at epoch %d is stale for a log of %d entries", g.Epoch(), pin)
 	}
 	for _, id := range bad {
-		if _, ok := log.Get(id); !ok {
+		e, ok := log.Get(id)
+		if !ok {
 			return nil, fmt.Errorf("recovery: reported instance %s not in log", id)
+		}
+		if e.LSN > pin {
+			return nil, fmt.Errorf("recovery: reported instance %s at LSN %d is beyond the pinned epoch %d", id, e.LSN, pin)
 		}
 	}
 	for _, run := range log.Runs() {
 		if _, ok := specs[run]; !ok {
-			// Runs made only of forged entries need no spec.
+			// Runs made only of forged entries need no spec; entries past
+			// the pinned epoch are outside this repair entirely.
 			for _, e := range log.Trace(run, true) {
-				if !e.Forged {
+				if !e.Forged && e.LSN <= pin {
 					return nil, fmt.Errorf("recovery: run %s has no workflow spec", run)
 				}
 			}
@@ -194,6 +243,9 @@ func RepairGraph(g *deps.Graph, store *data.Store, log *wlog.Log, specs map[stri
 		Iterations:   iterations,
 		Schedule:     last.schedule,
 		Phases:       phases,
+		Components:   last.components,
+		Workers:      last.workers,
+		DamagedKeys:  last.damagedKeys,
 	}
 	redone := make(map[wlog.InstanceID]bool, len(last.redone))
 	for _, id := range last.redone {
@@ -243,20 +295,21 @@ type iterationResult struct {
 	schedule     []Action
 	// undoDur and redoDur time this pass's undo staging and replay.
 	undoDur, redoDur time.Duration
+	// components/workers/damagedKeys describe the pass's execution shape
+	// (see the matching Result fields).
+	components, workers int
+	damagedKeys         []data.Key
 }
 
-// replayOnce stages all undos and replays the corrected history once,
-// executing the walkers of all runs merged in ascending effective-position
-// order. It reports instances discovered to need undoing (wrong-path work,
-// dirty kept reads) closed under →_f*.
+// replayOnce stages all undos and replays the corrected history once. The
+// serial executor merges the walkers of every run in globally ascending
+// effective-position order; the component executor (Options.Parallel > 1 or
+// ScopeToDamage) factors the runs into key-disjoint components first and
+// replays them concurrently. Both report instances discovered to need
+// undoing (wrong-path work, dirty kept reads) closed under →_f*.
 func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, g *deps.Graph, undo map[wlog.InstanceID]bool, opts Options) (*iterationResult, error) {
 	st := pristine.Clone()
-	// Strip versions written by earlier repairs: the replay reconstructs
-	// every still-valid recovery version deterministically from the
-	// original committed history, so cumulative repairs (one per alert in
-	// the runtime) never collide on version positions.
-	st.DeleteRecoveryVersions()
-	it := &iterationResult{store: st, newUndo: make(map[wlog.InstanceID]bool)}
+	it := &iterationResult{store: st, newUndo: make(map[wlog.InstanceID]bool), components: 1, workers: 1}
 
 	// Stage undos, most recent first (Theorem 3 rule 5 order; with
 	// version-chain deletion the result is order independent, but the
@@ -269,20 +322,33 @@ func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, 
 		}
 	}
 	sort.Slice(staged, func(i, j int) bool { return staged[i].LSN > staged[j].LSN })
+	writers := make([]string, 0, len(staged))
 	for _, e := range staged {
 		// The horizon check runs against the pristine store: versions
-		// replaced by earlier repairs (stripped above) are
-		// deterministically reconstructed by the replay and are not
-		// horizon violations — only versions the caller declared
-		// compacted (below CompactionHorizon) are really gone.
+		// replaced by earlier repairs (stripped before the replay) are
+		// deterministically reconstructed and are not horizon violations —
+		// only versions the caller declared compacted (below
+		// CompactionHorizon) are really gone.
 		if err := checkUndoHorizon(pristine, log, undo, e, opts.CompactionHorizon); err != nil {
 			return nil, err
 		}
-		st.DeleteWrites(string(e.ID()))
+		writers = append(writers, string(e.ID()))
 		it.schedule = append(it.schedule, Action{
 			Kind: ActUndo, Inst: e.ID(), Run: e.Run, Task: e.Task, Visit: e.Visit,
 		})
 	}
+
+	if opts.Parallel > 1 || opts.ScopeToDamage {
+		return replayComponents(st, log, specs, g, undo, opts, it, staged, writers, undoStart)
+	}
+
+	// Strip versions written by earlier repairs: the replay reconstructs
+	// every still-valid recovery version deterministically from the
+	// original committed history, so cumulative repairs (one per alert in
+	// the runtime) never collide on version positions. Then perform the
+	// staged undos in one batch (deletions commute).
+	st.DeleteRecoveryVersions()
+	st.DeleteWritesBatch(writers)
 	it.undoDur = time.Since(undoStart)
 	redoStart := time.Now()
 
@@ -295,9 +361,28 @@ func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, 
 		}
 		walkers = append(walkers, newWalker(run, spec, log, opts))
 	}
+	if err := replayWalkers(st, log, undo, it, walkers); err != nil {
+		return nil, err
+	}
 
-	// Globally merged replay: always advance the walker with the smallest
-	// next effective position.
+	// Unconsumed trace entries are wrong-path work: undo them and close
+	// under →_f* (their outputs were consumed by later reads).
+	var wrong []wlog.InstanceID
+	for _, w := range walkers {
+		for _, e := range w.remaining {
+			wrong = append(wrong, e.ID())
+		}
+	}
+	closeNewUndo(g, it, wrong)
+	it.redoDur = time.Since(redoStart)
+	sortIDs(it.redone)
+	sortIDs(it.newExecuted)
+	return it, nil
+}
+
+// replayWalkers advances a set of walkers merged in globally ascending
+// effective-position order, accumulating into it.
+func replayWalkers(st *data.Store, log *wlog.Log, undo map[wlog.InstanceID]bool, it *iterationResult, walkers []*walker) error {
 	for {
 		var best *walker
 		bestPos := 0.0
@@ -311,35 +396,28 @@ func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, 
 			}
 		}
 		if best == nil {
-			break
+			return nil
 		}
 		if err := best.step(st, log, undo, it); err != nil {
-			return nil, err
+			return err
 		}
 	}
+}
 
-	// Unconsumed trace entries are wrong-path work: undo them and close
-	// under →_f* (their outputs were consumed by later reads).
-	var wrong []wlog.InstanceID
-	for _, w := range walkers {
-		for _, e := range w.remaining {
-			wrong = append(wrong, e.ID())
-		}
+// closeNewUndo replaces it.newUndo with the →_f* readers closure of the
+// wrong-path instances plus the dirty instances discovered during replay.
+func closeNewUndo(g *deps.Graph, it *iterationResult, wrong []wlog.InstanceID) {
+	if len(wrong) == 0 && len(it.newUndo) == 0 {
+		return
 	}
-	if len(wrong) > 0 || len(it.newUndo) > 0 {
-		seed := make(map[wlog.InstanceID]bool, len(wrong)+len(it.newUndo))
-		for _, id := range wrong {
-			seed[id] = true
-		}
-		for id := range it.newUndo {
-			seed[id] = true
-		}
-		it.newUndo = g.ReadersClosure(seed)
+	seed := make(map[wlog.InstanceID]bool, len(wrong)+len(it.newUndo))
+	for _, id := range wrong {
+		seed[id] = true
 	}
-	it.redoDur = time.Since(redoStart)
-	sortIDs(it.redone)
-	sortIDs(it.newExecuted)
-	return it, nil
+	for id := range it.newUndo {
+		seed[id] = true
+	}
+	it.newUndo = g.ReadersClosure(seed)
 }
 
 // checkUndoHorizon verifies that undoing e still exposes the version a
@@ -413,6 +491,18 @@ type walker struct {
 
 func newWalker(run string, spec *wf.Spec, log *wlog.Log, opts Options) *walker {
 	trace := log.Trace(run, false)
+	if opts.Epoch > 0 {
+		// Pinned repair: entries committed after the epoch belong to
+		// shards that kept running; the caller guarantees they are in
+		// clean components, outside this replay.
+		pinned := make([]*wlog.Entry, 0, len(trace))
+		for _, e := range trace {
+			if e.LSN <= opts.Epoch {
+				pinned = append(pinned, e)
+			}
+		}
+		trace = pinned
+	}
 	w := &walker{
 		run:       run,
 		spec:      spec,

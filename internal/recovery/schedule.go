@@ -1,93 +1,154 @@
 package recovery
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
 	"selfheal/internal/wlog"
 )
 
-// ScheduleActions linearizes the definite recovery tasks of an analysis into
-// a serial order satisfying every Theorem-3 partial-order edge — the paper's
-// scheduler repeatedly picking minimal(S, ≺) (§II.B). Candidate undos and
-// redos are excluded: they resolve only during execution, after their
-// guard's redo commits. The result is deterministic (ties broken by commit
-// LSN, undos before redos). A cyclic constraint set is reported as an error;
-// Theorem 3's rules never produce one on real analyses, so a cycle always
-// indicates a corrupted edge set.
-func ScheduleActions(log *wlog.Log, a *Analysis) ([]ActionRef, error) {
-	// Node set: undo for every definite undo, redo for every definite redo.
-	type node struct {
-		ref  ActionRef
-		lsn  int
-		deps int // unsatisfied incoming edges
+// DAG is the Theorem-3 constraint graph over the definite recovery actions:
+// the partial order itself, before any linearization. Nodes are the definite
+// undos and redos of an analysis; edges are the rule 1–5 precedence
+// constraints between them (edges touching candidate actions are omitted —
+// candidates resolve dynamically during execution, after their guard's redo
+// commits, per §III.C). A parallel executor dispatches every node whose
+// in-degree is zero concurrently and decrements successors as actions
+// retire; a serial executor linearizes it with Linearize.
+type DAG struct {
+	// Nodes lists every definite action, in deterministic order: all
+	// undos (most recent commit first), then all redos (commit order).
+	Nodes []ActionRef
+	// InDeg maps each node to its number of unsatisfied predecessor
+	// edges (with multiplicity, matching Succ).
+	InDeg map[ActionRef]int
+	// Succ lists each node's successors; an edge a→b means a must retire
+	// before b may start.
+	Succ map[ActionRef][]ActionRef
+	// LSN is each action's instance commit LSN (0 for instances absent
+	// from the log) — the deterministic tie-break key for schedulers.
+	LSN map[ActionRef]int
+}
+
+// ScheduleDAG builds the Theorem-3 constraint graph for the definite actions
+// of an analysis. Candidate undos and redos are excluded, and any Orders
+// edge touching one is dropped: candidates are guarded by a control task's
+// redo (rule 8) and materialize only when that redo commits.
+func ScheduleDAG(log *wlog.Log, a *Analysis) *DAG {
+	d := &DAG{
+		InDeg: make(map[ActionRef]int),
+		Succ:  make(map[ActionRef][]ActionRef),
+		LSN:   make(map[ActionRef]int),
 	}
-	nodes := make(map[ActionRef]*node)
-	addNode := func(kind ActionKind, id wlog.InstanceID) {
+	add := func(kind ActionKind, id wlog.InstanceID) {
 		ref := ActionRef{Kind: kind, Inst: id}
-		if _, ok := nodes[ref]; ok {
+		if _, ok := d.LSN[ref]; ok {
 			return
 		}
 		lsn := 0
 		if e, ok := log.Get(id); ok {
 			lsn = e.LSN
 		}
-		nodes[ref] = &node{ref: ref, lsn: lsn}
+		d.LSN[ref] = lsn
+		d.InDeg[ref] = 0
+		d.Nodes = append(d.Nodes, ref)
 	}
 	for _, id := range a.DefiniteUndo {
-		addNode(ActUndo, id)
+		add(ActUndo, id)
 	}
 	for _, id := range a.DefiniteRedo {
-		addNode(ActRedo, id)
+		add(ActRedo, id)
 	}
-
-	succ := make(map[ActionRef][]ActionRef)
+	sort.Slice(d.Nodes, func(i, j int) bool { return d.less(d.Nodes[i], d.Nodes[j]) })
 	for _, e := range a.Orders {
-		from, to := nodes[e.Before], nodes[e.After]
-		if from == nil || to == nil {
+		if _, ok := d.LSN[e.Before]; !ok {
 			continue // edge touches a candidate; resolved dynamically
 		}
-		succ[e.Before] = append(succ[e.Before], e.After)
-		to.deps++
+		if _, ok := d.LSN[e.After]; !ok {
+			continue
+		}
+		d.Succ[e.Before] = append(d.Succ[e.Before], e.After)
+		d.InDeg[e.After]++
 	}
+	return d
+}
 
-	// Kahn's algorithm with a deterministic ready set: undos first (most
-	// recent first, rule 5's natural order), then redos in commit order.
-	less := func(x, y *node) bool {
-		if x.ref.Kind != y.ref.Kind {
-			return x.ref.Kind == ActUndo
+// less is the deterministic scheduler priority: undos first (most recent
+// commit first, rule 5's natural order), then redos in commit order, with
+// instance IDs breaking exact ties.
+func (d *DAG) less(x, y ActionRef) bool {
+	if x.Kind != y.Kind {
+		return x.Kind == ActUndo
+	}
+	lx, ly := d.LSN[x], d.LSN[y]
+	if x.Kind == ActUndo {
+		if lx != ly {
+			return lx > ly
 		}
-		if x.ref.Kind == ActUndo {
-			if x.lsn != y.lsn {
-				return x.lsn > y.lsn
+	} else if lx != ly {
+		return lx < ly
+	}
+	return x.Inst < y.Inst
+}
+
+// actionHeap is a priority queue of ready DAG nodes ordered by DAG.less.
+type actionHeap struct {
+	d     *DAG
+	nodes []ActionRef
+}
+
+func (h *actionHeap) Len() int           { return len(h.nodes) }
+func (h *actionHeap) Less(i, j int) bool { return h.d.less(h.nodes[i], h.nodes[j]) }
+func (h *actionHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *actionHeap) Push(x interface{}) { h.nodes = append(h.nodes, x.(ActionRef)) }
+func (h *actionHeap) Pop() interface{} {
+	n := len(h.nodes)
+	v := h.nodes[n-1]
+	h.nodes = h.nodes[:n-1]
+	return v
+}
+
+// Linearize flattens the constraint graph into a serial order satisfying
+// every edge — the paper's scheduler repeatedly picking minimal(S, ≺)
+// (§II.B) — using a priority-queue Kahn's algorithm: O((n + e) log n)
+// instead of re-sorting the ready set on every pop. The order is
+// deterministic and identical to the historical ScheduleActions order. A
+// cyclic constraint set is reported as an error; Theorem 3's rules never
+// produce one on real analyses, so a cycle always indicates a corrupted
+// edge set. Linearize does not mutate the DAG.
+func (d *DAG) Linearize() ([]ActionRef, error) {
+	indeg := make(map[ActionRef]int, len(d.InDeg))
+	for ref, n := range d.InDeg {
+		indeg[ref] = n
+	}
+	h := &actionHeap{d: d}
+	for _, ref := range d.Nodes {
+		if indeg[ref] == 0 {
+			h.nodes = append(h.nodes, ref)
+		}
+	}
+	heap.Init(h)
+	out := make([]ActionRef, 0, len(d.Nodes))
+	for h.Len() > 0 {
+		ref := heap.Pop(h).(ActionRef)
+		out = append(out, ref)
+		for _, s := range d.Succ[ref] {
+			if indeg[s]--; indeg[s] == 0 {
+				heap.Push(h, s)
 			}
-		} else if x.lsn != y.lsn {
-			return x.lsn < y.lsn
-		}
-		return x.ref.Inst < y.ref.Inst
-	}
-	var ready []*node
-	for _, n := range nodes {
-		if n.deps == 0 {
-			ready = append(ready, n)
 		}
 	}
-	out := make([]ActionRef, 0, len(nodes))
-	for len(ready) > 0 {
-		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
-		n := ready[0]
-		ready = ready[1:]
-		out = append(out, n.ref)
-		for _, sref := range succ[n.ref] {
-			s := nodes[sref]
-			s.deps--
-			if s.deps == 0 {
-				ready = append(ready, s)
-			}
-		}
-	}
-	if len(out) != len(nodes) {
-		return nil, fmt.Errorf("recovery: partial orders are cyclic: scheduled %d of %d actions", len(out), len(nodes))
+	if len(out) != len(d.Nodes) {
+		return nil, fmt.Errorf("recovery: partial orders are cyclic: scheduled %d of %d actions", len(out), len(d.Nodes))
 	}
 	return out, nil
+}
+
+// ScheduleActions linearizes the definite recovery tasks of an analysis into
+// a serial order satisfying every Theorem-3 partial-order edge. It is the
+// serial fallback of the DAG executor, implemented as
+// ScheduleDAG(log, a).Linearize(); see DAG for the parallel form.
+func ScheduleActions(log *wlog.Log, a *Analysis) ([]ActionRef, error) {
+	return ScheduleDAG(log, a).Linearize()
 }

@@ -27,11 +27,12 @@ type sysObs struct {
 	alertDepth, recoveryDepth, state *obs.Gauge
 	transitions                      *obs.Counter
 
-	analyzeSeconds               *obs.Histogram
-	repairSeconds, repairAnalyze *obs.Histogram
-	repairUndo, repairRedo       *obs.Histogram
-	prevState                    stg.Class
-	ticksInState                 int64
+	analyzeSeconds                  *obs.Histogram
+	repairSeconds, repairAnalyze    *obs.Histogram
+	repairUndo, repairRedo          *obs.Histogram
+	repairComponents, repairWorkers *obs.Histogram
+	prevState                       stg.Class
+	ticksInState                    int64
 }
 
 // Observe wires the runtime, its engine and its log into reg — the metric
@@ -65,16 +66,18 @@ func (s *System) Observe(reg *obs.Registry) {
 			stg.Scan:     reg.Histogram(obs.MDwellScanTicks, obs.TickBuckets),
 			stg.Recovery: reg.Histogram(obs.MDwellRecoveryTicks, obs.TickBuckets),
 		},
-		alertDepth:     reg.Gauge(obs.MAlertQueueDepth),
-		recoveryDepth:  reg.Gauge(obs.MRecoveryQueueDepth),
-		state:          reg.Gauge(obs.MState),
-		transitions:    reg.Counter(obs.MStateTransitions),
-		analyzeSeconds: reg.Histogram(obs.MAnalyzeSeconds, obs.LatencyBuckets),
-		repairSeconds:  reg.Histogram(obs.MRepairSeconds, obs.LatencyBuckets),
-		repairAnalyze:  reg.Histogram(obs.MRepairAnalyzeSeconds, obs.LatencyBuckets),
-		repairUndo:     reg.Histogram(obs.MRepairUndoSeconds, obs.LatencyBuckets),
-		repairRedo:     reg.Histogram(obs.MRepairRedoSeconds, obs.LatencyBuckets),
-		prevState:      s.State(),
+		alertDepth:       reg.Gauge(obs.MAlertQueueDepth),
+		recoveryDepth:    reg.Gauge(obs.MRecoveryQueueDepth),
+		state:            reg.Gauge(obs.MState),
+		transitions:      reg.Counter(obs.MStateTransitions),
+		analyzeSeconds:   reg.Histogram(obs.MAnalyzeSeconds, obs.LatencyBuckets),
+		repairSeconds:    reg.Histogram(obs.MRepairSeconds, obs.LatencyBuckets),
+		repairAnalyze:    reg.Histogram(obs.MRepairAnalyzeSeconds, obs.LatencyBuckets),
+		repairUndo:       reg.Histogram(obs.MRepairUndoSeconds, obs.LatencyBuckets),
+		repairRedo:       reg.Histogram(obs.MRepairRedoSeconds, obs.LatencyBuckets),
+		repairComponents: reg.Histogram(obs.MRepairComponents, obs.TickBuckets),
+		repairWorkers:    reg.Histogram(obs.MRepairWorkers, obs.TickBuckets),
+		prevState:        s.State(),
 	}
 	s.o.state.Set(int64(s.o.prevState))
 	s.o.alertDepth.Set(int64(len(s.alertQ)))

@@ -427,6 +427,8 @@ func (s *System) executeUnit() error {
 		s.o.repairAnalyze.Observe(res.Phases.Analyze.Seconds())
 		s.o.repairUndo.Observe(res.Phases.Undo.Seconds())
 		s.o.repairRedo.Observe(res.Phases.Redo.Seconds())
+		s.o.repairComponents.Observe(float64(res.Components))
+		s.o.repairWorkers.Observe(float64(res.Workers))
 	}
 	s.eng.SwapStore(res.Store)
 	s.mu.Lock()

@@ -70,16 +70,17 @@ type runState struct {
 // as if the steps had been executed one at a time (shard_test.go replays
 // the log to verify this).
 type executor struct {
-	eng *engine.Engine
-	com *committer
-	gt  *gate
+	eng   *engine.Engine
+	com   *committer
+	gates []*gate // one quiesce gate per shard
 
 	mu       sync.Mutex
 	runs     map[string]*runState
-	keyOwner map[data.Key]int // shard currently owning the key
-	keyRefs  map[data.Key]int // active runs on the owner touching it
-	load     []int            // active runs per shard
-	deferred []*runState      // bounded conflict backlog, FIFO
+	keyOwner map[data.Key]int  // shard currently owning the key
+	keyRefs  map[data.Key]int  // active runs on the owner touching it
+	recKeys  map[data.Key]bool // keys under recovery; placements touching them defer
+	load     []int             // active runs per shard
+	deferred []*runState       // bounded conflict backlog, FIFO
 	deferMax int
 
 	workers []*worker
@@ -127,16 +128,17 @@ func newExecutor(eng *engine.Engine, com *committer, shards, inbox, deferMax int
 	x := &executor{
 		eng:      eng,
 		com:      com,
-		gt:       newGate(),
 		runs:     make(map[string]*runState),
 		keyOwner: make(map[data.Key]int),
 		keyRefs:  make(map[data.Key]int),
+		recKeys:  make(map[data.Key]bool),
 		load:     make([]int, shards),
 		deferMax: deferMax,
 		stopCh:   make(chan struct{}),
 		steps:    make([]atomic.Int64, shards),
 	}
 	for i := 0; i < shards; i++ {
+		x.gates = append(x.gates, newGate())
 		x.workers = append(x.workers, &worker{id: i, x: x, inbox: make(chan *runState, inbox)})
 	}
 	return x
@@ -153,8 +155,64 @@ func (x *executor) start() {
 // in-flight commits can acknowledge.
 func (x *executor) stop() {
 	close(x.stopCh)
-	x.gt.close()
+	for _, g := range x.gates {
+		g.close()
+	}
 	x.wg.Wait()
+}
+
+// pauseAll quiesces every shard (Theorem-4 strict gating and full-quiesce
+// repair); resumeAll lifts the pause. Both are idempotent per gate.
+func (x *executor) pauseAll() {
+	for _, g := range x.gates {
+		g.pause()
+	}
+}
+
+func (x *executor) resumeAll() {
+	for _, g := range x.gates {
+		g.resume()
+	}
+}
+
+// beginRecovery marks keys as under recovery — new placements touching any
+// of them defer until endRecovery — and pauses only the shards currently
+// owning one, waiting for their in-flight steps to drain. Shards whose
+// footprints are disjoint from the damage keep serving traffic through the
+// whole RECOVERY window (§IV concurrent recovery). Returns the paused shard
+// IDs for endRecovery.
+func (x *executor) beginRecovery(keys map[data.Key]bool) []int {
+	x.mu.Lock()
+	pause := make(map[int]bool)
+	for k := range keys {
+		x.recKeys[k] = true
+		if x.keyRefs[k] > 0 {
+			pause[x.keyOwner[k]] = true
+		}
+	}
+	x.mu.Unlock()
+	ids := make([]int, 0, len(pause))
+	for id := range pause {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		x.gates[id].pause()
+	}
+	return ids
+}
+
+// endRecovery clears the recovery key set, resumes the paused shards and
+// redispatches any deferred runs that became placeable.
+func (x *executor) endRecovery(paused []int) {
+	x.mu.Lock()
+	x.recKeys = make(map[data.Key]bool)
+	dispatch := x.redispatchLocked()
+	x.mu.Unlock()
+	for _, id := range paused {
+		x.gates[id].resume()
+	}
+	x.deliver(dispatch)
 }
 
 // footprint returns the sorted unique key set a spec can touch.
@@ -206,19 +264,39 @@ func (x *executor) submit(id string, spec *wf.Spec) error {
 	}
 	x.claimLocked(rs, shard)
 	x.runs[id] = rs
-	w := x.workers[shard]
 	x.mu.Unlock()
 
 	// The inbox is sized for bursts; a full inbox only delays delivery,
-	// never drops (the worker drains it each iteration).
-	w.inbox <- rs
+	// never drops. A paused shard does not drain its inbox, so delivery
+	// must never block the submitter.
+	x.deliver([]*runState{rs})
 	return nil
+}
+
+// deliver hands placed runs to their shards' inboxes without ever blocking
+// the caller: a full (or paused) inbox overflows to a goroutine.
+func (x *executor) deliver(dispatch []*runState) {
+	for _, d := range dispatch {
+		select {
+		case x.workers[d.shard].inbox <- d:
+		default:
+			go func(d *runState) { x.workers[d.shard].inbox <- d }(d)
+		}
+	}
 }
 
 // placeLocked picks a shard for rs per the ownership rule: zero owning
 // shards → least loaded; one owning shard → that shard (keeps overlapping
 // runs serialized); more than one → no sound placement (defer).
 func (x *executor) placeLocked(rs *runState) (int, bool) {
+	// Runs touching keys under recovery wait out the repair: their chains
+	// are being rewritten, and reading them mid-repair would commit stale
+	// observations past the repair's pinned epoch.
+	for _, k := range rs.keys {
+		if x.recKeys[k] {
+			return 0, false
+		}
+	}
 	owner := -1
 	for _, k := range rs.keys {
 		if x.keyRefs[k] == 0 {
@@ -269,6 +347,25 @@ func (x *executor) finish(rs *runState, state RunStatus, err error) {
 	x.load[rs.shard]--
 	x.obs.load(rs.shard, x.load[rs.shard])
 
+	dispatch := x.redispatchLocked()
+	x.mu.Unlock()
+
+	if state == RunDone {
+		x.completed.Add(1)
+		x.obs.completed.Inc()
+	} else {
+		x.failed.Add(1)
+		x.obs.failed.Inc()
+	}
+	// finish runs on a worker goroutine inside its gate; deliver never
+	// blocks, so a send into a paused sibling's full inbox cannot deadlock
+	// against that sibling's pause.
+	x.deliver(dispatch)
+}
+
+// redispatchLocked re-places every deferred run that became placeable.
+// Callers hold x.mu and deliver the returned runs after unlocking.
+func (x *executor) redispatchLocked() []*runState {
 	var dispatch []*runState
 	kept := x.deferred[:0]
 	for _, d := range x.deferred {
@@ -281,25 +378,7 @@ func (x *executor) finish(rs *runState, state RunStatus, err error) {
 	}
 	x.deferred = kept
 	x.obs.deferred.Set(int64(len(x.deferred)))
-	x.mu.Unlock()
-
-	if state == RunDone {
-		x.completed.Add(1)
-		x.obs.completed.Inc()
-	} else {
-		x.failed.Add(1)
-		x.obs.failed.Inc()
-	}
-	for _, d := range dispatch {
-		// finish runs on a worker goroutine inside the gate; a blocking
-		// send into a sibling's full inbox could deadlock against a pause,
-		// so overflow is handed to a goroutine instead.
-		select {
-		case x.workers[d.shard].inbox <- d:
-		default:
-			go func(d *runState) { x.workers[d.shard].inbox <- d }(d)
-		}
-	}
+	return dispatch
 }
 
 // idle reports whether no run is active or deferred.
@@ -332,8 +411,9 @@ func (x *executor) waitIdle(ctx context.Context) error {
 }
 
 // activeRuns returns the runs currently assigned to shards (not deferred,
-// not retired). Callers must hold the shards quiesced (gate paused) —
-// recovery resync mutates these runs' frontiers.
+// not retired). Recovery resync mutates a run's frontier, so callers must
+// hold the owning shard of every run they touch quiesced; runs on unpaused
+// shards may only be skipped, never dereferenced into engine state.
 func (x *executor) activeRuns() []*runState {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -360,16 +440,18 @@ func (w *worker) loop() {
 	defer w.x.wg.Done()
 	for {
 		w.drainInbox()
-		// The gate brackets every access to the runs' mutable state (pick
-		// reads frontiers, step advances them): a paused gate therefore
-		// guarantees recovery an exclusive, quiescent view for the store
-		// swap and the frontier resyncs.
-		if !w.x.gt.enter() {
+		// The shard's gate brackets every access to its runs' mutable
+		// state (pick reads frontiers, step advances them): pausing a
+		// shard's gate therefore guarantees recovery an exclusive,
+		// quiescent view of that shard's runs for the store install and
+		// the frontier resyncs — while other shards keep stepping.
+		gt := w.x.gates[w.id]
+		if !gt.enter() {
 			return
 		}
 		rs := w.pick()
 		if rs == nil {
-			w.x.gt.exit()
+			gt.exit()
 			// Nothing runnable: block for new work or stop.
 			select {
 			case <-w.x.stopCh:
@@ -380,7 +462,7 @@ func (w *worker) loop() {
 			continue
 		}
 		w.step(rs)
-		w.x.gt.exit()
+		gt.exit()
 	}
 }
 
@@ -456,11 +538,13 @@ func (w *worker) indexOf(rs *runState) int {
 	return -1
 }
 
-// gate is the quiesce barrier between normal stepping and recovery-unit
-// execution: workers enter before preparing and exit after their commit is
-// acknowledged; pause blocks new entries and waits until every in-flight
-// prepare→commit window has drained. Recovery holds the pause only for the
-// repair's store swap and resync — damage analysis runs fully concurrent.
+// gate is one shard's quiesce barrier between normal stepping and
+// recovery-unit execution: the worker enters before preparing and exits
+// after its commit is acknowledged; pause blocks new entries and waits
+// until every in-flight prepare→commit window has drained. Recovery pauses
+// only the gates of shards whose key footprints intersect the damage
+// (executor.beginRecovery) — clean shards, and damage analysis, run fully
+// concurrent. Strict mode pauses every gate for the SCAN+RECOVERY period.
 type gate struct {
 	mu     sync.Mutex
 	cond   *sync.Cond

@@ -43,13 +43,15 @@ type Config struct {
 	// Repair tunes the recovery executor.
 	Repair recovery.Options
 	// Strict selects the paper's strict-correctness strategy (Theorem-4
-	// gating): the shards quiesce for the whole SCAN and RECOVERY period,
-	// so no normal task executes while recovery work is known or pending.
-	// The default (false) is §III.D strategy 3: shards keep stepping
-	// through analysis, and quiesce only for each repair's store swap;
-	// normal tasks that consumed corrupt data in the window are folded
-	// into the damage closure when the unit executes, so the final state
-	// still converges to the strict one.
+	// gating): every shard quiesces for the whole SCAN and RECOVERY
+	// period, so no normal task executes while recovery work is known or
+	// pending. The default (false) is §III.D strategy 3 with §IV partial
+	// quiescence: shards keep stepping through analysis, and each repair
+	// pauses only the shards whose key footprints intersect the damage
+	// closure — clean shards serve new and in-flight runs through the
+	// whole RECOVERY window. Normal tasks that consumed corrupt data
+	// before the pause are folded into the damage closure when the unit
+	// executes, so the final state still converges to the strict one.
 	Strict bool
 }
 
@@ -163,6 +165,7 @@ type svcObs struct {
 	runsCompleted, runsFailed        *obs.Counter
 	alertDepth, unitDepth, deferDpth *obs.Gauge
 	quiesceSeconds                   *obs.Histogram
+	quiescedShards                   *obs.Histogram
 	stepsByShard                     []*obs.Counter
 	activeByShard                    []*obs.Gauge
 }
@@ -215,6 +218,8 @@ func (s *Service) Observe(reg *obs.Registry) {
 		deferDpth:     reg.Gauge(obs.MShardDeferredRuns),
 		quiesceSeconds: reg.Histogram(obs.MShardQuiesceSeconds,
 			obs.LatencyBuckets),
+		quiescedShards: reg.Histogram(obs.MShardQuiescedShards,
+			obs.TickBuckets),
 	}
 	for i := 0; i < s.cfg.Shards; i++ {
 		s.o.stepsByShard = append(s.o.stepsByShard,
@@ -492,8 +497,8 @@ func (s *Service) pendingUnits() int {
 	return len(s.unitQ)
 }
 
-// holdGate quiesces the shards (idempotent); releaseGate resumes them.
-// Only the recovery goroutine calls either.
+// holdGate quiesces every shard (idempotent); releaseGate resumes them.
+// Only the recovery goroutine calls either (Strict mode).
 func (s *Service) holdGate() {
 	s.mu.Lock()
 	held := s.gateHeld
@@ -501,7 +506,7 @@ func (s *Service) holdGate() {
 	if held {
 		return
 	}
-	s.exec.gt.pause()
+	s.exec.pauseAll()
 	s.mu.Lock()
 	s.gateHeld = true
 	s.mu.Unlock()
@@ -513,7 +518,7 @@ func (s *Service) releaseGate() {
 	s.gateHeld = false
 	s.mu.Unlock()
 	if held {
-		s.exec.gt.resume()
+		s.exec.resumeAll()
 	}
 }
 
@@ -559,10 +564,13 @@ func (s *Service) specsCopyLocked() map[string]*wf.Spec {
 }
 
 // executeUnit runs the repair for the head recovery unit. The repair
-// re-analyzes the full log (normal tasks that consumed corrupt data since
-// the alert are folded into the damage closure), quiesces the shards, and
-// installs the repaired store plus the corrected run frontiers through the
-// commit pipeline — atomically with respect to every group commit.
+// re-analyzes the log (normal tasks that consumed corrupt data since the
+// alert are folded into the damage closure). In Strict mode every shard is
+// already quiesced and the repaired store is swapped in wholesale; otherwise
+// only the shards owning damage-closure keys pause while the parallel,
+// damage-scoped repair runs, and the repaired chains are merged into the
+// live store through the commit pipeline — atomically with respect to every
+// group commit from the still-running clean shards.
 func (s *Service) executeUnit() {
 	s.mu.Lock()
 	if len(s.unitQ) == 0 {
@@ -573,7 +581,6 @@ func (s *Service) executeUnit() {
 	s.unitQ = s.unitQ[1:]
 	s.executing = true
 	s.o.unitDepth.Set(int64(len(s.unitQ)))
-	specs := s.specsCopyLocked()
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -581,45 +588,13 @@ func (s *Service) executeUnit() {
 		s.mu.Unlock()
 	}()
 
-	wasHeld := s.cfg.Strict
-	if !wasHeld {
-		s.holdGate()
-	}
-	quiesceStart := time.Now()
-	err := s.com.exec(func() error {
-		res, err := recovery.RepairGraph(s.graph.Snapshot(), s.eng.Store(), s.eng.Log(), specs, u.bad, s.cfg.Repair)
-		if err != nil {
-			return err
-		}
-		s.eng.SwapStore(res.Store)
-		// Resynchronize in-flight runs whose execution path the repair
-		// rewrote; the shards are quiesced, so the frontiers are stable.
-		for _, rs := range s.exec.activeRuns() {
-			cur, done, ok := res.Frontier(rs.run.ID, specs[rs.run.ID])
-			if !ok {
-				continue
-			}
-			if e := s.eng.Resync(rs.run, cur, done); e != nil {
-				return fmt.Errorf("resync %s: %w", rs.run.ID, e)
-			}
-		}
-		s.mu.Lock()
-		s.metrics.UnitsExecuted++
-		s.metrics.Undone += len(res.Undone)
-		s.metrics.Redone += len(res.Redone)
-		s.metrics.NewExecuted += len(res.NewExecuted)
-		s.mu.Unlock()
-		s.o.units.Inc()
-		s.o.undone.Add(int64(len(res.Undone)))
-		s.o.redone.Add(int64(len(res.Redone)))
-		s.o.newExec.Add(int64(len(res.NewExecuted)))
-		return nil
-	})
-	if s.o.enabled {
-		s.o.quiesceSeconds.Observe(time.Since(quiesceStart).Seconds())
-	}
-	if !wasHeld {
-		s.releaseGate()
+	var err error
+	if s.cfg.Strict {
+		quiesceStart := time.Now()
+		err = s.repairFullyQuiesced(u)
+		s.observeQuiesce(quiesceStart, s.cfg.Shards)
+	} else {
+		err = s.executePartial(u)
 	}
 	if err != nil {
 		s.mu.Lock()
@@ -627,4 +602,223 @@ func (s *Service) executeUnit() {
 		s.lastRecovery = fmt.Errorf("shard: recovery unit failed: %w", err)
 		s.mu.Unlock()
 	}
+}
+
+// executePartial is the §IV concurrent-recovery path: quiesce only the
+// shards owning keys in the damage closure, repair the damaged components
+// in parallel against an epoch-pinned snapshot, and merge the repaired
+// chains into the live store. Clean shards keep committing past the pinned
+// epoch throughout; the scoped repair never reads their chains.
+//
+// Soundness of the scoping is re-checked after the fact: if the repair's
+// own damage closure escaped the quiesced key set (a footprint-bridging
+// spec registered in the window between closure computation and the pause),
+// the scoped result is discarded and the unit re-executes under full
+// quiescence.
+func (s *Service) executePartial(u *unit) error {
+	dkeys := s.damageKeyClosure(u)
+	paused := s.exec.beginRecovery(dkeys)
+	quiesceStart := time.Now()
+
+	// The damaged shards are drained: every commit in a damaged component
+	// is at or below the epoch of the snapshot taken now. Specs are copied
+	// after the pause for the same reason — a run is registered before its
+	// first commit can land, so the copy covers every run the pinned log
+	// prefix mentions.
+	s.mu.Lock()
+	specs := s.specsCopyLocked()
+	s.mu.Unlock()
+	g := s.graph.Snapshot()
+	ropts := s.cfg.Repair
+	ropts.ScopeToDamage = true
+	ropts.Epoch = g.Epoch()
+	if ropts.Parallel == 0 {
+		ropts.Parallel = s.cfg.Shards
+	}
+	res, err := recovery.RepairGraph(g, s.eng.Store(), s.eng.Log(), specs, u.bad, ropts)
+
+	if err == nil && coveredBy(res.DamagedKeys, dkeys) {
+		err = s.com.exec(func() error { return s.installScoped(res, specs) })
+		s.exec.endRecovery(paused)
+		s.observeQuiesce(quiesceStart, len(paused))
+		return err
+	}
+	s.exec.endRecovery(paused)
+	s.observeQuiesce(quiesceStart, len(paused))
+	if err != nil {
+		return err
+	}
+
+	// Coverage violation: the damage reaches keys outside the quiesced
+	// set. Redo the unit under full quiescence (always sound).
+	s.exec.pauseAll()
+	quiesceStart = time.Now()
+	err = s.repairFullyQuiesced(u)
+	s.observeQuiesce(quiesceStart, s.cfg.Shards)
+	s.exec.resumeAll()
+	return err
+}
+
+// repairFullyQuiesced repairs against the full log with every shard paused
+// and swaps the repaired store in wholesale. Callers must hold all shards
+// quiesced (Strict gating, or the executePartial fallback).
+func (s *Service) repairFullyQuiesced(u *unit) error {
+	s.mu.Lock()
+	specs := s.specsCopyLocked()
+	s.mu.Unlock()
+	ropts := s.cfg.Repair
+	if ropts.Parallel == 0 {
+		ropts.Parallel = s.cfg.Shards
+	}
+	return s.com.exec(func() error {
+		res, err := recovery.RepairGraph(s.graph.Snapshot(), s.eng.Store(), s.eng.Log(), specs, u.bad, ropts)
+		if err != nil {
+			return err
+		}
+		s.eng.SwapStore(res.Store)
+		if err := s.resyncActive(res, specs); err != nil {
+			return err
+		}
+		s.recordRepairStats(res)
+		return nil
+	})
+}
+
+// installScoped merges a scoped repair's damaged chains into the live store
+// and resyncs the affected runs. Runs inside com.exec: exclusive with every
+// group commit, so clean shards observe either the pre- or post-repair
+// chains, never a torn mix.
+func (s *Service) installScoped(res *recovery.Result, specs map[string]*wf.Spec) error {
+	s.eng.Store().AdoptChains(res.Store, res.DamagedKeys)
+	if err := s.resyncActive(res, specs); err != nil {
+		return err
+	}
+	s.recordRepairStats(res)
+	return nil
+}
+
+// resyncActive moves every in-flight run the repair rewrote onto its
+// corrected frontier. A scoped repair produces schedule actions only for
+// damaged-component runs, whose owning shards are paused — Frontier returns
+// ok=false for every run on a still-stepping shard, which is only skipped.
+func (s *Service) resyncActive(res *recovery.Result, specs map[string]*wf.Spec) error {
+	for _, rs := range s.exec.activeRuns() {
+		cur, done, ok := res.Frontier(rs.run.ID, specs[rs.run.ID])
+		if !ok {
+			continue
+		}
+		if e := s.eng.Resync(rs.run, cur, done); e != nil {
+			return fmt.Errorf("resync %s: %w", rs.run.ID, e)
+		}
+	}
+	return nil
+}
+
+func (s *Service) recordRepairStats(res *recovery.Result) {
+	s.mu.Lock()
+	s.metrics.UnitsExecuted++
+	s.metrics.Undone += len(res.Undone)
+	s.metrics.Redone += len(res.Redone)
+	s.metrics.NewExecuted += len(res.NewExecuted)
+	s.mu.Unlock()
+	s.o.units.Inc()
+	s.o.undone.Add(int64(len(res.Undone)))
+	s.o.redone.Add(int64(len(res.Redone)))
+	s.o.newExec.Add(int64(len(res.NewExecuted)))
+}
+
+func (s *Service) observeQuiesce(start time.Time, shards int) {
+	if s.o.enabled {
+		s.o.quiesceSeconds.Observe(time.Since(start).Seconds())
+		s.o.quiescedShards.Observe(float64(shards))
+	}
+}
+
+// coveredBy reports whether every repaired key was inside the quiesced set.
+func coveredBy(damaged []data.Key, dkeys map[data.Key]bool) bool {
+	for _, k := range damaged {
+		if !dkeys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// damageKeyClosure computes the §IV quiesce scope for a unit: the union of
+// the key-footprint components containing any key an instance in the
+// worst-case undo set read or wrote. Quiescing whole components (not just
+// the touched keys) is what lets the repair's fixpoint grow — any instance
+// the replay later discovers to be damaged shares a component with the
+// seeds, because damage propagates only through shared data objects.
+func (s *Service) damageKeyClosure(u *unit) map[data.Key]bool {
+	s.mu.Lock()
+	specs := s.specsCopyLocked()
+	s.mu.Unlock()
+
+	parent := make(map[data.Key]data.Key)
+	var find func(data.Key) data.Key
+	find = func(k data.Key) data.Key {
+		p, ok := parent[k]
+		if !ok || p == k {
+			if !ok {
+				parent[k] = k
+			}
+			return k
+		}
+		r := find(p)
+		parent[k] = r
+		return r
+	}
+	union := func(a, b data.Key) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, sp := range specs {
+		fp := footprint(sp)
+		for i := 1; i < len(fp); i++ {
+			union(fp[0], fp[i])
+		}
+	}
+
+	seeds := make(map[data.Key]bool)
+	addEntry := func(id wlog.InstanceID) {
+		e, ok := s.eng.Log().Get(id)
+		if !ok {
+			return
+		}
+		for k := range e.Writes {
+			seeds[k] = true
+		}
+		for k := range e.Reads {
+			seeds[k] = true
+		}
+		if sp := specs[e.Run]; sp != nil {
+			for _, k := range footprint(sp) {
+				seeds[k] = true
+			}
+		}
+	}
+	for _, id := range u.an.WorstCaseUndo() {
+		addEntry(id)
+	}
+	for _, id := range u.bad {
+		addEntry(id)
+	}
+
+	roots := make(map[data.Key]bool)
+	for k := range seeds {
+		roots[find(k)] = true
+	}
+	out := make(map[data.Key]bool, len(seeds))
+	for k := range parent {
+		if roots[find(k)] {
+			out[k] = true
+		}
+	}
+	for k := range seeds {
+		out[k] = true // forged-only keys outside every footprint
+	}
+	return out
 }

@@ -430,6 +430,112 @@ func runRecoveryEquivalence(t *testing.T, strict bool) {
 func TestRecoveryEquivalenceStrict(t *testing.T)     { runRecoveryEquivalence(t, true) }
 func TestRecoveryEquivalenceConcurrent(t *testing.T) { runRecoveryEquivalence(t, false) }
 
+// TestCleanShardsServeDuringRecovery is the §IV partial-quiescence property:
+// while a slow repair replays a damaged component, a new run on clean keys is
+// accepted AND completes with the service still in RECOVERY, while a new run
+// touching the damaged keys is deferred until the repair lands — and the
+// final store matches the ordered attack-free execution.
+func TestCleanShardsServeDuringRecovery(t *testing.T) {
+	svc := startService(t, Config{Shards: 2})
+	// The damaged chain's computes sleep, so the repair's replay holds
+	// RECOVERY open long enough to observe concurrent service.
+	specD := chainSpec("d1", 10, 25*time.Millisecond)
+	svc.Engine().AddAttack(engine.Attack{
+		Run: "d1", Task: "t2", Visit: 1,
+		Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"d1.k2": 9999}
+		},
+	})
+	if err := svc.SubmitRun("d1", specD); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, svc)
+
+	if err := svc.Report([]wlog.InstanceID{wlog.FormatInstance("d1", "t2", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.State() != stg.Recovery {
+		if time.Now().After(deadline) {
+			t.Fatal("service never entered RECOVERY")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	specC := chainSpec("c1", 4, 0)
+	if err := svc.SubmitRun("c1", specC); err != nil {
+		t.Fatal(err)
+	}
+	specX := wf.NewBuilder("x", "t1").
+		Task("t1").Reads("d1.k10").Writes("x.k1").Compute(wf.SumCompute(1, "x.k1")).
+		End().MustBuild()
+	if err := svc.SubmitRun("x1", specX); err != nil {
+		t.Fatal(err)
+	}
+
+	for {
+		info, err := svc.RunInfo("c1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clean run c1 stuck %q mid-recovery", info.Status)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got := svc.State(); got != stg.Recovery {
+		t.Fatalf("state %v after the clean run completed, want RECOVERY still active", got)
+	}
+	if info, err := svc.RunInfo("x1"); err != nil || info.Status != "deferred" {
+		t.Fatalf("damaged-key run x1 mid-recovery: info %+v err %v, want deferred", info, err)
+	}
+
+	waitIdle(t, svc)
+	if info, err := svc.RunInfo("x1"); err != nil || info.Status != "done" {
+		t.Fatalf("run x1 after drain: info %+v err %v, want done", info, err)
+	}
+	m := svc.Metrics()
+	if m.UnitsExecuted < 1 || m.RecoveryErrors > 0 {
+		t.Fatalf("recovery accounting: %+v (last err %v)", m, svc.LastRecoveryError())
+	}
+
+	// Ordered attack-free reference: d1 alone first (x1 reads its final
+	// key), then c1 and x1.
+	ref := engine.New(data.NewStore(), wlog.New())
+	ctx := context.Background()
+	rd, err := ref.NewRun("d1", specD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RunAll(ctx, rd); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := ref.NewRun("c1", specC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := ref.NewRun("x1", specX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RunAll(ctx, rc, rx); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Store().Snapshot()
+	got := svc.Store().Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("final store has %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d after recovery, ordered benign value is %d", k, got[k], v)
+		}
+	}
+}
+
 // TestForgedInjectionRecovery injects a forged task through the commit
 // pipeline of a live sharded service, reports it, and checks the repair
 // restores the benign values while later runs proceed.
