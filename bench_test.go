@@ -31,6 +31,7 @@ import (
 	"selfheal/internal/shard"
 	"selfheal/internal/sim"
 	"selfheal/internal/stg"
+	"selfheal/internal/triage"
 	"selfheal/internal/wf"
 	"selfheal/internal/wlog"
 )
@@ -845,6 +846,90 @@ func BenchmarkDistributedRecovery(b *testing.B) {
 	}
 	b.ReportMetric(float64(undone), "undone")
 }
+
+// Alert-storm triage (the streaming-triage tentpole, docs/TRIAGE.md): the
+// sharded service under an IDS alert storm at 1×, 10× and 100× the base
+// rate, with the full triage front-end on (cone coalescing, covered-alert
+// prefilter, Report-time dedupe) versus the naive per-alert pipeline. The
+// reported metrics are the acceptance numbers: loss-rate must stay within
+// 2× of the 1× baseline at 100×, analyses/alert must fall below 0.2 (a
+// coalesce fold ≥ 5). EXPERIMENTS.md records the measured series next to
+// the §V CTMC prediction for the same arrival ratio.
+
+func benchAlertStorm(b *testing.B, scale int, opts triage.Options) {
+	const (
+		alerts    = 200
+		baseGap   = 200 * time.Microsecond
+		runs      = 4
+		chain     = 8
+		taskDelay = 100 * time.Microsecond
+	)
+	gap := baseGap / time.Duration(scale)
+	var reported, lost, analyses, deduped, prefiltered int
+	for i := 0; i < b.N; i++ {
+		svc, err := shard.New(shard.Config{Shards: 2, AlertBuf: 32, Triage: opts}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc.Start()
+		var bad []wlog.InstanceID
+		for r := 0; r < runs; r++ {
+			name := fmt.Sprintf("st%d", r)
+			key := data.Key(name + ".k2")
+			svc.Engine().AddAttack(engine.Attack{
+				Run: name, Task: "t2", Visit: 1,
+				Compute: func(map[data.Key]data.Value) map[data.Key]data.Value {
+					return map[data.Key]data.Value{key: -1}
+				},
+			})
+			if err := svc.SubmitRun(name, benchChainSpec(name, chain, taskDelay)); err != nil {
+				b.Fatal(err)
+			}
+			bad = append(bad, wlog.FormatInstance(name, "t2", 1))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		if err := svc.WaitIdle(ctx); err != nil {
+			b.Fatal(err)
+		}
+		// The storm: alerts cycle over the attacked instances at the scaled
+		// arrival rate. Drops surface in the metrics, not as test failures —
+		// loss under pressure is exactly what is being measured.
+		for a := 0; a < alerts; a++ {
+			_ = svc.Report([]wlog.InstanceID{bad[a%len(bad)]})
+			time.Sleep(gap)
+		}
+		if err := svc.WaitIdle(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		m := svc.Metrics()
+		if m.RecoveryErrors > 0 {
+			b.Fatalf("recovery failed under storm: %v", svc.LastRecoveryError())
+		}
+		reported += m.AlertsReported
+		lost += m.AlertsLost
+		analyses += m.ConesAnalyzed
+		deduped += m.AlertsDeduped
+		prefiltered += m.AlertsPrefiltered
+		svc.Stop()
+	}
+	b.ReportMetric(float64(lost)/float64(reported), "loss-rate")
+	b.ReportMetric(float64(analyses)/float64(reported), "analyses/alert")
+	if analyses > 0 {
+		b.ReportMetric(float64(reported)/float64(analyses), "coalesce-ratio")
+	}
+	b.ReportMetric(float64(deduped)/float64(b.N), "deduped")
+	b.ReportMetric(float64(prefiltered)/float64(b.N), "prefiltered")
+}
+
+func BenchmarkAlertStorm1x(b *testing.B)   { benchAlertStorm(b, 1, triage.All()) }
+func BenchmarkAlertStorm10x(b *testing.B)  { benchAlertStorm(b, 10, triage.All()) }
+func BenchmarkAlertStorm100x(b *testing.B) { benchAlertStorm(b, 100, triage.All()) }
+
+// The contrast series: the same storms with the front-end off — one
+// degraded analysis per admitted alert, bounded-queue drops under pressure.
+func BenchmarkAlertStormNaive1x(b *testing.B)   { benchAlertStorm(b, 1, triage.Options{}) }
+func BenchmarkAlertStormNaive100x(b *testing.B) { benchAlertStorm(b, 100, triage.Options{}) }
 
 // End-to-end campaign (workload + attacks + IDS + on-line recovery).
 

@@ -49,16 +49,22 @@ import (
 	"selfheal/internal/httpapi"
 	"selfheal/internal/obs"
 	"selfheal/internal/shard"
+	"selfheal/internal/triage"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	shards := flag.Int("shards", 4, "worker shards for the execution layer")
 	strict := flag.Bool("strict", false, "Theorem-4 strict mode: quiesce shards for whole SCAN+RECOVERY")
+	triageOn := flag.Bool("triage", false, "streaming alert triage: cone coalescing, covered-alert prefilter, Report-time dedupe (docs/TRIAGE.md)")
 	flag.Parse()
 
+	cfg := shard.Config{Shards: *shards, Strict: *strict}
+	if *triageOn {
+		cfg.Triage = triage.All()
+	}
 	reg := obs.NewRegistry()
-	svc, err := shard.New(shard.Config{Shards: *shards, Strict: *strict}, nil)
+	svc, err := shard.New(cfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"selfheal/internal/engine"
 	"selfheal/internal/shard"
+	"selfheal/internal/triage"
 	"selfheal/internal/wfjson"
 	"selfheal/internal/wlog"
 )
@@ -35,10 +37,14 @@ type runRequest struct {
 	Spec wfjson.SpecJSON `json:"spec"`
 }
 
-// alertRequest is the POST /api/v1/alerts document.
+// alertRequest is the POST /api/v1/alerts document: a single alert (bad),
+// a batch of alerts (batch), or both.
 type alertRequest struct {
 	// Bad lists the malicious task instances ("run:task:visit").
-	Bad []string `json:"bad"`
+	Bad []string `json:"bad,omitempty"`
+	// Batch delivers several alerts in one admission, each its own bad
+	// set. The whole request is validated before anything is queued.
+	Batch [][]string `json:"batch,omitempty"`
 }
 
 // stateResponse is the GET /api/v1/state document.
@@ -68,12 +74,12 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 			return
 		}
 		if req.ID == "" {
-			serviceError(w, fmt.Errorf("run id is required: %w", engine.ErrBadSpec))
+			serviceError(w, svc, fmt.Errorf("run id is required: %w", engine.ErrBadSpec))
 			return
 		}
 		spec, init, err := wfjson.Build(&req.Spec)
 		if err != nil {
-			serviceError(w, fmt.Errorf("spec: %w: %w", engine.ErrBadSpec, err))
+			serviceError(w, svc, fmt.Errorf("spec: %w: %w", engine.ErrBadSpec, err))
 			return
 		}
 		// Seed declared initial values, first writer wins: keys some run
@@ -85,12 +91,12 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 			}
 		}
 		if err := svc.SubmitRun(req.ID, spec); err != nil {
-			serviceError(w, err)
+			serviceError(w, svc, err)
 			return
 		}
 		info, err := svc.RunInfo(req.ID)
 		if err != nil {
-			serviceError(w, err)
+			serviceError(w, svc, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
@@ -103,7 +109,7 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 	mux.HandleFunc("GET /api/v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, err := svc.RunInfo(r.PathValue("id"))
 		if err != nil {
-			serviceError(w, err)
+			serviceError(w, svc, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
@@ -117,17 +123,46 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
 			return
 		}
-		bad := make([]wlog.InstanceID, len(req.Bad))
-		for i, b := range req.Bad {
-			bad[i] = wlog.InstanceID(b)
+		toIDs := func(ss []string) []wlog.InstanceID {
+			ids := make([]wlog.InstanceID, len(ss))
+			for i, s := range ss {
+				ids[i] = wlog.InstanceID(s)
+			}
+			return ids
 		}
-		if err := svc.Report(bad); err != nil {
-			serviceError(w, err)
+		alerts := make([]triage.Alert, 0, len(req.Batch)+1)
+		if len(req.Bad) > 0 {
+			alerts = append(alerts, triage.Alert{Bad: toIDs(req.Bad)})
+		}
+		for _, b := range req.Batch {
+			alerts = append(alerts, triage.Alert{Bad: toIDs(b)})
+		}
+		if len(alerts) == 0 {
+			serviceError(w, svc, fmt.Errorf("alert names no instances: %w", engine.ErrBadSpec))
 			return
 		}
+		admitted, dropped, err := svc.ReportAlerts(alerts)
+		if err != nil {
+			serviceError(w, svc, err)
+			return
+		}
+		if admitted == 0 {
+			// The whole batch was lost to the bounded queue: real
+			// backpressure, with a Retry-After derived from the queue depth
+			// and the measured drain rate.
+			serviceError(w, svc, fmt.Errorf("shard: alert queue full (capacity dropped %d alerts): %w", dropped, shard.ErrQueueFull))
+			return
+		}
+		if dropped > 0 {
+			// Partial admission: report success but hint the reporter to
+			// pace the rest.
+			w.Header().Set("Retry-After", strconv.Itoa(svc.RetryAfterSeconds()))
+		}
 		writeJSON(w, http.StatusAccepted, map[string]any{
-			"status": "queued",
-			"state":  svc.State().String(),
+			"status":   "queued",
+			"admitted": admitted,
+			"dropped":  dropped,
+			"state":    svc.State().String(),
 		})
 	})
 
@@ -151,8 +186,11 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 }
 
 // serviceError maps the execution layers' sentinel errors onto status codes
-// and writes the error envelope.
-func serviceError(w http.ResponseWriter, err error) {
+// and writes the error envelope. 429s carry a Retry-After derived from the
+// service's current alert-queue depth and measured drain rate instead of a
+// fixed constant, so a storming reporter backs off proportionally to the
+// actual congestion.
+func serviceError(w http.ResponseWriter, svc *shard.Service, err error) {
 	switch {
 	case errors.Is(err, engine.ErrBadSpec):
 		httpError(w, http.StatusBadRequest, err)
@@ -161,7 +199,7 @@ func serviceError(w http.ResponseWriter, err error) {
 	case errors.Is(err, engine.ErrRunExists):
 		httpError(w, http.StatusConflict, err)
 	case errors.Is(err, shard.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(svc.RetryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, err)
 	default:
 		httpError(w, http.StatusInternalServerError, err)

@@ -33,8 +33,12 @@ func chainSpecJSON(name string, n int) wfjson.SpecJSON {
 }
 
 func v1Server(t *testing.T) (*httptest.Server, *shard.Service) {
+	return v1ServerCfg(t, shard.Config{Shards: 2, AlertBuf: 1})
+}
+
+func v1ServerCfg(t *testing.T, cfg shard.Config) (*httptest.Server, *shard.Service) {
 	t.Helper()
-	svc, err := shard.New(shard.Config{Shards: 2, AlertBuf: 1}, nil)
+	svc, err := shard.New(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,6 +185,91 @@ func TestV1ErrorEnvelopes(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestV1RetryAfterScalesWithQueueDepth: the 429 Retry-After is derived from
+// the current alert-queue depth and drain rate, not a hardcoded constant —
+// a 40-deep queue at the default drain estimate (50 ms/alert) needs 2 s.
+func TestV1RetryAfterScalesWithQueueDepth(t *testing.T) {
+	ts, svc := v1ServerCfg(t, shard.Config{Shards: 1, AlertBuf: 40})
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/runs",
+		map[string]any{"id": "r1", "spec": chainSpecJSON("w", 2)}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	waitNormal(t, ts, 1)
+	// Stop the service so the recovery worker cannot drain while the queue
+	// fills; the estimator then sees the full depth.
+	svc.Stop()
+	batch := make([][]string, 40)
+	for i := range batch {
+		batch[i] = []string{"r1/t1#1"}
+	}
+	resp, body := doJSON(t, "POST", ts.URL+"/api/v1/alerts", map[string]any{"batch": batch})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch fill: status %d body %s", resp.StatusCode, body)
+	}
+	var ack struct{ Admitted, Dropped int }
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Admitted != 40 || ack.Dropped != 0 {
+		t.Fatalf("batch fill ack = %s (err %v)", body, err)
+	}
+	resp, body = doJSON(t, "POST", ts.URL+"/api/v1/alerts", map[string]any{"bad": []string{"r1/t1#1"}})
+	if resp.StatusCode != http.StatusTooManyRequests || envelopeCode(t, body) != "queue_full" {
+		t.Fatalf("overflow: status %d body %s", resp.StatusCode, body)
+	}
+	want := shard.EstimateRetryAfter(40, shard.DefaultDrainSecPerAlert)
+	if want <= 1 {
+		t.Fatalf("test premise broken: want Retry-After > 1, got %d", want)
+	}
+	if got := resp.Header.Get("Retry-After"); got != fmt.Sprint(want) {
+		t.Fatalf("Retry-After = %q, want %d (queue-depth-derived, not hardcoded)", got, want)
+	}
+}
+
+// TestV1AlertBatchAdmission drives the batch form of POST /api/v1/alerts:
+// all-upfront validation, then admission with per-batch accounting.
+func TestV1AlertBatchAdmission(t *testing.T) {
+	ts, svc := v1ServerCfg(t, shard.Config{Shards: 2, AlertBuf: 8})
+	if resp, body := doJSON(t, "POST", ts.URL+"/api/v1/runs",
+		map[string]any{"id": "r1", "spec": chainSpecJSON("w", 4)}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	waitNormal(t, ts, 1)
+
+	// One unknown instance rejects the whole batch — nothing admitted.
+	before := svc.Metrics().AlertsReported
+	resp, body := doJSON(t, "POST", ts.URL+"/api/v1/alerts",
+		map[string]any{"batch": [][]string{{"r1/t1#1"}, {"ghost/t9#9"}}})
+	if resp.StatusCode != http.StatusNotFound || envelopeCode(t, body) != "not_found" {
+		t.Fatalf("invalid batch: status %d body %s", resp.StatusCode, body)
+	}
+	if got := svc.Metrics().AlertsReported; got != before {
+		t.Fatalf("rejected batch still counted reported: %d -> %d", before, got)
+	}
+
+	// A valid batch is admitted in one request and recovered.
+	resp, body = doJSON(t, "POST", ts.URL+"/api/v1/alerts",
+		map[string]any{"batch": [][]string{{"r1/t1#1"}, {"r1/t2#1"}, {"r1/t3#1"}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		Admitted, Dropped int
+		Status            string
+	}
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Admitted != 3 || ack.Dropped != 0 || ack.Status != "queued" {
+		t.Fatalf("batch ack = %s (err %v)", body, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := waitNormal(t, ts, 1)
+		if st.Metrics.UnitsExecuted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch recovery never executed: %+v", st.Metrics)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -44,6 +44,13 @@ const (
 	MRepairComponents      = "selfheal_repair_components"
 	MRepairWorkers         = "selfheal_repair_workers"
 
+	// internal/triage — the streaming alert triage front-end (§V, SLEUTH).
+	MTriageCoalesceRatio = "triage_coalesce_ratio"
+	MTriageConeSize      = "triage_cone_size"
+	MTriageCones         = "triage_cones_total"
+	MTriagePrefilterHits = "triage_prefilter_hits_total"
+	MTriageDeduped       = "triage_deduped_total"
+
 	// internal/rtsim — virtual-time occupancy of the real runtime (§V).
 	MTimeNormalSeconds   = "selfheal_time_normal_seconds_total"
 	MTimeScanSeconds     = "selfheal_time_scan_seconds_total"
@@ -116,6 +123,11 @@ func Catalog() []Def {
 		{MNewExecuted, "counter", "—", "§III.B", "Task instances executed for the first time during recovery."},
 		{MRepairComponents, "histogram", "—", "§IV", "Independent key-footprint components replayed by one repair."},
 		{MRepairWorkers, "histogram", "—", "§IV", "Concurrent replay workers used by one repair."},
+		{MTriageCoalesceRatio, "histogram", "λ_a/μ_s", "§V", "Alerts folded per damage-cone analysis in one drained batch (the coalescing fold)."},
+		{MTriageConeSize, "histogram", "—", "§V", "Source alerts folded into one damage cone."},
+		{MTriageCones, "counter", "μ_s", "§V", "Damage-cone analyses performed by the triage front-end."},
+		{MTriagePrefilterHits, "counter", "—", "§V", "Alerts dropped because an in-flight recovery unit's damage closure already covered them."},
+		{MTriageDeduped, "counter", "—", "§V", "Report-time alerts absorbed because an identical bad set was already queued."},
 		{MTimeNormalSeconds, "sum", "π_N", "§V", "Virtual time the runtime spent in NORMAL (rtsim)."},
 		{MTimeScanSeconds, "sum", "π_S", "§V", "Virtual time the runtime spent in SCAN (rtsim)."},
 		{MTimeRecoverySeconds, "sum", "π_R", "§V", "Virtual time the runtime spent in RECOVERY (rtsim)."},

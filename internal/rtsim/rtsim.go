@@ -21,6 +21,7 @@ import (
 	"selfheal/internal/scenario"
 	"selfheal/internal/selfheal"
 	"selfheal/internal/stg"
+	"selfheal/internal/triage"
 	"selfheal/internal/wf"
 	"selfheal/internal/wlog"
 )
@@ -72,6 +73,25 @@ func Run(p stg.Params, horizon float64, seed int64) (*Result, error) {
 // `selfheal-sim -metrics` compares against the CTMC predictions. A nil
 // registry degrades to Run.
 func RunObserved(p stg.Params, horizon float64, seed int64, reg *obs.Registry) (*Result, error) {
+	return run(p, horizon, seed, triage.Options{}, reg)
+}
+
+// RunTriaged drives the runtime with the streaming triage front-end enabled
+// (docs/TRIAGE.md) under the same virtual-time discipline the CTMC assumes
+// for the per-alert pipeline. With Coalesce on, one SCAN service drains the
+// whole alert queue in a single batched pass charged at the degraded
+// single-alert rate μ_a = F(μ₁, a) — the batched walk touches the same
+// damage cones one alert's analysis would — and each additional cone the
+// partition produced is charged one further exponential service at the base
+// rate μ₁ (arrivals during those windows queue without preempting). The gap
+// between RunTriaged's measured loss and the model's prediction for the
+// same parameters is exactly the coalescing win: the CTMC charges one
+// degraded service per alert, triage pays per cone.
+func RunTriaged(p stg.Params, horizon float64, seed int64, opts triage.Options, reg *obs.Registry) (*Result, error) {
+	return run(p, horizon, seed, opts, reg)
+}
+
+func run(p stg.Params, horizon float64, seed int64, opts triage.Options, reg *obs.Registry) (*Result, error) {
 	if horizon <= 0 {
 		return nil, fmt.Errorf("rtsim: horizon must be positive, got %g", horizon)
 	}
@@ -92,7 +112,13 @@ func RunObserved(p stg.Params, horizon float64, seed int64, reg *obs.Registry) (
 		return nil, err
 	}
 	sys, err := selfheal.NewWithEngine(
-		selfheal.Config{AlertBuf: p.AlertBuf, RecoveryBuf: p.RecoveryBuf},
+		selfheal.Config{
+			AlertBuf:         p.AlertBuf,
+			RecoveryBuf:      p.RecoveryBuf,
+			CoalesceAlerts:   opts.Coalesce,
+			PrefilterCovered: opts.Prefilter,
+			DedupeAlerts:     opts.Dedupe,
+		},
 		sc.Engine, sc.Specs)
 	if err != nil {
 		return nil, err
@@ -130,15 +156,18 @@ func RunObserved(p stg.Params, horizon float64, seed int64, reg *obs.Registry) (
 		}
 	}
 
+	prevCones := 0
 	for clock < horizon {
 		// Determine the system's next action and its virtual duration.
 		a, r := sys.QueueLengths()
 		var rate float64
+		scanAction := false
 		switch {
 		case r >= p.RecoveryBuf: // forced drain
 			rate = g(p.Xi1, r)
 		case a > 0: // scan
 			rate = f(p.Mu1, a)
+			scanAction = true
 		case r > 0: // recovery
 			rate = g(p.Xi1, r)
 		default:
@@ -179,6 +208,31 @@ func RunObserved(p stg.Params, horizon float64, seed int64, reg *obs.Registry) (
 		clock = end
 		if err := sys.Tick(); err != nil {
 			return nil, fmt.Errorf("rtsim: tick at t=%g: %w", clock, err)
+		}
+		// A coalesced SCAN pass already paid one degraded service; charge
+		// each additional damage cone it produced a base-rate analysis.
+		// Arrivals inside these windows queue without preempting — the
+		// batched pass is one uninterruptible walk.
+		if scanAction && opts.Coalesce {
+			m := sys.Metrics()
+			extra := m.ConesAnalyzed - prevCones - 1
+			prevCones = m.ConesAnalyzed
+			for ; extra > 0 && clock < horizon; extra-- {
+				end := clock + rng.ExpFloat64()/p.Mu1
+				for nextArrival < end && nextArrival < horizon {
+					account(nextArrival - clock)
+					clock = nextArrival
+					deliver(sys, sc, &badIdx, res)
+					nextArrival = clock + rng.ExpFloat64()/p.Lambda
+				}
+				if end > horizon {
+					account(horizon - clock)
+					clock = horizon
+					break
+				}
+				account(end - clock)
+				clock = end
+			}
 		}
 	}
 	res.Runtime = sys.Metrics()

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"selfheal/internal/stg"
+	"selfheal/internal/triage"
 )
 
 func TestRunValidates(t *testing.T) {
@@ -87,5 +88,59 @@ func TestDeterministicPerSeed(t *testing.T) {
 	}
 	if a.Reported != b.Reported || a.TimeScan != b.TimeScan {
 		t.Error("same seed diverged")
+	}
+}
+
+// TestCoalescedTriageBeatsCTMCLoss is the §V validation of the triage
+// front-end: under overload parameters where the analytical CTMC (which
+// models the per-alert pipeline) predicts substantial alert loss, the same
+// runtime with cone coalescing, covered-alert prefiltering and dedupe on
+// loses a decisively smaller fraction of arrivals — each SCAN service
+// drains the whole queue instead of one alert.
+func TestCoalescedTriageBeatsCTMCLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon virtual-time simulation")
+	}
+	p := stg.Square(4, 6, 8, 4) // overloaded: the model predicts real loss
+	m, err := stg.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := m.SteadyMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Loss < 0.02 {
+		t.Fatalf("test premise broken: model loss %g too small to measure against", met.Loss)
+	}
+	res, err := RunTriaged(p, 20000, 7, triage.All(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("model loss %.4f; triaged lost fraction %.4f (reported %d, lost %d)",
+		met.Loss, res.LostFraction(), res.Reported, res.Lost)
+	t.Logf("alerts analyzed %d, prefiltered %d, deduped %d, cones %d",
+		res.Runtime.AlertsAnalyzed, res.Runtime.AlertsPrefiltered,
+		res.Runtime.AlertsDeduped, res.Runtime.ConesAnalyzed)
+	if res.LostFraction() > met.Loss/2 {
+		t.Errorf("triaged loss %g did not beat the un-coalesced CTMC prediction %g by 2x",
+			res.LostFraction(), met.Loss)
+	}
+	if res.Runtime.ConesAnalyzed == 0 {
+		t.Error("no cones analyzed")
+	}
+	handled := res.Runtime.AlertsAnalyzed + res.Runtime.AlertsPrefiltered + res.Runtime.AlertsDeduped
+	if handled <= res.Runtime.ConesAnalyzed {
+		t.Errorf("no coalescing fold: %d alerts handled across %d analyses", handled, res.Runtime.ConesAnalyzed)
+	}
+
+	// Same seed, same virtual history: the triaged driver stays
+	// deterministic.
+	res2, err := RunTriaged(p, 20000, 7, triage.All(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reported != res.Reported || res2.TimeScan != res.TimeScan {
+		t.Error("same seed diverged under triage")
 	}
 }

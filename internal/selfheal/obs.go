@@ -14,10 +14,12 @@ import (
 type sysObs struct {
 	enabled bool
 
-	reported, lost, analyzed   *obs.Counter
-	units, normalSteps         *obs.Counter
-	concurrentSteps, eagerUnit *obs.Counter
-	undone, redone, newExec    *obs.Counter
+	reported, lost, analyzed    *obs.Counter
+	units, normalSteps          *obs.Counter
+	concurrentSteps, eagerUnit  *obs.Counter
+	undone, redone, newExec     *obs.Counter
+	cones, prefiltered, deduped *obs.Counter
+	coneSize, coalesceRatio     *obs.Histogram
 
 	// ticks counts processed ticks per state class, indexed by stg.Class.
 	ticks [3]*obs.Counter
@@ -56,6 +58,11 @@ func (s *System) Observe(reg *obs.Registry) {
 		undone:          reg.Counter(obs.MUndone),
 		redone:          reg.Counter(obs.MRedone),
 		newExec:         reg.Counter(obs.MNewExecuted),
+		cones:           reg.Counter(obs.MTriageCones),
+		prefiltered:     reg.Counter(obs.MTriagePrefilterHits),
+		deduped:         reg.Counter(obs.MTriageDeduped),
+		coneSize:        reg.Histogram(obs.MTriageConeSize, obs.TickBuckets),
+		coalesceRatio:   reg.Histogram(obs.MTriageCoalesceRatio, obs.TickBuckets),
 		ticks: [3]*obs.Counter{
 			stg.Normal:   reg.Counter(obs.MTicksNormal),
 			stg.Scan:     reg.Counter(obs.MTicksScan),

@@ -40,6 +40,7 @@ import (
 	"selfheal/internal/engine"
 	"selfheal/internal/recovery"
 	"selfheal/internal/stg"
+	"selfheal/internal/triage"
 	"selfheal/internal/wf"
 	"selfheal/internal/wlog"
 )
@@ -51,13 +52,17 @@ type Alert struct {
 }
 
 // Unit is one unit of recovery tasks: the analysis produced for one alert
-// (§IV.C: "1 unit of recovery tasks corresponds to a set of tasks for
-// repairing damages caused by 1 attack").
+// or one coalesced damage cone (§IV.C: "1 unit of recovery tasks
+// corresponds to a set of tasks for repairing damages caused by 1 attack").
 type Unit struct {
-	// Alert is the originating report.
+	// Alert is the originating report (with CoalesceAlerts, the folded
+	// union of the cone's member reports).
 	Alert Alert
 	// Analysis is the static damage assessment for the alert.
 	Analysis *recovery.Analysis
+	// release re-arms the covered-alert prefilter when the unit completes;
+	// nil when PrefilterCovered is off.
+	release func()
 }
 
 // Config sizes the system.
@@ -82,13 +87,31 @@ type Config struct {
 	// recovery work. The default (false) is the paper's strict
 	// correctness strategy: Theorem-4 gating.
 	Concurrent bool
-	// CoalesceAlerts makes the analyzer drain the whole alert queue into
-	// a single unit of recovery tasks (the union of the reported
-	// malicious sets) instead of one unit per alert. Under bursts this
-	// trades one larger analysis for several smaller ones — the §IV.D
-	// observation that analysis cost grows with queued work, turned into
-	// an optimization.
+	// CoalesceAlerts makes the analyzer drain the whole alert queue per
+	// SCAN tick and partition the drained batch into damage cones
+	// (triage.Partition over an epoch-pinned dependence snapshot): one
+	// unit of recovery tasks per cone instead of one per alert. Under
+	// bursts this trades many redundant analyses for a few independent
+	// ones — the §IV.D observation that analysis cost grows with queued
+	// work, turned into an optimization. Alerts from independent attacks
+	// stay in separate units, preserving the §IV.C unit-per-attack
+	// discipline. The analyzer may transiently push the recovery queue
+	// past RecoveryBuf when one batch yields several cones; the forced
+	// drain (§IV.E) reclaims the excess before the next analysis.
 	CoalesceAlerts bool
+	// PrefilterCovered drops a drained alert without analysis when its
+	// bad set lies entirely inside the damage closure (DefiniteUndo) of a
+	// queued or executing recovery unit: that unit's repair re-analyzes
+	// the full log at execution time, so the alert's damage is already
+	// scheduled for undo and (Theorem 2) redo. The signature re-arms on
+	// unit completion, so later alerts trigger fresh analyses.
+	PrefilterCovered bool
+	// DedupeAlerts absorbs a Report whose bad set is already queued
+	// (order- and multiplicity-insensitive) instead of consuming buffer
+	// space and an analysis on the repeat. Off by default: the CTMC
+	// baseline and the drop-accounting tests count every repeat
+	// individually.
+	DedupeAlerts bool
 	// EagerRecovery selects the second strategy of §III.D ("obtain
 	// concurrency while taking risks of corrupting tasks"): recovery
 	// units execute even while IDS alerts are still queued, instead of
@@ -119,6 +142,16 @@ type Metrics struct {
 	// EagerUnits counts recovery units executed while alerts were still
 	// queued (only nonzero in EagerRecovery mode).
 	EagerUnits int
+	// ConesAnalyzed counts damage-cone analyses (AnalyzeGraph calls) made
+	// by the triage front-end; AlertsAnalyzed/ConesAnalyzed is the
+	// achieved coalescing fold.
+	ConesAnalyzed int
+	// AlertsPrefiltered counts alerts dropped because an in-flight
+	// recovery unit's damage closure already covered their bad set.
+	AlertsPrefiltered int
+	// AlertsDeduped counts Report-time absorptions of bad sets already
+	// queued (only nonzero with DedupeAlerts).
+	AlertsDeduped int
 }
 
 // System is the self-healing workflow system.
@@ -154,6 +187,13 @@ type System struct {
 	// while the lock is released for the heavy lifting.
 	analyzing, executing bool
 
+	// cover holds the damage-closure signatures of queued and executing
+	// units for the covered-alert prefilter (PrefilterCovered).
+	cover *triage.Coverage
+	// pendingKeys refcounts the canonical bad-set keys sitting unanalyzed
+	// in alertQ for Report-time dedupe (DedupeAlerts); guarded by mu.
+	pendingKeys map[string]int
+
 	// o is the optional observability wiring (Observe); zero means off.
 	o sysObs
 	// flip alternates recovery and normal work in concurrent mode.
@@ -181,7 +221,13 @@ func NewWithEngine(cfg Config, eng *engine.Engine, specs map[string]*wf.Spec) (*
 	if eng == nil {
 		return nil, fmt.Errorf("selfheal: nil engine")
 	}
-	s := &System{cfg: cfg, eng: eng, specs: make(map[string]*wf.Spec)}
+	s := &System{
+		cfg:         cfg,
+		eng:         eng,
+		specs:       make(map[string]*wf.Spec),
+		cover:       triage.NewCoverage(),
+		pendingKeys: make(map[string]int),
+	}
 	for run, spec := range specs {
 		s.specs[run] = spec
 	}
@@ -250,19 +296,31 @@ func (s *System) QueueLengths() (int, int) {
 }
 
 // Report delivers an IDS alert. It returns false when the alert buffer is
-// full and the alert is lost. Report is safe to call from any goroutine,
-// concurrently with the tick loop.
+// full and the alert is lost. With DedupeAlerts, a repeat of a bad set
+// already queued is absorbed without consuming buffer space and reports
+// true: the queued twin's analysis covers it. Report is safe to call from
+// any goroutine, concurrently with the tick loop.
 func (s *System) Report(a Alert) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics.AlertsReported++
 	s.o.reported.Inc()
+	if s.cfg.DedupeAlerts {
+		if s.pendingKeys[triage.Key(a.Bad)] > 0 {
+			s.metrics.AlertsDeduped++
+			s.o.deduped.Inc()
+			return true
+		}
+	}
 	if len(s.alertQ) >= s.cfg.AlertBuf {
 		s.metrics.AlertsLost++
 		s.o.lost.Inc()
 		return false
 	}
 	s.alertQ = append(s.alertQ, a)
+	if s.cfg.DedupeAlerts {
+		s.pendingKeys[triage.Key(a.Bad)]++
+	}
 	if s.o.enabled {
 		s.o.queues(len(s.alertQ), len(s.recoveryQ))
 		s.o.checkState(s.stateLocked())
@@ -350,8 +408,9 @@ func (s *System) tick() error {
 	}
 }
 
-// analyzeAlert turns the head alert (or, with CoalesceAlerts, the whole
-// alert queue) into a unit of recovery tasks.
+// analyzeAlert drains the head alert (or, with CoalesceAlerts, the whole
+// alert queue), prefilters alerts already covered by in-flight units, and
+// turns each remaining damage cone into a unit of recovery tasks.
 func (s *System) analyzeAlert() error {
 	s.mu.Lock()
 	take := 1
@@ -362,36 +421,80 @@ func (s *System) analyzeAlert() error {
 		s.mu.Unlock()
 		return ErrIdle
 	}
-	merged := Alert{}
-	seen := make(map[wlog.InstanceID]bool)
+	// Validate every drained alert before consuming anything: an alert
+	// naming an unlogged instance fails the tick with the queue intact.
 	for _, a := range s.alertQ[:take] {
 		for _, id := range a.Bad {
 			if _, ok := s.eng.Log().Get(id); !ok {
 				s.mu.Unlock()
 				return fmt.Errorf("selfheal: alert names unknown instance %s", id)
 			}
-			if !seen[id] {
-				seen[id] = true
-				merged.Bad = append(merged.Bad, id)
-			}
 		}
 	}
+	batch := make([]triage.Alert, 0, take)
+	prefiltered := 0
+	for _, a := range s.alertQ[:take] {
+		if s.cfg.DedupeAlerts {
+			k := triage.Key(a.Bad)
+			if s.pendingKeys[k]--; s.pendingKeys[k] <= 0 {
+				delete(s.pendingKeys, k)
+			}
+		}
+		if s.cfg.PrefilterCovered && s.cover.Covered(a.Bad) {
+			prefiltered++
+			continue
+		}
+		batch = append(batch, triage.Alert{Bad: a.Bad})
+	}
 	s.alertQ = s.alertQ[take:]
+	s.metrics.AlertsPrefiltered += prefiltered
 	// The heavy analysis runs outside the lock; analyzing keeps the state
 	// classified SCAN so concurrent observers never see a transient gap.
 	s.analyzing = true
 	s.mu.Unlock()
+	s.o.prefiltered.Add(int64(prefiltered))
 
-	analyzeStart := s.o.now()
-	an := recovery.AnalyzeGraph(s.graph.Snapshot(), s.eng.Log(), s.specs, merged.Bad)
-	s.o.observeLatency(s.o.analyzeSeconds, analyzeStart)
+	// Partition the surviving batch into damage cones over one epoch-pinned
+	// snapshot; without coalescing the single alert is its own cone.
+	g := s.graph.Snapshot()
+	var cones []triage.Cone
+	switch {
+	case len(batch) == 0:
+		// Every drained alert was covered by an in-flight unit.
+	case s.cfg.CoalesceAlerts:
+		cones = triage.Partition(g, batch)
+	default:
+		cones = []triage.Cone{triage.ConeOf(batch[0])}
+	}
+
+	units := make([]*Unit, 0, len(cones))
+	for _, c := range cones {
+		analyzeStart := s.o.now()
+		an := recovery.AnalyzeGraph(g, s.eng.Log(), s.specs, c.Bad)
+		s.o.observeLatency(s.o.analyzeSeconds, analyzeStart)
+		u := &Unit{Alert: Alert{Bad: c.Bad}, Analysis: an}
+		if s.cfg.PrefilterCovered {
+			// Signature = DefiniteUndo: the instances this unit's repair is
+			// guaranteed to undo (and, per Theorem 2, re-execute where
+			// legitimate). Candidate undos are excluded — covering an alert
+			// with work that might not happen would be unsound.
+			u.release = s.cover.Arm(an.DefiniteUndo)
+		}
+		units = append(units, u)
+		s.o.coneSize.Observe(float64(c.Alerts))
+	}
+	if len(cones) > 0 && s.o.enabled {
+		s.o.coalesceRatio.Observe(float64(len(batch)) / float64(len(cones)))
+	}
 
 	s.mu.Lock()
 	s.analyzing = false
-	s.recoveryQ = append(s.recoveryQ, &Unit{Alert: merged, Analysis: an})
-	s.metrics.AlertsAnalyzed += take
+	s.recoveryQ = append(s.recoveryQ, units...)
+	s.metrics.AlertsAnalyzed += len(batch)
+	s.metrics.ConesAnalyzed += len(cones)
 	s.mu.Unlock()
-	s.o.analyzed.Add(int64(take))
+	s.o.analyzed.Add(int64(len(batch)))
+	s.o.cones.Add(int64(len(cones)))
 	return nil
 }
 
@@ -409,6 +512,11 @@ func (s *System) executeUnit() error {
 	// classified RECOVERY for concurrent observers until it lands.
 	s.executing = true
 	s.mu.Unlock()
+	if u.release != nil {
+		// Re-arm the covered-alert prefilter once the unit is done (even on
+		// a failed repair — the failed unit no longer covers anything).
+		defer u.release()
+	}
 	defer func() {
 		s.mu.Lock()
 		s.executing = false

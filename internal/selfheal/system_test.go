@@ -286,6 +286,48 @@ func TestRepeatedAlertsSameAttackIdempotent(t *testing.T) {
 	}
 }
 
+// TestRepeatedAlertsDedupedAtReport extends the idempotent-repeat property:
+// with DedupeAlerts on, the second identical report is absorbed at Report
+// time — it still returns true (the alert IS accounted for), but only one
+// copy occupies the bounded queue and only one analysis runs, and the repair
+// is exactly as correct as the double-analysis path.
+func TestRepeatedAlertsDedupedAtReport(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.DedupeAlerts = true
+	sys := newFig1System(t, cfg, true)
+	if err := sys.RunToCompletion(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	bad := []wlog.InstanceID{"r1/t1#1"}
+	if !sys.Report(selfheal.Alert{Bad: bad}) {
+		t.Fatal("first alert rejected")
+	}
+	if !sys.Report(selfheal.Alert{Bad: bad}) {
+		t.Fatal("duplicate alert rejected instead of absorbed")
+	}
+	if m := sys.Metrics(); m.AlertsDeduped != 1 {
+		t.Fatalf("AlertsDeduped = %d, want 1", m.AlertsDeduped)
+	}
+	if err := sys.DrainRecovery(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Metrics()
+	if m.AlertsAnalyzed != 1 || m.ConesAnalyzed != 1 {
+		t.Errorf("duplicate reached the analyzer: analyzed %d alerts, %d cones, want 1 and 1",
+			m.AlertsAnalyzed, m.ConesAnalyzed)
+	}
+	if m.AlertsLost != 0 {
+		t.Errorf("dedupe counted the duplicate as lost: AlertsLost = %d", m.AlertsLost)
+	}
+	clean, err := scenario.Fig1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.CheckStrictCorrectness(clean.Store(), sys.Store()); err != nil {
+		t.Errorf("deduped recovery broke the state: %v", err)
+	}
+}
+
 // TestSequentialDistinctAlerts: two separate attacks reported one after the
 // other, each repaired cumulatively.
 func TestSequentialDistinctAlerts(t *testing.T) {

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"selfheal/internal/obs"
 	"selfheal/internal/recovery"
 	"selfheal/internal/stg"
+	"selfheal/internal/triage"
 	"selfheal/internal/wf"
 	"selfheal/internal/wlog"
 )
@@ -42,6 +44,12 @@ type Config struct {
 	RecoveryBuf int
 	// Repair tunes the recovery executor.
 	Repair recovery.Options
+	// Triage selects the streaming alert-triage mechanisms (cone
+	// coalescing, covered-alert prefilter, Report-time dedupe). The zero
+	// value disables all of them: one analysis per alert, exactly the
+	// per-alert pipeline the §V CTMC models. See internal/triage and
+	// docs/TRIAGE.md.
+	Triage triage.Options
 	// Strict selects the paper's strict-correctness strategy (Theorem-4
 	// gating): every shard quiesces for the whole SCAN and RECOVERY
 	// period, so no normal task executes while recovery work is known or
@@ -99,6 +107,15 @@ type Metrics struct {
 	// CommitBatches and CommitEntries count group commits and the entries
 	// they carried; Entries/Batches is the achieved group-commit fold.
 	CommitBatches, CommitEntries int
+	// ConesAnalyzed counts damage-cone analyses (AnalyzeGraph calls);
+	// AlertsAnalyzed/ConesAnalyzed is the achieved coalescing fold.
+	ConesAnalyzed int
+	// AlertsPrefiltered counts alerts dropped at triage because an
+	// in-flight recovery unit's damage closure already covered them.
+	AlertsPrefiltered int
+	// AlertsDeduped counts Report-time absorptions of bad sets already
+	// queued (only nonzero with Triage.Dedupe).
+	AlertsDeduped int
 }
 
 // RunInfo is one run's externally visible status (the /api/v1/runs/{id}
@@ -120,6 +137,9 @@ type alert struct {
 type unit struct {
 	bad []wlog.InstanceID
 	an  *recovery.Analysis
+	// release re-arms the covered-alert prefilter when the unit completes;
+	// nil when Triage.Prefilter is off.
+	release func()
 }
 
 // Service is the concurrent self-healing workflow service: N shard workers
@@ -149,6 +169,19 @@ type Service struct {
 	gateHeld      bool // recovery goroutine only; under mu for State readers
 	startStopOnce struct{ started, stopped sync.Once }
 
+	// cover holds the damage-closure signatures of queued and executing
+	// units for the covered-alert prefilter (Triage.Prefilter); checked
+	// and armed only by the recovery goroutine.
+	cover *triage.Coverage
+	// pendingKeys refcounts the canonical bad-set keys sitting unanalyzed
+	// in the alert channel for Report-time dedupe (Triage.Dedupe);
+	// guarded by mu.
+	pendingKeys map[string]int
+	// drainSecPerAlert is the EWMA of measured alert-consumption cost
+	// (seconds per drained alert), feeding RetryAfterSeconds; guarded by
+	// mu, 0 until the first batch is handled.
+	drainSecPerAlert float64
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 
@@ -161,11 +194,13 @@ type svcObs struct {
 	enabled                          bool
 	reported, lost, analyzed, units  *obs.Counter
 	undone, redone, newExec          *obs.Counter
+	cones, prefiltered, deduped      *obs.Counter
 	batches, entries                 *obs.Counter
 	runsCompleted, runsFailed        *obs.Counter
 	alertDepth, unitDepth, deferDpth *obs.Gauge
 	quiesceSeconds                   *obs.Histogram
 	quiescedShards                   *obs.Histogram
+	coneSize, coalesceRatio          *obs.Histogram
 	stepsByShard                     []*obs.Counter
 	activeByShard                    []*obs.Gauge
 }
@@ -179,13 +214,15 @@ func New(cfg Config, store *data.Store) (*Service, error) {
 	}
 	eng := engine.New(store, wlog.New())
 	s := &Service{
-		cfg:    cfg,
-		eng:    eng,
-		graph:  deps.NewIncremental(eng.Log()),
-		com:    newCommitter(eng, cfg.BatchMax, cfg.CommitQueue),
-		specs:  make(map[string]*wf.Spec),
-		alerts: make(chan alert, cfg.AlertBuf),
-		stopCh: make(chan struct{}),
+		cfg:         cfg,
+		eng:         eng,
+		graph:       deps.NewIncremental(eng.Log()),
+		com:         newCommitter(eng, cfg.BatchMax, cfg.CommitQueue),
+		specs:       make(map[string]*wf.Spec),
+		alerts:      make(chan alert, cfg.AlertBuf),
+		cover:       triage.NewCoverage(),
+		pendingKeys: make(map[string]int),
+		stopCh:      make(chan struct{}),
 	}
 	s.exec = newExecutor(eng, s.com, cfg.Shards, cfg.Inbox, cfg.DeferMax)
 	return s, nil
@@ -220,6 +257,11 @@ func (s *Service) Observe(reg *obs.Registry) {
 			obs.LatencyBuckets),
 		quiescedShards: reg.Histogram(obs.MShardQuiescedShards,
 			obs.TickBuckets),
+		cones:         reg.Counter(obs.MTriageCones),
+		prefiltered:   reg.Counter(obs.MTriagePrefilterHits),
+		deduped:       reg.Counter(obs.MTriageDeduped),
+		coneSize:      reg.Histogram(obs.MTriageConeSize, obs.TickBuckets),
+		coalesceRatio: reg.Histogram(obs.MTriageCoalesceRatio, obs.TickBuckets),
 	}
 	for i := 0; i < s.cfg.Shards; i++ {
 		s.o.stepsByShard = append(s.o.stepsByShard,
@@ -333,28 +375,94 @@ func (s *Service) Runs() []RunInfo {
 // alerts naming instances absent from the log wrap engine.ErrUnknownRun.
 // Safe from any goroutine.
 func (s *Service) Report(bad []wlog.InstanceID) error {
-	if len(bad) == 0 {
-		return fmt.Errorf("shard: %w: alert names no instances", engine.ErrBadSpec)
+	_, dropped, err := s.ReportAlerts([]triage.Alert{{Bad: bad}})
+	if err != nil {
+		return err
 	}
-	for _, id := range bad {
-		if _, ok := s.eng.Log().Get(id); !ok {
-			return fmt.Errorf("shard: alert names unknown instance %s: %w", id, engine.ErrUnknownRun)
+	if dropped > 0 {
+		return fmt.Errorf("shard: alert queue full (capacity %d): %w", s.cfg.AlertBuf, ErrQueueFull)
+	}
+	return nil
+}
+
+// ReportAlerts delivers a batch of IDS alerts in one admission. The whole
+// batch is validated first — a malformed or unknown-instance alert rejects
+// the batch with nothing admitted. Valid alerts are then admitted
+// individually: admitted counts alerts queued for analysis (including, with
+// Triage.Dedupe, repeats absorbed by an already-queued twin), dropped
+// counts alerts lost to a full queue. Callers seeing dropped > 0 should
+// back off for RetryAfterSeconds. Safe from any goroutine.
+func (s *Service) ReportAlerts(alerts []triage.Alert) (admitted, dropped int, err error) {
+	if len(alerts) == 0 {
+		return 0, 0, fmt.Errorf("shard: %w: empty alert batch", engine.ErrBadSpec)
+	}
+	for _, a := range alerts {
+		if len(a.Bad) == 0 {
+			return 0, 0, fmt.Errorf("shard: %w: alert names no instances", engine.ErrBadSpec)
+		}
+		for _, id := range a.Bad {
+			if _, ok := s.eng.Log().Get(id); !ok {
+				return 0, 0, fmt.Errorf("shard: alert names unknown instance %s: %w", id, engine.ErrUnknownRun)
+			}
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.metrics.AlertsReported++
-	s.o.reported.Inc()
-	select {
-	case s.alerts <- alert{bad: bad}:
-		s.alertsQueued++
-		s.o.alertDepth.Set(int64(s.alertsQueued))
-		return nil
-	default:
-		s.metrics.AlertsLost++
-		s.o.lost.Inc()
-		return fmt.Errorf("shard: alert queue full (capacity %d): %w", s.cfg.AlertBuf, ErrQueueFull)
+	for _, a := range alerts {
+		s.metrics.AlertsReported++
+		s.o.reported.Inc()
+		if s.cfg.Triage.Dedupe && s.pendingKeys[triage.Key(a.Bad)] > 0 {
+			s.metrics.AlertsDeduped++
+			s.o.deduped.Inc()
+			admitted++
+			continue
+		}
+		select {
+		case s.alerts <- alert{bad: a.Bad}:
+			s.alertsQueued++
+			if s.cfg.Triage.Dedupe {
+				s.pendingKeys[triage.Key(a.Bad)]++
+			}
+			admitted++
+		default:
+			s.metrics.AlertsLost++
+			s.o.lost.Inc()
+			dropped++
+		}
 	}
+	s.o.alertDepth.Set(int64(s.alertsQueued))
+	return admitted, dropped, nil
+}
+
+// DefaultDrainSecPerAlert seeds the Retry-After estimate before the service
+// has measured its own drain rate.
+const DefaultDrainSecPerAlert = 0.05
+
+// EstimateRetryAfter converts an alert-queue depth and a measured
+// consumption cost (seconds per alert) into a Retry-After hint in whole
+// seconds, clamped to [1, 60].
+func EstimateRetryAfter(queued int, secPerAlert float64) int {
+	sec := int(math.Ceil(float64(queued) * secPerAlert))
+	if sec < 1 {
+		return 1
+	}
+	if sec > 60 {
+		return 60
+	}
+	return sec
+}
+
+// RetryAfterSeconds estimates how long a rejected reporter should back off:
+// the time to drain the current alert queue at the measured per-alert
+// consumption rate (DefaultDrainSecPerAlert until measured).
+func (s *Service) RetryAfterSeconds() int {
+	s.mu.Lock()
+	queued, spa := s.alertsQueued, s.drainSecPerAlert
+	s.mu.Unlock()
+	if spa == 0 {
+		spa = DefaultDrainSecPerAlert
+	}
+	return EstimateRetryAfter(queued, spa)
 }
 
 // State classifies the service per §IV.C: SCAN while alerts are queued or
@@ -471,7 +579,7 @@ func (s *Service) recoveryLoop() {
 		case <-s.stopCh:
 			return
 		case a := <-s.alerts:
-			s.handleAlert(a)
+			s.handleBatch(s.drainAlerts(a))
 			continue
 		default:
 		}
@@ -486,7 +594,25 @@ func (s *Service) recoveryLoop() {
 		case <-s.stopCh:
 			return
 		case a := <-s.alerts:
-			s.handleAlert(a)
+			s.handleBatch(s.drainAlerts(a))
+		}
+	}
+}
+
+// drainAlerts collects the batch for one SCAN pass: just the received alert
+// in the per-alert pipeline, or everything currently queued when cone
+// coalescing is on.
+func (s *Service) drainAlerts(first alert) []alert {
+	batch := []alert{first}
+	if !s.cfg.Triage.Coalesce {
+		return batch
+	}
+	for {
+		select {
+		case a := <-s.alerts:
+			batch = append(batch, a)
+		default:
+			return batch
 		}
 	}
 }
@@ -522,11 +648,16 @@ func (s *Service) releaseGate() {
 	}
 }
 
-// handleAlert analyzes one alert into a unit of recovery tasks. The damage
-// analysis runs fully concurrently with normal stepping (except in Strict
-// mode): it reads an epoch-pinned snapshot of the incremental dependence
-// graph, so concurrent commits never tear the view.
-func (s *Service) handleAlert(a alert) {
+// handleBatch triages one drained batch of alerts into units of recovery
+// tasks: prefiltered alerts (bad set already inside an in-flight unit's
+// damage closure) are dropped, the survivors are partitioned into damage
+// cones, and each cone gets one AnalyzeGraph call. The damage analysis runs
+// fully concurrently with normal stepping (except in Strict mode): it reads
+// an epoch-pinned snapshot of the incremental dependence graph, so
+// concurrent commits never tear the view. With triage off the batch is one
+// alert and one analysis — the legacy per-alert pipeline.
+func (s *Service) handleBatch(batch []alert) {
+	start := time.Now()
 	if s.cfg.Strict {
 		// Theorem-4 gating: no normal task may run once recovery work is
 		// known to be pending.
@@ -538,21 +669,77 @@ func (s *Service) handleAlert(a alert) {
 		s.executeUnit()
 	}
 	s.mu.Lock()
-	s.alertsQueued--
+	s.alertsQueued -= len(batch)
 	s.analyzing = true
 	s.o.alertDepth.Set(int64(s.alertsQueued))
 	specs := s.specsCopyLocked()
+	if s.cfg.Triage.Dedupe {
+		for _, a := range batch {
+			k := triage.Key(a.bad)
+			if s.pendingKeys[k]--; s.pendingKeys[k] <= 0 {
+				delete(s.pendingKeys, k)
+			}
+		}
+	}
 	s.mu.Unlock()
 
-	an := recovery.AnalyzeGraph(s.graph.Snapshot(), s.eng.Log(), specs, a.bad)
+	// Covered-alert prefilter: only the recovery goroutine checks, arms and
+	// releases coverage, so a covering unit can never complete between the
+	// check here and the alert being dropped.
+	survivors := make([]triage.Alert, 0, len(batch))
+	prefiltered := 0
+	for _, a := range batch {
+		if s.cfg.Triage.Prefilter && s.cover.Covered(a.bad) {
+			prefiltered++
+			continue
+		}
+		survivors = append(survivors, triage.Alert{Bad: a.bad})
+	}
 
+	g := s.graph.Snapshot()
+	var cones []triage.Cone
+	switch {
+	case len(survivors) == 0:
+		// Every drained alert was covered by an in-flight unit.
+	case s.cfg.Triage.Coalesce:
+		cones = triage.Partition(g, survivors)
+	default:
+		cones = []triage.Cone{triage.ConeOf(survivors[0])}
+	}
+	units := make([]*unit, 0, len(cones))
+	for _, c := range cones {
+		an := recovery.AnalyzeGraph(g, s.eng.Log(), specs, c.Bad)
+		u := &unit{bad: c.Bad, an: an}
+		if s.cfg.Triage.Prefilter {
+			// Signature = DefiniteUndo: the instances this unit's repair is
+			// guaranteed to undo (and, per Theorem 2, re-execute where
+			// legitimate); candidate undos are excluded.
+			u.release = s.cover.Arm(an.DefiniteUndo)
+		}
+		units = append(units, u)
+		s.o.coneSize.Observe(float64(c.Alerts))
+	}
+	if len(cones) > 0 && s.o.enabled {
+		s.o.coalesceRatio.Observe(float64(len(survivors)) / float64(len(cones)))
+	}
+
+	perAlert := time.Since(start).Seconds() / float64(len(batch))
 	s.mu.Lock()
 	s.analyzing = false
-	s.unitQ = append(s.unitQ, &unit{bad: a.bad, an: an})
-	s.metrics.AlertsAnalyzed++
-	s.o.analyzed.Inc()
+	s.unitQ = append(s.unitQ, units...)
+	s.metrics.AlertsAnalyzed += len(survivors)
+	s.metrics.ConesAnalyzed += len(cones)
+	s.metrics.AlertsPrefiltered += prefiltered
+	if s.drainSecPerAlert == 0 {
+		s.drainSecPerAlert = perAlert
+	} else {
+		s.drainSecPerAlert = 0.7*s.drainSecPerAlert + 0.3*perAlert
+	}
 	s.o.unitDepth.Set(int64(len(s.unitQ)))
 	s.mu.Unlock()
+	s.o.analyzed.Add(int64(len(survivors)))
+	s.o.cones.Add(int64(len(cones)))
+	s.o.prefiltered.Add(int64(prefiltered))
 }
 
 func (s *Service) specsCopyLocked() map[string]*wf.Spec {
@@ -582,6 +769,11 @@ func (s *Service) executeUnit() {
 	s.executing = true
 	s.o.unitDepth.Set(int64(len(s.unitQ)))
 	s.mu.Unlock()
+	if u.release != nil {
+		// Re-arm the covered-alert prefilter once the unit is done (even on
+		// a failed repair — the failed unit no longer covers anything).
+		defer u.release()
+	}
 	defer func() {
 		s.mu.Lock()
 		s.executing = false

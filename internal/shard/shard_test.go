@@ -12,6 +12,7 @@ import (
 	"selfheal/internal/engine"
 	"selfheal/internal/selfheal"
 	"selfheal/internal/stg"
+	"selfheal/internal/triage"
 	"selfheal/internal/wf"
 	"selfheal/internal/wlog"
 )
@@ -621,5 +622,61 @@ func TestConcurrentReportStress(t *testing.T) {
 	if m.UnitsExecuted != delivered || m.RecoveryErrors > 0 {
 		t.Fatalf("units executed %d want %d (errors %d, last %v)",
 			m.UnitsExecuted, delivered, m.RecoveryErrors, svc.LastRecoveryError())
+	}
+}
+
+// TestTriageStormConverges floods the service with one forged instance's
+// alert fifty times over with the full triage front-end on (coalescing,
+// prefilter, dedupe). The storm must fold into a small number of damage-cone
+// analyses — nothing lost, duplicates absorbed at admission — while recovery
+// still converges to the benign state.
+func TestTriageStormConverges(t *testing.T) {
+	specs := map[string]*wf.Spec{"v1": chainSpec("v1", 8, 0)}
+	svc := startService(t, Config{Shards: 2, AlertBuf: 64, Triage: triage.All()})
+	if err := svc.SubmitRun("v1", specs["v1"]); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, svc)
+	inst, err := svc.InjectForged("intruder", "evil", []data.Key{"v1.k8"},
+		map[data.Key]data.Value{"v1.k8": -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const storm = 50
+	alerts := make([]triage.Alert, storm)
+	for i := range alerts {
+		alerts[i] = triage.Alert{Bad: []wlog.InstanceID{inst}}
+	}
+	admitted, dropped, err := svc.ReportAlerts(alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted != storm || dropped != 0 {
+		t.Fatalf("admission under dedupe: admitted %d dropped %d, want %d/0",
+			admitted, dropped, storm)
+	}
+	waitIdle(t, svc)
+
+	want := benignSnapshot(t, specs)
+	got := svc.Store().Snapshot()
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d after storm recovery, benign value is %d", k, got[k], v)
+		}
+	}
+	m := svc.Metrics()
+	if m.AlertsReported != storm || m.AlertsLost != 0 {
+		t.Fatalf("storm accounting: reported %d lost %d, want %d/0",
+			m.AlertsReported, m.AlertsLost, storm)
+	}
+	if m.AlertsDeduped == 0 {
+		t.Error("no Report-time absorptions in a pure-duplicate storm")
+	}
+	if m.ConesAnalyzed == 0 || m.ConesAnalyzed*5 > storm {
+		t.Errorf("storm did not fold: %d cone analyses for %d alerts (want ≥5× fold)",
+			m.ConesAnalyzed, storm)
+	}
+	if m.Undone < 1 {
+		t.Fatalf("forged instance not undone: %+v", m)
 	}
 }

@@ -17,9 +17,10 @@ go build ./...
 go vet ./...
 go test -race ./...
 
-# Benchmark smoke: the parallel-repair and mid-recovery benchmarks must run
-# to completion (one iteration each; EXPERIMENTS.md records real numbers).
-go test -run '^$' -bench '^BenchmarkRepair' -benchtime=1x .
+# Benchmark smoke: the parallel-repair, mid-recovery and alert-storm
+# benchmarks must run to completion (one iteration each; EXPERIMENTS.md
+# records real numbers).
+go test -run '^$' -bench '^Benchmark(Repair|AlertStorm)' -benchtime=1x .
 
 # Doc-drift gate: every metric name declared in the obs catalog must be
 # documented in docs/OBSERVABILITY.md (TestCatalogDocumented enforces the
