@@ -24,5 +24,7 @@ race:
 # The incremental-vs-batch analyzer comparison (EXPERIMENTS.md).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkAnalyze(Batch|Incremental)(1k|10k|100k)$$|BenchmarkIncrementalAppend' -benchtime 3x .
+	$(GO) test -run xxx -bench 'BenchmarkAppend$$' -benchtime 100000x ./internal/durable/
+	$(GO) test -run xxx -bench 'BenchmarkReplay$$' -benchtime 5x ./internal/durable/
 
 ci: build vet race

@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"selfheal/internal/durable"
 	"selfheal/internal/httpapi"
 	"selfheal/internal/obs"
 	"selfheal/internal/shard"
@@ -57,6 +58,8 @@ func main() {
 	shards := flag.Int("shards", 4, "worker shards for the execution layer")
 	strict := flag.Bool("strict", false, "Theorem-4 strict mode: quiesce shards for whole SCAN+RECOVERY")
 	triageOn := flag.Bool("triage", false, "streaming alert triage: cone coalescing, covered-alert prefilter, Report-time dedupe (docs/TRIAGE.md)")
+	durableDir := flag.String("durable", "", "WAL directory: persist all state and restore it on boot (docs/DURABILITY.md)")
+	snapEvery := flag.Int("snapshot-every", 4096, "with -durable, checkpoint once this many entries committed past the latest snapshot (0 disables)")
 	flag.Parse()
 
 	cfg := shard.Config{Shards: *shards, Strict: *strict}
@@ -64,7 +67,19 @@ func main() {
 		cfg.Triage = triage.All()
 	}
 	reg := obs.NewRegistry()
-	svc, err := shard.New(cfg, nil)
+	var svc *shard.Service
+	var err error
+	if *durableDir != "" {
+		cfg.SnapshotEvery = *snapEvery
+		svc, err = shard.NewDurable(cfg, *durableDir, durable.Options{})
+		if err == nil {
+			if n, d := svc.ReplayStats(); n > 0 || d > 0 {
+				fmt.Fprintf(os.Stderr, "selfheal-server restored %d WAL records in %s\n", n, d)
+			}
+		}
+	} else {
+		svc, err = shard.New(cfg, nil)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -74,6 +74,44 @@ func NewStore() *Store {
 	}
 }
 
+// NewStoreFromChains builds a store directly from prebuilt version chains,
+// taking ownership of the map and its slices. Chains must be non-empty and
+// strictly ascending by position; the writer index is derived in one pass.
+// This is the bulk-install path of the durable restore: replay workers
+// materialize chains outside the store (no per-write lock traffic), then the
+// whole state is installed at once.
+func NewStoreFromChains(chains map[Key][]Version) (*Store, error) {
+	s := NewStore()
+	for k, chain := range chains {
+		if len(chain) == 0 {
+			return nil, fmt.Errorf("data: empty chain for %q", k)
+		}
+		for i, v := range chain {
+			if i > 0 && chain[i-1].Pos >= v.Pos {
+				return nil, fmt.Errorf("data: chain %q not ascending at index %d (%g after %g)",
+					k, i, v.Pos, chain[i-1].Pos)
+			}
+			s.indexAdd(v.Writer, k)
+		}
+		s.chains[k] = chain
+	}
+	return s, nil
+}
+
+// ChainsCopy returns a deep copy of every version chain, keyed by object —
+// the full store history a durable snapshot persists.
+func (s *Store) ChainsCopy() map[Key][]Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Key][]Version, len(s.chains))
+	for k, chain := range s.chains {
+		cp := make([]Version, len(chain))
+		copy(cp, chain)
+		out[k] = cp
+	}
+	return out
+}
+
 // indexAdd records one version by writer w on key k. Callers hold mu.
 func (s *Store) indexAdd(w string, k Key) {
 	if w == "" {
@@ -219,6 +257,35 @@ func (s *Store) CompactBefore(horizon float64) int {
 		s.chains[k] = chain
 	}
 	return n
+}
+
+// CompactChain compacts a single version chain at horizon with exactly
+// Store.CompactBefore's semantics, as a pure function: the input is not
+// modified, and a chain that empties out returns nil (CompactBefore deletes
+// the key). The durable snapshot encoder uses it to persist chains already
+// compacted at the snapshot epoch — the state a restore would produce
+// anyway — instead of pre-horizon history that would be discarded at boot.
+func CompactChain(chain []Version, horizon float64) []Version {
+	keep := 0
+	for i, v := range chain {
+		if v.Pos <= horizon {
+			keep = i
+		} else {
+			break
+		}
+	}
+	out := append([]Version(nil), chain[keep:]...)
+	if len(out) > 0 && out[0].Pos <= horizon {
+		out[0].Checkpoint = true
+		out[0].Recovery = false
+	}
+	for len(out) >= 2 && out[0].Checkpoint && out[1].Checkpoint {
+		out = out[1:]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // VersionAt returns the version of k at exactly position pos.

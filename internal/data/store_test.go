@@ -1,7 +1,9 @@
 package data
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -263,6 +265,83 @@ func TestCompactBefore(t *testing.T) {
 	s2.Write("z", 2, 5, "w", false)
 	if n := s2.CompactBefore(-1); n != 0 {
 		t.Errorf("pre-history horizon discarded %d", n)
+	}
+}
+
+func TestCompactChainMatchesStore(t *testing.T) {
+	// CompactChain is the pure per-chain twin of Store.CompactBefore (the
+	// durable snapshot encoder relies on them agreeing exactly). Randomized
+	// chains, every flag combination, horizons on/off version boundaries.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		chain := make([]Version, 0, n)
+		pos := 0.0
+		for i := 0; i < n; i++ {
+			pos += float64(1 + rng.Intn(3))
+			chain = append(chain, Version{
+				Pos:        pos,
+				Writer:     fmt.Sprintf("w%d", i),
+				Value:      Value(rng.Intn(50)),
+				Recovery:   rng.Intn(3) == 0,
+				Checkpoint: rng.Intn(4) == 0,
+			})
+		}
+		horizon := float64(rng.Intn(int(pos)+3)) - 1
+		input := append([]Version(nil), chain...)
+
+		// The store gets its own copy: CompactBefore edits chains in place.
+		s, err := NewStoreFromChains(map[Key][]Version{"k": append([]Version(nil), chain...)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s.CompactBefore(horizon)
+		got := CompactChain(input, horizon)
+		if !reflect.DeepEqual(s.Chain("k"), got) {
+			t.Fatalf("trial %d (horizon %g):\n chain  %+v\n store  %+v\n pure   %+v",
+				trial, horizon, input, s.Chain("k"), got)
+		}
+		// Purity: the input chain is untouched.
+		if !reflect.DeepEqual(input, chain) {
+			t.Fatalf("trial %d: CompactChain mutated its input", trial)
+		}
+	}
+}
+
+func TestCompactChainEdges(t *testing.T) {
+	if got := CompactChain(nil, 5); got != nil {
+		t.Errorf("nil chain compacted to %+v", got)
+	}
+	// Horizon exactly on a version's Pos: that version is the boundary.
+	chain := []Version{{Pos: 1, Writer: "a", Value: 1}, {Pos: 5, Writer: "b", Value: 2}, {Pos: 9, Writer: "c", Value: 3}}
+	got := CompactChain(chain, 5)
+	if len(got) != 2 || got[0].Pos != 5 || !got[0].Checkpoint || got[1].Pos != 9 {
+		t.Errorf("horizon-on-boundary: %+v", got)
+	}
+	// Horizon below everything: untouched, no boundary promotion.
+	got = CompactChain(chain, 0.5)
+	if !reflect.DeepEqual(got, chain) {
+		t.Errorf("pre-history horizon altered the chain: %+v", got)
+	}
+	// A recovery version surviving as the boundary becomes permanent
+	// history: Checkpoint set, Recovery cleared.
+	got = CompactChain([]Version{{Pos: 2, Writer: "r", Value: 7, Recovery: true}}, 3)
+	if len(got) != 1 || !got[0].Checkpoint || got[0].Recovery {
+		t.Errorf("recovery boundary not promoted: %+v", got)
+	}
+	// Duplicate boundaries collapse to the latest.
+	got = CompactChain([]Version{
+		{Pos: 1, Value: 1, Checkpoint: true},
+		{Pos: 4, Value: 2, Checkpoint: true},
+		{Pos: 8, Value: 3},
+	}, 4)
+	if len(got) != 2 || got[0].Pos != 4 || got[1].Pos != 8 {
+		t.Errorf("duplicate boundaries survived: %+v", got)
+	}
+	// Idempotence.
+	once := CompactChain(chain, 5)
+	if twice := CompactChain(once, 5); !reflect.DeepEqual(once, twice) {
+		t.Errorf("not idempotent: %+v vs %+v", once, twice)
 	}
 }
 

@@ -65,6 +65,62 @@ func NewIncremental(log *wlog.Log) *IncrementalGraph {
 	return g
 }
 
+// Frontier is the minimal resumable state of an IncrementalGraph: the fold
+// epoch plus the per-key writer-chain tails and pending-reader sets. A graph
+// seeded from a frontier and fed the log suffix after Epoch produces exactly
+// the edges that suffix generates — including flow/anti/output edges whose
+// From side lies below the epoch — which is what durable snapshots persist
+// so a restart never has to re-fold the compacted log prefix.
+type Frontier struct {
+	// Epoch is the LSN of the last entry folded into the frontier.
+	Epoch int
+	// LastWriter is the tail of each key's writer chain at the epoch.
+	LastWriter map[data.Key]wlog.InstanceID
+	// Pending holds, per key, the readers since the last write (in commit
+	// order): the instances the key's next writer anti-depends on.
+	Pending map[data.Key][]wlog.InstanceID
+}
+
+// Frontier returns a deep copy of the graph's resumable state.
+func (ig *IncrementalGraph) Frontier() Frontier {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	f := Frontier{
+		Epoch:      ig.epoch,
+		LastWriter: make(map[data.Key]wlog.InstanceID, len(ig.lastWriter)),
+		Pending:    make(map[data.Key][]wlog.InstanceID, len(ig.pending)),
+	}
+	for k, w := range ig.lastWriter {
+		f.LastWriter[k] = w
+	}
+	for k, rs := range ig.pending {
+		cp := make([]wlog.InstanceID, len(rs))
+		copy(cp, rs)
+		f.Pending[k] = cp
+	}
+	return f
+}
+
+// NewIncrementalFrom returns an IncrementalGraph seeded from a frontier and
+// subscribed to log: entries already committed (the restored log suffix) are
+// folded immediately and every future commit is folded at Append time. The
+// log's entries must all carry LSNs above f.Epoch — the durable restore path
+// guarantees this by rebuilding the log at base = snapshot epoch.
+func NewIncrementalFrom(log *wlog.Log, f Frontier) *IncrementalGraph {
+	g := newIncremental()
+	g.epoch = f.Epoch
+	for k, w := range f.LastWriter {
+		g.lastWriter[k] = w
+	}
+	for k, rs := range f.Pending {
+		cp := make([]wlog.InstanceID, len(rs))
+		copy(cp, rs)
+		g.pending[k] = cp
+	}
+	log.OnAppend(g.Append)
+	return g
+}
+
 func newIncremental() *IncrementalGraph {
 	return &IncrementalGraph{
 		flowBy:     make(map[wlog.InstanceID][]succRec),

@@ -1,0 +1,487 @@
+// Binary record codec for the durable WAL: compact, length-delimited field
+// encodings (uvarint integers, length-prefixed strings, raw float64 bits)
+// replacing the per-entry JSON of internal/wlogio on the hot append path.
+// Every record payload starts with a kind byte; the framing layer
+// (segment.go) wraps payloads in a [length][CRC32] envelope.
+//
+// Encoding is deterministic: map-shaped fields (reads, writes, inits,
+// chains) are emitted in sorted key order, so identical states produce
+// identical bytes — the property the crash-equivalence tests rely on.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// Record kinds. Log-stream kinds (entry/spec/alert/ack/adopt) appear in
+// segment files; snap* kinds appear only inside snapshot files.
+const (
+	recEntry byte = iota + 1
+	recSpec
+	recAlert
+	recAck
+	recAdopt
+	recSnapHeader
+	recSnapChain
+	recSnapSpec
+	recSnapRun
+	recSnapAlert
+	recSnapGraph
+	recSnapFooter
+)
+
+// snapFormat is the snapshot/segment format version stamped in headers.
+const snapFormat = 1
+
+// --- primitive writers -------------------------------------------------
+
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+func appendVarint(dst []byte, v int64) []byte   { return binary.AppendVarint(dst, v) }
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// --- primitive reader --------------------------------------------------
+
+// reader decodes a record payload; the first decoding error sticks and
+// every later read returns zero values, so decode paths check err once.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("durable: truncated uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("durable: truncated varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.fail("durable: truncated string (%d of %d bytes)", len(r.b), n)
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.fail("durable: truncated bytes (%d of %d)", len(r.b), n)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[:n])
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("durable: truncated byte")
+		return 0
+	}
+	c := r.b[0]
+	r.b = r.b[1:]
+	return c
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("durable: truncated float64")
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return f
+}
+
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("durable: %d trailing payload bytes", len(r.b))
+	}
+	return nil
+}
+
+// --- log entries --------------------------------------------------------
+
+const (
+	entryForged byte = 1 << iota
+	entryChosen
+)
+
+// EncodeEntry appends the binary encoding of one committed log entry
+// (kind byte included) to dst. Exported so the wlogio benchmarks can
+// compare the JSON and binary codecs head to head.
+func EncodeEntry(dst []byte, e *wlog.Entry) []byte {
+	dst = append(dst, recEntry)
+	dst = appendUvarint(dst, uint64(e.LSN))
+	dst = appendString(dst, e.Run)
+	dst = appendString(dst, string(e.Task))
+	dst = appendUvarint(dst, uint64(e.Visit))
+	var flags byte
+	if e.Forged {
+		flags |= entryForged
+	}
+	if e.Chosen != "" {
+		flags |= entryChosen
+	}
+	dst = append(dst, flags)
+	if e.Chosen != "" {
+		dst = appendString(dst, string(e.Chosen))
+	}
+
+	readKeys := make([]data.Key, 0, len(e.Reads))
+	for k := range e.Reads {
+		readKeys = append(readKeys, k)
+	}
+	sort.Slice(readKeys, func(i, j int) bool { return readKeys[i] < readKeys[j] })
+	dst = appendUvarint(dst, uint64(len(readKeys)))
+	for _, k := range readKeys {
+		obs := e.Reads[k]
+		dst = appendString(dst, string(k))
+		dst = appendVarint(dst, int64(obs.Value))
+		dst = appendString(dst, obs.Writer)
+		dst = appendF64(dst, obs.WriterPos)
+	}
+
+	writeKeys := make([]data.Key, 0, len(e.Writes))
+	for k := range e.Writes {
+		writeKeys = append(writeKeys, k)
+	}
+	sort.Slice(writeKeys, func(i, j int) bool { return writeKeys[i] < writeKeys[j] })
+	dst = appendUvarint(dst, uint64(len(writeKeys)))
+	for _, k := range writeKeys {
+		dst = appendString(dst, string(k))
+		dst = appendVarint(dst, int64(e.Writes[k]))
+	}
+	return dst
+}
+
+// DecodeEntry decodes an entry payload produced by EncodeEntry (kind byte
+// included).
+func DecodeEntry(p []byte) (*wlog.Entry, error) {
+	r := &reader{b: p}
+	if k := r.byte(); k != recEntry {
+		return nil, fmt.Errorf("durable: record kind %d is not an entry", k)
+	}
+	e := decodeEntryBody(r)
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func decodeEntryBody(r *reader) *wlog.Entry {
+	e := &wlog.Entry{
+		LSN:   int(r.uvarint()),
+		Run:   r.str(),
+		Task:  wf.TaskID(r.str()),
+		Visit: int(r.uvarint()),
+	}
+	flags := r.byte()
+	e.Forged = flags&entryForged != 0
+	if flags&entryChosen != 0 {
+		e.Chosen = wf.TaskID(r.str())
+	}
+	nReads := r.uvarint()
+	e.Reads = make(map[data.Key]wlog.ReadObs, nReads)
+	for i := uint64(0); i < nReads && r.err == nil; i++ {
+		k := data.Key(r.str())
+		e.Reads[k] = wlog.ReadObs{
+			Value:     data.Value(r.varint()),
+			Writer:    r.str(),
+			WriterPos: r.f64(),
+		}
+	}
+	nWrites := r.uvarint()
+	e.Writes = make(map[data.Key]data.Value, nWrites)
+	for i := uint64(0); i < nWrites && r.err == nil; i++ {
+		k := data.Key(r.str())
+		e.Writes[k] = data.Value(r.varint())
+	}
+	return e
+}
+
+// --- store versions and chains -----------------------------------------
+
+const (
+	verRecovery byte = 1 << iota
+	verCheckpoint
+)
+
+func appendVersion(dst []byte, v data.Version) []byte {
+	dst = appendF64(dst, v.Pos)
+	dst = appendString(dst, v.Writer)
+	dst = appendVarint(dst, int64(v.Value))
+	var flags byte
+	if v.Recovery {
+		flags |= verRecovery
+	}
+	if v.Checkpoint {
+		flags |= verCheckpoint
+	}
+	return append(dst, flags)
+}
+
+func (r *reader) version() data.Version {
+	v := data.Version{
+		Pos:    r.f64(),
+		Writer: r.str(),
+		Value:  data.Value(r.varint()),
+	}
+	flags := r.byte()
+	v.Recovery = flags&verRecovery != 0
+	v.Checkpoint = flags&verCheckpoint != 0
+	return v
+}
+
+func appendChain(dst []byte, chain []data.Version) []byte {
+	dst = appendUvarint(dst, uint64(len(chain)))
+	for _, v := range chain {
+		dst = appendVersion(dst, v)
+	}
+	return dst
+}
+
+func (r *reader) chain() []data.Version {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]data.Version, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		out = append(out, r.version())
+	}
+	return out
+}
+
+// sortedKeys returns the keys of a chains map in sorted order.
+func sortedKeys[V any](m map[data.Key]V) []data.Key {
+	out := make([]data.Key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// appendInit encodes an initial-values map in sorted key order.
+func appendInit(dst []byte, init map[data.Key]data.Value) []byte {
+	dst = appendUvarint(dst, uint64(len(init)))
+	for _, k := range sortedKeys(init) {
+		dst = appendString(dst, string(k))
+		dst = appendVarint(dst, int64(init[k]))
+	}
+	return dst
+}
+
+func (r *reader) initMap() map[data.Key]data.Value {
+	n := r.uvarint()
+	out := make(map[data.Key]data.Value, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k := data.Key(r.str())
+		out[k] = data.Value(r.varint())
+	}
+	return out
+}
+
+// --- control records ----------------------------------------------------
+
+// encodeSpec builds a spec record: a run registration carrying the wfjson
+// spec document and its initial store values, stamped with the highest
+// entry LSN already enqueued (the record's position in the commit order).
+func encodeSpec(dst []byte, stamp int, run string, specJSON []byte, init map[data.Key]data.Value) []byte {
+	dst = append(dst, recSpec)
+	dst = appendUvarint(dst, uint64(stamp))
+	dst = appendString(dst, run)
+	dst = appendBytes(dst, specJSON)
+	return appendInit(dst, init)
+}
+
+func encodeAlert(dst []byte, stamp int, id uint64, bad []wlog.InstanceID) []byte {
+	dst = append(dst, recAlert)
+	dst = appendUvarint(dst, uint64(stamp))
+	dst = appendUvarint(dst, id)
+	dst = appendUvarint(dst, uint64(len(bad)))
+	for _, b := range bad {
+		dst = appendString(dst, string(b))
+	}
+	return dst
+}
+
+func encodeAck(dst []byte, stamp int, ids []uint64) []byte {
+	dst = append(dst, recAck)
+	dst = appendUvarint(dst, uint64(stamp))
+	dst = appendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = appendUvarint(dst, id)
+	}
+	return dst
+}
+
+// RunFrontier is a run's post-repair position, carried by adopt records:
+// recovery rewrote the run's path and moved its frontier to Cur (or
+// completed it).
+type RunFrontier struct {
+	Run  string
+	Cur  wf.TaskID
+	Done bool
+}
+
+// encodeAdopt builds an adopt record: the full replacement chains of the
+// damaged keys a repair installed (empty chain = key deleted) plus the
+// resynced run frontiers. Replaying it reproduces the repair's effect on
+// the store without re-running the repair.
+func encodeAdopt(dst []byte, stamp int, fronts []RunFrontier, chains map[data.Key][]data.Version) []byte {
+	dst = append(dst, recAdopt)
+	dst = appendUvarint(dst, uint64(stamp))
+	dst = appendUvarint(dst, uint64(len(fronts)))
+	for _, f := range fronts {
+		dst = appendString(dst, f.Run)
+		dst = appendString(dst, string(f.Cur))
+		var done byte
+		if f.Done {
+			done = 1
+		}
+		dst = append(dst, done)
+	}
+	dst = appendUvarint(dst, uint64(len(chains)))
+	for _, k := range sortedKeys(chains) {
+		dst = appendString(dst, string(k))
+		dst = appendChain(dst, chains[k])
+	}
+	return dst
+}
+
+// record is one decoded log-stream record.
+type record struct {
+	kind  byte
+	stamp int // highest entry LSN enqueued before this record
+	entry *wlog.Entry
+
+	run  string // spec
+	spec []byte
+	init map[data.Key]data.Value
+
+	alertID uint64 // alert
+	bad     []wlog.InstanceID
+	ackIDs  []uint64 // ack
+
+	fronts []RunFrontier // adopt
+	chains map[data.Key][]data.Version
+}
+
+// decodeRecord decodes one log-stream record payload.
+func decodeRecord(p []byte) (*record, error) {
+	r := &reader{b: p}
+	rec := &record{kind: r.byte()}
+	switch rec.kind {
+	case recEntry:
+		rec.entry = decodeEntryBody(r)
+		rec.stamp = rec.entry.LSN
+	case recSpec:
+		rec.stamp = int(r.uvarint())
+		rec.run = r.str()
+		rec.spec = r.bytes()
+		rec.init = r.initMap()
+	case recAlert:
+		rec.stamp = int(r.uvarint())
+		rec.alertID = r.uvarint()
+		n := r.uvarint()
+		rec.bad = make([]wlog.InstanceID, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			rec.bad = append(rec.bad, wlog.InstanceID(r.str()))
+		}
+	case recAck:
+		rec.stamp = int(r.uvarint())
+		n := r.uvarint()
+		rec.ackIDs = make([]uint64, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			rec.ackIDs = append(rec.ackIDs, r.uvarint())
+		}
+	case recAdopt:
+		rec.stamp = int(r.uvarint())
+		nf := r.uvarint()
+		rec.fronts = make([]RunFrontier, 0, nf)
+		for i := uint64(0); i < nf && r.err == nil; i++ {
+			f := RunFrontier{Run: r.str(), Cur: wf.TaskID(r.str())}
+			f.Done = r.byte() != 0
+			rec.fronts = append(rec.fronts, f)
+		}
+		nc := r.uvarint()
+		rec.chains = make(map[data.Key][]data.Version, nc)
+		for i := uint64(0); i < nc && r.err == nil; i++ {
+			k := data.Key(r.str())
+			rec.chains[k] = r.chain()
+		}
+	default:
+		return nil, fmt.Errorf("durable: unknown record kind %d", rec.kind)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

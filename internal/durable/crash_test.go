@@ -1,0 +1,194 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// finalSegment returns the path and contents of a directory's
+// highest-numbered segment.
+func finalSegment(t testing.TB, dir string) (string, []byte) {
+	t.Helper()
+	nums, err := listNumbered(dir, segPrefix, segSuffix)
+	if err != nil || len(nums) == 0 {
+		t.Fatalf("listing segments in %s: %v (%d found)", dir, err, len(nums))
+	}
+	name := segName(nums[len(nums)-1])
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return name, b
+}
+
+// truncatedCopy clones dir and truncates its final segment to n bytes.
+func truncatedCopy(t testing.TB, dir, segname string, n int) string {
+	t.Helper()
+	cp := copyDir(t, dir)
+	if err := os.Truncate(filepath.Join(cp, segname), int64(n)); err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestTornTailMatrix is the crash-safety exhaustion: the final segment cut
+// at EVERY byte offset must restore exactly the state of the longest
+// record-complete prefix — a torn tail never loses an acknowledged record
+// before it and never invents a partial one after it.
+func TestTornTailMatrix(t *testing.T) {
+	// Two segments so the matrix exercises a final segment that is not the
+	// first; 2 runs × 3 steps keeps the byte matrix small enough to sweep
+	// exhaustively.
+	dir := buildDir(t, Options{SegmentBytes: 300}, 2, 3)
+	segname, seg := finalSegment(t, dir)
+
+	// Record boundaries of the final segment (byte offsets after each
+	// complete frame).
+	boundaries := []int{0}
+	off := 0
+	for off < len(seg) {
+		payloads, valid := splitFrames(seg[off:])
+		if valid == 0 || len(payloads) == 0 {
+			t.Fatalf("final segment not frame-clean at %d", off)
+		}
+		off += frameHeader + len(payloads[0])
+		_ = payloads
+		boundaries = append(boundaries, off)
+		// Re-scan from the new offset only for the first frame each time.
+		if off > len(seg) {
+			t.Fatalf("frame overruns segment: %d > %d", off, len(seg))
+		}
+	}
+	if boundaries[len(boundaries)-1] != len(seg) {
+		t.Fatalf("segment length %d is not a record boundary", len(seg))
+	}
+
+	// Reference states at every record boundary.
+	refs := make(map[int]*State, len(boundaries))
+	for _, b := range boundaries {
+		refs[b] = reopen(t, truncatedCopy(t, dir, segname, b), Options{})
+	}
+
+	// The untruncated restore equals the full-boundary reference.
+	mustEqualStates(t, refs[len(seg)], reopen(t, copyDir(t, dir), Options{}), "untruncated")
+
+	floor := func(n int) int {
+		f := 0
+		for _, b := range boundaries {
+			if b <= n {
+				f = b
+			}
+		}
+		return f
+	}
+	for n := 0; n <= len(seg); n++ {
+		cp := truncatedCopy(t, dir, segname, n)
+		st := reopen(t, cp, Options{})
+		mustEqualStates(t, refs[floor(n)], st, fmt.Sprintf("tail cut at byte %d", n))
+		// The scan must also have repaired the file in place: the segment
+		// now ends exactly at the floor boundary.
+		if info, err := os.Stat(filepath.Join(cp, segname)); err != nil {
+			t.Fatal(err)
+		} else if int(info.Size()) != floor(n) {
+			t.Fatalf("cut at %d: segment truncated to %d, want boundary %d", n, info.Size(), floor(n))
+		}
+	}
+}
+
+// TestTornTailWithGarbage covers the messier crash shape: the tail bytes
+// are not a clean cut but garbage (a partially persisted frame whose CRC
+// cannot match).
+func TestTornTailWithGarbage(t *testing.T) {
+	dir := buildDir(t, Options{}, 2, 3)
+	segname, seg := finalSegment(t, dir)
+	want := reopen(t, copyDir(t, dir), Options{})
+
+	cp := copyDir(t, dir)
+	garbage := append(append([]byte(nil), seg...), 0xde, 0xad, 0xbe, 0xef, 0x01)
+	if err := os.WriteFile(filepath.Join(cp, segname), garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualStates(t, want, reopen(t, cp, Options{}), "garbage tail")
+}
+
+// TestCorruptTailBitFlip flips one byte inside the final record's payload:
+// the CRC must catch it and the restore must fall back to the preceding
+// boundary rather than deliver the damaged record.
+func TestCorruptTailBitFlip(t *testing.T) {
+	dir := buildDir(t, Options{}, 2, 3)
+	segname, seg := finalSegment(t, dir)
+	_, valid := splitFrames(seg)
+	if valid != len(seg) {
+		t.Fatal("segment not clean before the flip")
+	}
+	cp := copyDir(t, dir)
+	flipped := append([]byte(nil), seg...)
+	flipped[len(flipped)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(cp, segname), flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := reopen(t, cp, Options{})
+
+	payloads, _ := splitFrames(seg)
+	lastStart := len(seg) - frameHeader - len(payloads[len(payloads)-1])
+	want := reopen(t, truncatedCopy(t, dir, segname, lastStart), Options{})
+	mustEqualStates(t, want, st, "bit flip in final record")
+}
+
+// TestCorruptionInNonFinalSegmentRefuses: framing damage anywhere but the
+// final segment cannot be a torn write (rotation syncs before creating the
+// successor) and must be reported as hard corruption, not repaired over.
+func TestCorruptionInNonFinalSegmentRefuses(t *testing.T) {
+	dir := buildDir(t, Options{SegmentBytes: 300}, 2, 3)
+	nums, err := listNumbered(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) < 2 {
+		t.Fatalf("need ≥2 segments, got %d", len(nums))
+	}
+	cp := copyDir(t, dir)
+	first := filepath.Join(cp, segName(nums[0]))
+	b, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(first, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(cp, Options{}); err == nil {
+		t.Fatal("corrupt non-final segment restored without error")
+	}
+}
+
+// TestAppendAfterTornTailRestore: a process that crashes mid-batch, then
+// restarts and keeps committing, must produce a directory that restores to
+// the truncated prefix plus the new records — the matrix's "resume" leg.
+func TestAppendAfterTornTailRestore(t *testing.T) {
+	dir := buildDir(t, Options{}, 2, 3)
+	segname, seg := finalSegment(t, dir)
+	// Tear half the final record off.
+	payloads, _ := splitFrames(seg)
+	lastStart := len(seg) - frameHeader - len(payloads[len(payloads)-1])
+	cut := lastStart + (len(seg)-lastStart)/2
+	cp := truncatedCopy(t, dir, segname, cut)
+
+	wal, st, err := Open(cp, Options{})
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	workload(t, wal, st, 0, 0) // appends only the alert/ack/adopt block
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := reopen(t, cp, Options{})
+	if len(st2.Alerts) != len(st.Alerts)+1 {
+		t.Errorf("restored %d pending alerts, want %d", len(st2.Alerts), len(st.Alerts)+1)
+	}
+	if err := st2.Store.CheckIndex(); err != nil {
+		t.Errorf("store index after resume: %v", err)
+	}
+}

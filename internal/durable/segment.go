@@ -1,0 +1,172 @@
+// Segment files and record framing. A WAL directory holds:
+//
+//	wal-%016d.seg   log segments; the number is the 1-based sequence
+//	                number of the segment's first record
+//	snap-%016d.snap snapshots; the number is the sequence number S of
+//	                the last log record the snapshot covers
+//
+// Every record — in segments and snapshots alike — is framed as
+//
+//	[uint32 LE payload length][uint32 LE CRC32-IEEE of payload][payload]
+//
+// so a reader can skip payloads without decoding and detect torn or
+// corrupt tails byte-exactly. A crash can only tear the *last* segment
+// (rotation creates a new segment strictly after the previous one is
+// fully written and synced), so scanning truncates a bad tail there and
+// treats framing damage anywhere else as hard corruption.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const (
+	frameHeader = 8       // length + CRC
+	maxRecord   = 1 << 28 // 256 MiB sanity bound on one payload
+)
+
+// appendFrame wraps payload in the on-disk framing and appends it to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// splitFrames splits b into framed payloads. It returns the payload
+// slices (aliasing b), the byte offset of the first invalid frame, and
+// whether the remainder after that offset is clean (len 0). The caller
+// decides whether a dirty tail is a torn write (truncate) or corruption.
+func splitFrames(b []byte) (payloads [][]byte, validLen int) {
+	off := 0
+	for {
+		if off+frameHeader > len(b) {
+			return payloads, off
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		if n > maxRecord || off+frameHeader+n > len(b) {
+			return payloads, off
+		}
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		payload := b[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, off
+		}
+		payloads = append(payloads, payload)
+		off += frameHeader + n
+	}
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segName(firstSeq uint64) string { return fmt.Sprintf("%s%016d%s", segPrefix, firstSeq, segSuffix) }
+func snapName(seq uint64) string     { return fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix) }
+
+// parseNumbered extracts the sequence number from a segment or snapshot
+// file name.
+func parseNumbered(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	var n uint64
+	if _, err := fmt.Sscanf(mid, "%d", &n); err != nil || len(mid) != 16 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listNumbered returns the sequence numbers of all files in dir matching
+// prefix/suffix, ascending.
+func listNumbered(dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := parseNumbered(e.Name(), prefix, suffix); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// syncDir fsyncs the directory itself so renames and creates survive a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// scannedSegment is one segment's framed payloads as found on disk.
+type scannedSegment struct {
+	path     string
+	firstSeq uint64
+	payloads [][]byte
+	// data retains the file's backing buffer the payloads alias.
+	data []byte
+}
+
+// scanSegments reads every segment in dir, verifies framing and sequence
+// continuity, and truncates a torn tail on the final segment (both the
+// returned payloads and the file itself, so the next writer appends after
+// the last complete record). The returned segments are ordered and their
+// payloads globally dense: segment i+1's first sequence number equals
+// segment i's first plus its record count.
+func scanSegments(dir string) ([]scannedSegment, error) {
+	nums, err := listNumbered(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]scannedSegment, 0, len(nums))
+	for i, n := range nums {
+		path := filepath.Join(dir, segName(n))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		payloads, validLen := splitFrames(b)
+		if validLen != len(b) {
+			if i != len(nums)-1 {
+				return nil, fmt.Errorf("durable: segment %s corrupt at byte %d (not the final segment)", path, validLen)
+			}
+			// Torn tail on the last segment: a crash interrupted the
+			// writer mid-batch. Truncate to the last complete record.
+			if err := os.Truncate(path, int64(validLen)); err != nil {
+				return nil, fmt.Errorf("durable: truncating torn tail of %s: %w", path, err)
+			}
+			b = b[:validLen]
+		}
+		segs = append(segs, scannedSegment{path: path, firstSeq: n, payloads: payloads, data: b})
+	}
+	want := uint64(1)
+	for i, s := range segs {
+		if i == 0 {
+			want = s.firstSeq
+		}
+		if s.firstSeq != want {
+			return nil, fmt.Errorf("durable: segment %s starts at seq %d, want %d (gap or overlap)", s.path, s.firstSeq, want)
+		}
+		want += uint64(len(s.payloads))
+	}
+	return segs, nil
+}

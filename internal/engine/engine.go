@@ -62,6 +62,18 @@ func (r *Run) Done() bool { return r.done }
 // Current returns the task the run will execute next.
 func (r *Run) Current() wf.TaskID { return r.cur }
 
+// VisitCounts returns a copy of the run's per-task visit counters — the
+// state a durable snapshot persists so a restored run keeps minting instance
+// IDs that never collide with entries committed before the snapshot, even
+// though those entries are no longer in the (truncated) log.
+func (r *Run) VisitCounts() map[wf.TaskID]int {
+	out := make(map[wf.TaskID]int, len(r.visits))
+	for t, n := range r.visits {
+		out[t] = n
+	}
+	return out
+}
+
 // Attack describes a corruption of one task instance: when the engine
 // executes the matching instance, it uses the malicious Compute (and Choose,
 // for choice nodes) instead of the specification's.
@@ -189,6 +201,30 @@ func (e *Engine) NewRun(id string, spec *wf.Spec) (*Run, error) {
 		return nil, fmt.Errorf("engine: %w: empty run ID", ErrBadSpec)
 	}
 	return &Run{ID: id, Spec: spec, cur: spec.Start, visits: make(map[wf.TaskID]int)}, nil
+}
+
+// RestoreRun rebuilds a run from externally persisted state: frontier task,
+// visit counters, and completion flags, exactly as captured by VisitCounts/
+// Current/Done/Failed. Unlike Resync it does not consult the log — the
+// durable restore path uses it for runs whose early entries were truncated
+// at a snapshot boundary, where a trace-derived visit count would be wrong.
+func (e *Engine) RestoreRun(id string, spec *wf.Spec, cur wf.TaskID, visits map[wf.TaskID]int, done, failed bool) (*Run, error) {
+	r, err := e.NewRun(id, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !done && !failed {
+		if _, ok := spec.Tasks[cur]; !ok {
+			return nil, fmt.Errorf("engine: restore of %s at unknown task %q", id, cur)
+		}
+	}
+	for t, n := range visits {
+		r.visits[t] = n
+	}
+	r.cur = cur
+	r.done = done || failed
+	r.failed = failed
+	return r, nil
 }
 
 // Resync repositions an in-flight run at a new frontier after recovery

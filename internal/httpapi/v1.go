@@ -77,20 +77,10 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 			serviceError(w, svc, fmt.Errorf("run id is required: %w", engine.ErrBadSpec))
 			return
 		}
-		spec, init, err := wfjson.Build(&req.Spec)
-		if err != nil {
-			serviceError(w, svc, fmt.Errorf("spec: %w: %w", engine.ErrBadSpec, err))
-			return
-		}
-		// Seed declared initial values, first writer wins: keys some run
-		// already committed to keep their committed history.
-		store := svc.Store()
-		for k, v := range init {
-			if _, ok := store.Get(k); !ok {
-				store.Init(k, v)
-			}
-		}
-		if err := svc.SubmitRun(req.ID, spec); err != nil {
+		// SubmitRunSpec validates the document, seeds the declared initial
+		// values (first writer wins) through the commit pipeline and, on a
+		// durable service, persists the spec record before placing the run.
+		if err := svc.SubmitRunSpec(req.ID, &req.Spec); err != nil {
 			serviceError(w, svc, err)
 			return
 		}

@@ -71,6 +71,15 @@ const (
 	// internal/httpapi — the analysis service.
 	MHTTPRequests       = "http_requests_total"
 	MHTTPRequestSeconds = "http_request_seconds"
+
+	// internal/durable — the segmented write-ahead log (Ancora/PAPERS.md).
+	MWalFsyncSeconds    = "wal_fsync_seconds"
+	MWalGroupEntries    = "wal_group_entries"
+	MWalAppendedBytes   = "wal_appended_bytes_total"
+	MWalSegments        = "wal_segments"
+	MWalSnapshots       = "wal_snapshots_total"
+	MWalReplaySeconds   = "wal_replay_seconds_total"
+	MWalReplayedRecords = "wal_replayed_records_total"
 )
 
 // Def describes one cataloged metric: its exposition name (the base name
@@ -143,6 +152,13 @@ func Catalog() []Def {
 		{MShardQuiescedShards, "histogram", "—", "§IV", "Shards paused for one recovery-unit repair (partial quiescence scope)."},
 		{MHTTPRequests, "counter", "—", "—", "HTTP requests served, labeled by route."},
 		{MHTTPRequestSeconds, "histogram", "—", "—", "HTTP request latency across all routes."},
+		{MWalFsyncSeconds, "histogram", "—", "§I", "Wall-clock latency of one group-commit fsync."},
+		{MWalGroupEntries, "histogram", "—", "§II.A", "Records made durable by one fsync (the achieved group-commit fold)."},
+		{MWalAppendedBytes, "counter", "—", "§II.A", "Bytes appended to WAL segments."},
+		{MWalSegments, "gauge", "—", "§I", "Live WAL segment files (grows with appends, shrinks at snapshot retirement)."},
+		{MWalSnapshots, "counter", "—", "§I", "Durable store snapshots written at compaction checkpoints."},
+		{MWalReplaySeconds, "sum", "—", "§I", "Total wall-clock time spent replaying the WAL at boot."},
+		{MWalReplayedRecords, "counter", "—", "§I", "WAL records decoded and replayed at boot (snapshot-covered records are skipped)."},
 	}
 }
 

@@ -59,6 +59,11 @@ type committer struct {
 	reqs     chan commitReq
 	stopCh   chan struct{}
 	doneCh   chan struct{}
+	// sync, when set, is called after every applied batch and exclusive
+	// job, before the submitters are acknowledged — the durable service
+	// points it at WAL.Sync so an acknowledged commit is on disk (the
+	// group-commit writer amortizes one fsync across the whole batch).
+	sync func() error
 
 	batches atomic.Int64 // group commits executed
 	entries atomic.Int64 // entries committed through the pipeline
@@ -144,7 +149,7 @@ func (c *committer) loop() {
 // while folding is deferred until after the batch commits.
 func (c *committer) serve(req commitReq) {
 	if req.fn != nil {
-		req.resp <- req.fn()
+		req.resp <- c.runExclusive(req.fn)
 		return
 	}
 	batch := []commitReq{req}
@@ -154,7 +159,7 @@ fold:
 		case next := <-c.reqs:
 			if next.fn != nil {
 				c.commitBatch(batch)
-				next.resp <- next.fn()
+				next.resp <- c.runExclusive(next.fn)
 				return
 			}
 			batch = append(batch, next)
@@ -175,8 +180,14 @@ func (c *committer) commitBatch(batch []commitReq) {
 		c.batches.Add(1)
 		c.entries.Add(int64(len(ps)))
 		c.obs.record(len(ps))
+		// One durability wait for the whole batch: the WAL's writer
+		// flushes every entry enqueued by the CommitBatch hook with a
+		// single fsync. A sync failure is reported to every submitter —
+		// the commit is applied in memory but no longer guaranteed to
+		// survive a crash.
+		serr := c.syncWAL()
 		for _, r := range batch {
-			r.resp <- nil
+			r.resp <- serr
 		}
 		return
 	}
@@ -189,7 +200,24 @@ func (c *committer) commitBatch(batch []commitReq) {
 			c.batches.Add(1)
 			c.entries.Add(1)
 			c.obs.record(1)
+			e = c.syncWAL()
 		}
 		r.resp <- e
 	}
+}
+
+// runExclusive runs an exclusive job and, on success, waits for the WAL
+// records it enqueued (repair adopt records, forged entries) to reach disk.
+func (c *committer) runExclusive(fn func() error) error {
+	if err := fn(); err != nil {
+		return err
+	}
+	return c.syncWAL()
+}
+
+func (c *committer) syncWAL() error {
+	if c.sync == nil {
+		return nil
+	}
+	return c.sync()
 }

@@ -1,0 +1,539 @@
+// Durable service mode: the sharded self-healing service over a
+// write-ahead log (internal/durable).
+//
+// NewDurable restores the complete system state — store, log suffix,
+// dependence-graph frontier, registered specs, run frontiers, un-acked
+// alerts — from the WAL directory's latest snapshot plus a
+// snapshot-bounded parallel replay, then wires the service so every state
+// transition is logged ahead of acknowledgement:
+//
+//   - committed entries ride the log's OnAppend hook into the WAL, and the
+//     commit pipeline's sync hook blocks each acknowledgement on the
+//     group-commit fsync (one fsync per batch, not per entry);
+//   - run registrations write a spec record (with the initial values
+//     actually seeded) before the run is placed, so a replayed entry never
+//     references an unregistered run;
+//   - admitted alerts write an alert record before queueing and an ack
+//     record only after every recovery unit of their batch completed, so a
+//     crash mid-repair re-queues the batch and re-runs the idempotent
+//     repair;
+//   - repair installations write an adopt record (replacement chains +
+//     resynced frontiers) inside the commit pipeline — repairs produce no
+//     log entries, so the record is the only durable trace of the rewrite.
+//
+// Checkpoints (Service.Checkpoint, or automatic via Config.SnapshotEvery)
+// quiesce the shards briefly, capture a Snapshot through the commit
+// pipeline, write it, and compact the store at the snapshot epoch; the WAL
+// retires every segment the snapshot covers. See docs/DURABILITY.md.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"selfheal/internal/data"
+	"selfheal/internal/deps"
+	"selfheal/internal/durable"
+	"selfheal/internal/engine"
+	"selfheal/internal/recovery"
+	"selfheal/internal/triage"
+	"selfheal/internal/wf"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// NewDurable builds a sharded service backed by the WAL directory dir,
+// restoring any state a previous process persisted there. Call Start to
+// spin up the workers (restored active runs resume stepping, restored
+// pending alerts re-enter triage) and Stop to flush and close the WAL.
+func NewDurable(cfg Config, dir string, dopts durable.Options) (*Service, error) {
+	cfg = cfg.withDefaults()
+	wal, st, err := durable.Open(dir, dopts)
+	if err != nil {
+		return nil, err
+	}
+	eng := engine.New(st.Store, st.Log)
+	s := &Service{
+		cfg: cfg,
+		eng: eng,
+		// The graph resumes from the snapshot frontier and folds only the
+		// restored log suffix (the OnAppend catch-up), not the full
+		// history.
+		graph:          deps.NewIncrementalFrom(st.Log, st.Graph),
+		com:            newCommitter(eng, cfg.BatchMax, cfg.CommitQueue),
+		specs:          make(map[string]*wf.Spec, len(st.Workflows)),
+		alerts:         make(chan alert, cfg.AlertBuf),
+		cover:          triage.NewCoverage(),
+		pendingKeys:    make(map[string]int),
+		stopCh:         make(chan struct{}),
+		wal:            wal,
+		liveAlerts:     make(map[uint64][]wlog.InstanceID, len(st.Alerts)),
+		specStates:     make(map[string]durable.SpecState, len(st.Specs)),
+		preEpoch:       st.PreEpoch,
+		durableEpoch:   st.Epoch,
+		restoredAlerts: st.Alerts,
+		ckptCh:         make(chan chan error),
+	}
+	// Attach the WAL after the graph: OnAppend hooks run in subscription
+	// order, and the graph must observe an entry before its record can be
+	// flushed (the graph is snapshot state; the WAL record is its replay).
+	wal.AttachLog(st.Log)
+	s.com.sync = wal.Sync
+	s.exec = newExecutor(eng, s.com, cfg.Shards, cfg.Inbox, cfg.DeferMax)
+
+	for id, sp := range st.Workflows {
+		s.specs[id] = sp
+	}
+	for id, ss := range st.Specs {
+		s.specStates[id] = ss
+	}
+	for _, pa := range st.Alerts {
+		s.liveAlerts[pa.ID] = pa.Bad
+	}
+
+	ids := make([]string, 0, len(st.Runs))
+	for id := range st.Runs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var resume []*runState
+	for _, id := range ids {
+		rs := st.Runs[id]
+		spec := st.Workflows[id]
+		if spec == nil {
+			_ = wal.Close()
+			return nil, fmt.Errorf("shard: restored run %s has no spec", id)
+		}
+		status := RunActive
+		switch rs.Status {
+		case durable.RunDone:
+			status = RunDone
+		case durable.RunFailed:
+			status = RunFailed
+		}
+		r, err := eng.RestoreRun(id, spec, rs.Cur, rs.Visits, status == RunDone, status == RunFailed)
+		if err != nil {
+			_ = wal.Close()
+			return nil, fmt.Errorf("shard: restoring run %s: %w", id, err)
+		}
+		if placed := s.exec.adoptRestored(r, spec, status, rs.Err); placed != nil {
+			resume = append(resume, placed)
+		}
+		s.metrics.RunsSubmitted++
+	}
+	// Deliveries sit in the (buffered) inboxes until Start spins the
+	// workers up.
+	s.exec.deliver(resume)
+	return s, nil
+}
+
+// ReplayStats reports the cost of the boot-time restore: how many WAL
+// records were replayed past the snapshot and how long the restore took.
+func (s *Service) ReplayStats() (records int, d time.Duration) {
+	if s.wal == nil {
+		return 0, 0
+	}
+	return s.wal.Replayed()
+}
+
+// SubmitRunSpec registers a workflow run from its wfjson document — the
+// durable submission path (POST /api/v1/runs). The spec record (including
+// the initial store values actually seeded) is written and synced before
+// the run is placed, so the registration survives any crash that could
+// have produced entries for the run. On a non-durable service it degrades
+// to init seeding plus SubmitRun. Errors wrap engine.ErrBadSpec,
+// engine.ErrRunExists or ErrQueueFull.
+func (s *Service) SubmitRunSpec(id string, sj *wfjson.SpecJSON) error {
+	spec, init, err := wfjson.Build(sj)
+	if err != nil {
+		return fmt.Errorf("shard: run %s spec: %w: %w", id, engine.ErrBadSpec, err)
+	}
+	if s.wal == nil {
+		// Seed declared initial values through the commit pipeline (first
+		// writer wins): exclusive with group commits, so a concurrent
+		// commit can never slip a version under the Init.
+		store := s.Store()
+		if err := s.com.exec(func() error {
+			for k, v := range init {
+				if _, ok := store.Get(k); !ok {
+					store.Init(k, v)
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		return s.SubmitRun(id, spec)
+	}
+
+	// submitMu serializes durable submissions against each other and
+	// against checkpoints: between the admission pre-check and the actual
+	// submit, conflicts only shrink, and a snapshot never lands between
+	// the spec record and the run's registration.
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+
+	s.mu.Lock()
+	if _, dup := s.specs[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("shard: run %s: %w", id, engine.ErrRunExists)
+	}
+	s.mu.Unlock()
+	if !s.exec.canAdmit(footprint(spec)) {
+		return fmt.Errorf("shard: run %s conflicts across shards and the deferred queue is full: %w", id, ErrQueueFull)
+	}
+	doc, err := json.Marshal(sj)
+	if err != nil {
+		return fmt.Errorf("shard: run %s spec: %w: %w", id, engine.ErrBadSpec, err)
+	}
+
+	// Seed inits exclusively with commits, recording the applied subset —
+	// the spec record must replay exactly the Inits that happened, not the
+	// ones the document declares (a key may already have committed
+	// history).
+	applied := make(map[data.Key]data.Value)
+	store := s.Store()
+	if err := s.com.exec(func() error {
+		for k, v := range init {
+			if _, ok := store.Get(k); !ok {
+				store.Init(k, v)
+				applied[k] = v
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := s.wal.AppendSpec(id, doc, applied); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	s.specs[id] = spec
+	s.specStates[id] = durable.SpecState{JSON: doc, Init: applied}
+	s.mu.Unlock()
+	if err := s.exec.submit(id, spec); err != nil {
+		// Unreachable in practice: duplicates and queue capacity were
+		// checked under submitMu. Unregister so the in-memory maps stay
+		// consistent; the orphaned spec record restores an idle run.
+		s.mu.Lock()
+		delete(s.specs, id)
+		delete(s.specStates, id)
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.metrics.RunsSubmitted++
+	s.mu.Unlock()
+	return nil
+}
+
+// Checkpoint forces a durable snapshot now: shards quiesce briefly while
+// the state is captured, the snapshot file is written and synced, the
+// store is compacted at the snapshot epoch and covered WAL segments are
+// retired. Returns an error on a non-durable service.
+func (s *Service) Checkpoint(ctx context.Context) error {
+	if s.wal == nil {
+		return fmt.Errorf("shard: service has no durable WAL")
+	}
+	resp := make(chan error, 1)
+	select {
+	case s.ckptCh <- resp:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.stopCh:
+		return durable.ErrClosed
+	}
+	select {
+	case err := <-resp:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// checkpoint runs on the recovery goroutine (never concurrent with a
+// repair): quiesce, capture, write, compact.
+func (s *Service) checkpoint() error {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+
+	s.mu.Lock()
+	held := s.gateHeld
+	s.mu.Unlock()
+	if !held {
+		s.exec.pauseAll()
+	}
+	var snap *durable.Snapshot
+	err := s.com.exec(func() error {
+		snap = s.gatherSnapshot()
+		return nil
+	})
+	if !held {
+		s.exec.resumeAll()
+	}
+	if err != nil {
+		// The committer's sync hook failed: records at or below the
+		// captured Seq are not known durable, so the snapshot must not
+		// claim to cover them.
+		return err
+	}
+	if err := s.wal.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	// Only after the snapshot is durable may the store forget the history
+	// it covers. CompactBefore keeps the latest version at or below the
+	// horizon as a checkpoint version — repairs of post-epoch damage still
+	// read correct pre-state values.
+	if err := s.com.exec(func() error {
+		s.eng.Store().CompactBefore(float64(snap.Epoch))
+		return nil
+	}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.durableEpoch = snap.Epoch
+	s.mu.Unlock()
+	return nil
+}
+
+// gatherSnapshot captures the full system state. Runs on the committer
+// goroutine with every shard quiesced and submitMu held: no commit, spec
+// record or frontier mutation is in flight. Alert records are the one
+// concurrent writer, so Seq and the live-alert set are captured together
+// under alertMu — an alert admitted after the capture has a record beyond
+// Seq and replays from the log.
+func (s *Service) gatherSnapshot() *durable.Snapshot {
+	snap := &durable.Snapshot{
+		Epoch:  s.eng.Log().Len(),
+		Chains: s.eng.Store().ChainsCopy(),
+		Graph:  s.graph.Frontier(),
+		Specs:  make(map[string]durable.SpecState),
+		Runs:   s.exec.runSnapshots(),
+	}
+	s.mu.Lock()
+	for id, ss := range s.specStates {
+		snap.Specs[id] = ss
+	}
+	s.mu.Unlock()
+	s.alertMu.Lock()
+	snap.Seq = s.wal.Seq()
+	snap.Alerts = make(map[uint64][]wlog.InstanceID, len(s.liveAlerts))
+	for id, bad := range s.liveAlerts {
+		snap.Alerts[id] = append([]wlog.InstanceID(nil), bad...)
+	}
+	s.alertMu.Unlock()
+	return snap
+}
+
+// snapshotLoop drives automatic checkpoints: once SnapshotEvery entries
+// have committed past the latest snapshot, a checkpoint request is queued
+// to the recovery goroutine.
+func (s *Service) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		}
+		if s.wal.EntriesSinceSnapshot() < s.cfg.SnapshotEvery {
+			continue
+		}
+		resp := make(chan error, 1)
+		select {
+		case s.ckptCh <- resp:
+		case <-s.stopCh:
+			return
+		}
+		select {
+		case err := <-resp:
+			if err != nil {
+				s.mu.Lock()
+				s.lastRecovery = fmt.Errorf("shard: checkpoint failed: %w", err)
+				s.mu.Unlock()
+			}
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// feedRestoredAlerts re-queues the alerts a previous process admitted but
+// never acked. Alerts naming instances before the snapshot horizon cannot
+// be analyzed against the truncated log: they are acked and counted lost.
+func (s *Service) feedRestoredAlerts() {
+	defer s.wg.Done()
+	for _, pa := range s.restoredAlerts {
+		valid := true
+		for _, id := range pa.Bad {
+			if _, ok := s.eng.Log().Get(id); !ok {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			s.mu.Lock()
+			s.metrics.AlertsLost++
+			s.mu.Unlock()
+			s.o.lost.Inc()
+			s.ackAlerts([]uint64{pa.ID})
+			continue
+		}
+		for {
+			s.mu.Lock()
+			if len(s.alerts) < cap(s.alerts) {
+				s.alerts <- alert{bad: pa.Bad, walID: pa.ID}
+				s.alertsQueued++
+				s.metrics.AlertsReported++
+				s.o.alertDepth.Set(int64(s.alertsQueued))
+				s.mu.Unlock()
+				s.o.reported.Inc()
+				break
+			}
+			s.mu.Unlock()
+			select {
+			case <-s.stopCh:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+}
+
+// unitGroupDone retires one unit from its alert batch's ack group and
+// writes the ack record when the whole batch has completed.
+func (s *Service) unitGroupDone(g *ackGroup) {
+	s.alertMu.Lock()
+	g.remaining--
+	done := g.remaining == 0
+	s.alertMu.Unlock()
+	if done {
+		s.ackAlerts(g.ids)
+	}
+}
+
+// ackAlerts marks alert IDs repaired: dropped from the live set and logged
+// as an ack record. The record is not synced — losing it only re-runs an
+// idempotent repair after a crash.
+func (s *Service) ackAlerts(ids []uint64) {
+	s.alertMu.Lock()
+	defer s.alertMu.Unlock()
+	for _, id := range ids {
+		delete(s.liveAlerts, id)
+	}
+	// A write failure here is deliberately ignored: the WAL error is
+	// sticky and surfaces on the next commit acknowledgement.
+	_ = s.wal.AppendAck(ids)
+}
+
+// executeDurable is the durable repair path: always damage-scoped (a
+// whole-store swap has no WAL representation), installed via AdoptChains
+// plus an adopt record, and refused with recovery.ErrHorizon when the
+// repair would need history the snapshot horizon truncated.
+func (s *Service) executeDurable(u *unit) error {
+	dkeys := s.damageKeyClosure(u)
+	s.mu.Lock()
+	specs := s.specsCopyLocked()
+	epoch := s.durableEpoch
+	pre := s.preEpoch
+	s.mu.Unlock()
+
+	// Boot-horizon refusal: a repair whose damage closure touches a run
+	// with pre-snapshot commits would resync that run against a truncated
+	// trace (wrong visit counters, invisible early writes). Refuse loudly
+	// rather than install a silently wrong repair.
+	for run := range pre {
+		sp := specs[run]
+		if sp == nil {
+			continue
+		}
+		for _, k := range recovery.Footprint(sp) {
+			if dkeys[k] {
+				return fmt.Errorf("shard: damage closure reaches run %s with history before the boot snapshot (epoch %d): %w",
+					run, epoch, recovery.ErrHorizon)
+			}
+		}
+	}
+
+	gateHeld := s.cfg.Strict // handleBatch already quiesced every shard
+	var paused []int
+	if !gateHeld {
+		paused = s.exec.beginRecovery(dkeys)
+	}
+	quiesceStart := time.Now()
+	g := s.graph.Snapshot()
+	ropts := s.cfg.Repair
+	ropts.ScopeToDamage = true
+	ropts.Epoch = g.Epoch()
+	// Defense in depth: the store was compacted at the checkpoint epoch;
+	// an undo that needs an older version fails with ErrHorizon instead of
+	// misattributing the missing history to an earlier repair.
+	ropts.CompactionHorizon = float64(epoch)
+	if ropts.Parallel == 0 {
+		ropts.Parallel = s.cfg.Shards
+	}
+	res, err := recovery.RepairGraph(g, s.eng.Store(), s.eng.Log(), specs, u.bad, ropts)
+	if err == nil && (gateHeld || coveredBy(res.DamagedKeys, dkeys)) {
+		err = s.com.exec(func() error { return s.installDurable(res, specs) })
+		if gateHeld {
+			s.observeQuiesce(quiesceStart, s.cfg.Shards)
+		} else {
+			s.exec.endRecovery(paused)
+			s.observeQuiesce(quiesceStart, len(paused))
+		}
+		return err
+	}
+	if !gateHeld {
+		s.exec.endRecovery(paused)
+		s.observeQuiesce(quiesceStart, len(paused))
+	}
+	if err != nil {
+		return err
+	}
+
+	// Coverage violation: the damage escaped the quiesced key set. Redo
+	// under full quiescence — still damage-scoped, so the installation
+	// keeps its adopt record.
+	s.exec.pauseAll()
+	quiesceStart = time.Now()
+	g = s.graph.Snapshot()
+	ropts.Epoch = g.Epoch()
+	res, err = recovery.RepairGraph(g, s.eng.Store(), s.eng.Log(), specs, u.bad, ropts)
+	if err == nil {
+		err = s.com.exec(func() error { return s.installDurable(res, specs) })
+	}
+	s.observeQuiesce(quiesceStart, s.cfg.Shards)
+	s.exec.resumeAll()
+	return err
+}
+
+// installDurable merges a scoped repair into the live store and writes the
+// adopt record: the replacement chain of every damaged key (nil = deleted)
+// plus the resynced run frontiers. Runs inside com.exec, so the record
+// lands before any later commit's entry record and the pipeline's sync
+// hook makes it durable before the unit completes.
+func (s *Service) installDurable(res *recovery.Result, specs map[string]*wf.Spec) error {
+	s.eng.Store().AdoptChains(res.Store, res.DamagedKeys)
+	fronts, err := s.resyncActive(res, specs)
+	if err != nil {
+		return err
+	}
+	chains := make(map[data.Key][]data.Version, len(res.DamagedKeys))
+	for _, k := range res.DamagedKeys {
+		chains[k] = res.Store.Chain(k)
+	}
+	if err := s.wal.AppendAdopt(fronts, chains); err != nil {
+		return err
+	}
+	s.recordRepairStats(res)
+	return nil
+}

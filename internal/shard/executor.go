@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"selfheal/internal/data"
+	"selfheal/internal/durable"
 	"selfheal/internal/engine"
 	"selfheal/internal/obs"
 	"selfheal/internal/wf"
@@ -271,6 +272,71 @@ func (x *executor) submit(id string, spec *wf.Spec) error {
 	// must never block the submitter.
 	x.deliver([]*runState{rs})
 	return nil
+}
+
+// canAdmit reports whether a run with the given footprint would be accepted
+// right now: placeable on some shard, or deferrable within deferMax. The
+// durable submit path checks this before writing the spec record, while
+// holding the submit mutex — no other submission can run, and retiring runs
+// only shrink conflicts and drain the deferred queue, so a true answer
+// cannot turn false before the actual submit.
+func (x *executor) canAdmit(keys []data.Key) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, ok := x.placeLocked(&runState{keys: keys}); ok {
+		return true
+	}
+	return len(x.deferred) < x.deferMax
+}
+
+// adoptRestored registers a run rebuilt from a durable snapshot and replay.
+// Retired runs (done/failed) are registered for RunInfo lookups only; live
+// runs are placed like fresh submissions, except that restore never
+// rejects — a run that cannot be placed goes to the deferred queue even
+// past deferMax, because it was already admitted in a previous life.
+// Returns the run to deliver once the workers start (nil when retired or
+// deferred).
+func (x *executor) adoptRestored(r *engine.Run, spec *wf.Spec, status RunStatus, errMsg string) *runState {
+	rs := &runState{run: r, keys: footprint(spec), shard: -1, state: status}
+	if errMsg != "" {
+		rs.err = errors.New(errMsg)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.runs[r.ID] = rs
+	if status == RunDone || status == RunFailed {
+		rs.shard = 0
+		return nil
+	}
+	if shard, ok := x.placeLocked(rs); ok {
+		x.claimLocked(rs, shard)
+		return rs
+	}
+	rs.state = RunDeferred
+	x.deferred = append(x.deferred, rs)
+	x.obs.deferred.Set(int64(len(x.deferred)))
+	return nil
+}
+
+// runSnapshots captures every submitted run's durable state. Callers must
+// hold all shards quiesced: the run objects' frontiers and visit counters
+// are read without their owning workers' cooperation.
+func (x *executor) runSnapshots() map[string]durable.RunState {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make(map[string]durable.RunState, len(x.runs))
+	for id, rs := range x.runs {
+		st := durable.RunState{
+			Cur:    rs.run.Current(),
+			Visits: rs.run.VisitCounts(),
+			Status: rs.state.String(),
+		}
+		if rs.err != nil {
+			st.Err = rs.err.Error()
+		}
+		out[id] = st
+	}
+	return out
 }
 
 // deliver hands placed runs to their shards' inboxes without ever blocking

@@ -10,6 +10,7 @@ import (
 
 	"selfheal/internal/data"
 	"selfheal/internal/deps"
+	"selfheal/internal/durable"
 	"selfheal/internal/engine"
 	"selfheal/internal/obs"
 	"selfheal/internal/recovery"
@@ -50,6 +51,11 @@ type Config struct {
 	// per-alert pipeline the §V CTMC models. See internal/triage and
 	// docs/TRIAGE.md.
 	Triage triage.Options
+	// SnapshotEvery triggers an automatic durable checkpoint once this
+	// many log entries have committed beyond the latest snapshot. Durable
+	// services only (NewDurable); 0 disables automatic checkpoints —
+	// restores replay the whole log. See docs/DURABILITY.md.
+	SnapshotEvery int
 	// Strict selects the paper's strict-correctness strategy (Theorem-4
 	// gating): every shard quiesces for the whole SCAN and RECOVERY
 	// period, so no normal task executes while recovery work is known or
@@ -131,6 +137,19 @@ type RunInfo struct {
 // alert is one queued IDS report.
 type alert struct {
 	bad []wlog.InstanceID
+	// walID is the alert's durable WAL record ID (0 when the service has
+	// no WAL or the record could not be written). Restarts re-queue every
+	// alert whose ID was never acked.
+	walID uint64
+}
+
+// ackGroup tracks one drained alert batch's durable acknowledgement: the
+// ack record is written only after EVERY unit the batch produced has
+// completed, so a crash mid-batch re-queues all of its alerts. Guarded by
+// Service.alertMu.
+type ackGroup struct {
+	ids       []uint64
+	remaining int
 }
 
 // unit is one analyzed unit of recovery tasks.
@@ -140,6 +159,9 @@ type unit struct {
 	// release re-arms the covered-alert prefilter when the unit completes;
 	// nil when Triage.Prefilter is off.
 	release func()
+	// group refcounts the durable ack for the alert batch this unit came
+	// from; nil in non-durable mode.
+	group *ackGroup
 }
 
 // Service is the concurrent self-healing workflow service: N shard workers
@@ -184,6 +206,24 @@ type Service struct {
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
+
+	// Durable mode (NewDurable); all nil/zero otherwise. wal is the
+	// write-ahead log every commit is synced through; specStates keeps the
+	// registered wfjson documents for checkpoints; preEpoch marks runs
+	// whose pre-snapshot history was truncated at boot (repairs touching
+	// their footprints are refused with recovery.ErrHorizon). submitMu
+	// serializes durable submissions against checkpoints; alertMu guards
+	// liveAlerts and the WAL alert/ack records; durableEpoch (under mu) is
+	// the store's current compaction horizon.
+	wal            *durable.WAL
+	submitMu       sync.Mutex
+	alertMu        sync.Mutex
+	liveAlerts     map[uint64][]wlog.InstanceID
+	specStates     map[string]durable.SpecState
+	preEpoch       map[string]bool
+	durableEpoch   int
+	restoredAlerts []durable.PendingAlert
+	ckptCh         chan chan error
 
 	o svcObs
 }
@@ -272,6 +312,9 @@ func (s *Service) Observe(reg *obs.Registry) {
 	s.exec.obs = execObs{steps: s.o.stepsByShard, active: s.o.activeByShard,
 		deferred: s.o.deferDpth, completed: s.o.runsCompleted, failed: s.o.runsFailed}
 	s.com.obs = comObs{batches: s.o.batches, entries: s.o.entries}
+	if s.wal != nil {
+		s.wal.Observe(reg)
+	}
 }
 
 // Engine exposes the underlying engine (attack injection in tests goes
@@ -292,6 +335,16 @@ func (s *Service) Start() {
 		s.exec.start()
 		s.wg.Add(1)
 		go s.recoveryLoop()
+		if s.wal != nil {
+			if len(s.restoredAlerts) > 0 {
+				s.wg.Add(1)
+				go s.feedRestoredAlerts()
+			}
+			if s.cfg.SnapshotEvery > 0 {
+				s.wg.Add(1)
+				go s.snapshotLoop()
+			}
+		}
 	})
 }
 
@@ -304,12 +357,23 @@ func (s *Service) Stop() {
 		s.wg.Wait()
 		s.exec.stop()
 		s.com.stop()
+		if s.wal != nil {
+			// Flush and close the WAL last: the committer's final batches
+			// have synced through it.
+			_ = s.wal.Close()
+		}
 	})
 }
 
 // SubmitRun registers a workflow run for sharded execution. Errors wrap
 // engine.ErrBadSpec, engine.ErrRunExists or ErrQueueFull.
 func (s *Service) SubmitRun(id string, spec *wf.Spec) error {
+	if s.wal != nil {
+		// A bare *wf.Spec has no serializable form: the WAL could not
+		// write a spec record and a restore would reject the run's
+		// entries. Durable submissions must carry the wfjson document.
+		return fmt.Errorf("shard: run %s: durable service requires SubmitRunSpec: %w", id, engine.ErrBadSpec)
+	}
 	s.mu.Lock()
 	if _, dup := s.specs[id]; dup {
 		s.mu.Unlock()
@@ -406,31 +470,57 @@ func (s *Service) ReportAlerts(alerts []triage.Alert) (admitted, dropped int, er
 			}
 		}
 	}
+	wrote := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, a := range alerts {
 		s.metrics.AlertsReported++
 		s.o.reported.Inc()
 		if s.cfg.Triage.Dedupe && s.pendingKeys[triage.Key(a.Bad)] > 0 {
+			// Absorbed by a queued twin; the twin's durable record (if
+			// any) covers the same repair, so no WAL record is written.
 			s.metrics.AlertsDeduped++
 			s.o.deduped.Inc()
 			admitted++
 			continue
 		}
-		select {
-		case s.alerts <- alert{bad: a.Bad}:
-			s.alertsQueued++
-			if s.cfg.Triage.Dedupe {
-				s.pendingKeys[triage.Key(a.Bad)]++
-			}
-			admitted++
-		default:
+		// Every send happens under s.mu, so the capacity check cannot race
+		// another admitter; the send below can never block.
+		if len(s.alerts) == cap(s.alerts) {
 			s.metrics.AlertsLost++
 			s.o.lost.Inc()
 			dropped++
+			continue
 		}
+		var walID uint64
+		if s.wal != nil {
+			// The record precedes the queueing: a crash after this point
+			// re-queues the alert at restart. A WAL write failure degrades
+			// to in-memory admission (walID 0) — the sticky WAL error
+			// surfaces on the commit path.
+			s.alertMu.Lock()
+			if id, werr := s.wal.AppendAlert(a.Bad); werr == nil {
+				s.liveAlerts[id] = a.Bad
+				walID = id
+				wrote = true
+			}
+			s.alertMu.Unlock()
+		}
+		s.alerts <- alert{bad: a.Bad, walID: walID}
+		s.alertsQueued++
+		if s.cfg.Triage.Dedupe {
+			s.pendingKeys[triage.Key(a.Bad)]++
+		}
+		admitted++
 	}
 	s.o.alertDepth.Set(int64(s.alertsQueued))
+	s.mu.Unlock()
+	if wrote {
+		// Make the admissions durable before acknowledging the reporter,
+		// outside s.mu so analysis is never blocked on the fsync.
+		if err := s.wal.Sync(); err != nil {
+			return admitted, dropped, err
+		}
+	}
 	return admitted, dropped, nil
 }
 
@@ -574,12 +664,17 @@ func (s *Service) recoveryLoop() {
 	defer s.wg.Done()
 	defer s.releaseGate()
 	for {
-		// Alerts first: SCAN precedes RECOVERY.
+		// Alerts first: SCAN precedes RECOVERY. Checkpoint requests (nil
+		// channel on non-durable services) are served between units so a
+		// snapshot never interleaves with a repair installation.
 		select {
 		case <-s.stopCh:
 			return
 		case a := <-s.alerts:
 			s.handleBatch(s.drainAlerts(a))
+			continue
+		case resp := <-s.ckptCh:
+			resp <- s.checkpoint()
 			continue
 		default:
 		}
@@ -595,6 +690,8 @@ func (s *Service) recoveryLoop() {
 			return
 		case a := <-s.alerts:
 			s.handleBatch(s.drainAlerts(a))
+		case resp := <-s.ckptCh:
+			resp <- s.checkpoint()
 		}
 	}
 }
@@ -723,6 +820,28 @@ func (s *Service) handleBatch(batch []alert) {
 		s.o.coalesceRatio.Observe(float64(len(survivors)) / float64(len(cones)))
 	}
 
+	if s.wal != nil {
+		// Durable acknowledgement rides the whole drained batch: the ack
+		// record is written only after every unit completes (prefiltered
+		// alerts are covered by an in-flight unit and ack with the batch).
+		var ids []uint64
+		for _, a := range batch {
+			if a.walID != 0 {
+				ids = append(ids, a.walID)
+			}
+		}
+		if len(ids) > 0 {
+			if len(units) == 0 {
+				s.ackAlerts(ids)
+			} else {
+				grp := &ackGroup{ids: ids, remaining: len(units)}
+				for _, u := range units {
+					u.group = grp
+				}
+			}
+		}
+	}
+
 	perAlert := time.Since(start).Seconds() / float64(len(batch))
 	s.mu.Lock()
 	s.analyzing = false
@@ -778,14 +897,20 @@ func (s *Service) executeUnit() {
 		s.mu.Lock()
 		s.executing = false
 		s.mu.Unlock()
+		if u.group != nil {
+			s.unitGroupDone(u.group)
+		}
 	}()
 
 	var err error
-	if s.cfg.Strict {
+	switch {
+	case s.wal != nil:
+		err = s.executeDurable(u)
+	case s.cfg.Strict:
 		quiesceStart := time.Now()
 		err = s.repairFullyQuiesced(u)
 		s.observeQuiesce(quiesceStart, s.cfg.Shards)
-	} else {
+	default:
 		err = s.executePartial(u)
 	}
 	if err != nil {
@@ -868,7 +993,7 @@ func (s *Service) repairFullyQuiesced(u *unit) error {
 			return err
 		}
 		s.eng.SwapStore(res.Store)
-		if err := s.resyncActive(res, specs); err != nil {
+		if _, err := s.resyncActive(res, specs); err != nil {
 			return err
 		}
 		s.recordRepairStats(res)
@@ -882,7 +1007,7 @@ func (s *Service) repairFullyQuiesced(u *unit) error {
 // chains, never a torn mix.
 func (s *Service) installScoped(res *recovery.Result, specs map[string]*wf.Spec) error {
 	s.eng.Store().AdoptChains(res.Store, res.DamagedKeys)
-	if err := s.resyncActive(res, specs); err != nil {
+	if _, err := s.resyncActive(res, specs); err != nil {
 		return err
 	}
 	s.recordRepairStats(res)
@@ -893,17 +1018,20 @@ func (s *Service) installScoped(res *recovery.Result, specs map[string]*wf.Spec)
 // corrected frontier. A scoped repair produces schedule actions only for
 // damaged-component runs, whose owning shards are paused — Frontier returns
 // ok=false for every run on a still-stepping shard, which is only skipped.
-func (s *Service) resyncActive(res *recovery.Result, specs map[string]*wf.Spec) error {
+// The returned frontiers feed the durable adopt record (ignored otherwise).
+func (s *Service) resyncActive(res *recovery.Result, specs map[string]*wf.Spec) ([]durable.RunFrontier, error) {
+	var fronts []durable.RunFrontier
 	for _, rs := range s.exec.activeRuns() {
 		cur, done, ok := res.Frontier(rs.run.ID, specs[rs.run.ID])
 		if !ok {
 			continue
 		}
 		if e := s.eng.Resync(rs.run, cur, done); e != nil {
-			return fmt.Errorf("resync %s: %w", rs.run.ID, e)
+			return nil, fmt.Errorf("resync %s: %w", rs.run.ID, e)
 		}
+		fronts = append(fronts, durable.RunFrontier{Run: rs.run.ID, Cur: cur, Done: done})
 	}
-	return nil
+	return fronts, nil
 }
 
 func (s *Service) recordRepairStats(res *recovery.Result) {

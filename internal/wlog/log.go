@@ -73,7 +73,10 @@ func (e *Entry) ID() InstanceID {
 
 // Log is the append-only system log. Safe for concurrent use.
 type Log struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	// base is the LSN of the last entry truncated away beneath this log
+	// (0 for a complete log): entries holds LSNs base+1..base+len(entries).
+	base    int
 	entries []*Entry
 	byInst  map[InstanceID]*Entry
 	// byRun indexes entries per run (forged included) so Trace and Succ
@@ -114,7 +117,21 @@ func (l *Log) Observe(reg *obs.Registry) {
 
 // New returns an empty log.
 func New() *Log {
+	return NewAt(0)
+}
+
+// NewAt returns an empty log whose first appended entry will receive LSN
+// base+1. A nonzero base reconstructs a log whose prefix has been truncated
+// at a durable-snapshot boundary (internal/durable): the entries at or below
+// base live only inside the snapshot's store state, so lookups for them miss
+// and traces cover only the suffix — exactly the compaction semantics of
+// data.Store.CompactBefore, applied to the log.
+func NewAt(base int) *Log {
+	if base < 0 {
+		base = 0
+	}
 	return &Log{
+		base:   base,
 		byInst: make(map[InstanceID]*Entry),
 		byRun:  make(map[string][]*Entry),
 	}
@@ -150,7 +167,7 @@ func (l *Log) AppendBatch(entries []*Entry) (int, error) {
 		}
 		seen[id] = true
 	}
-	first := len(l.entries) + 1
+	first := l.base + len(l.entries) + 1
 	for i, e := range entries {
 		e.LSN = first + i
 		l.entries = append(l.entries, e)
@@ -190,11 +207,35 @@ func (l *Log) OnAppend(fn func(*Entry)) {
 	l.hooks = append(l.hooks, fn)
 }
 
-// Len returns the number of committed entries.
+// Len returns the highest assigned LSN: the number of entries ever
+// committed, including any truncated prefix beneath a base offset (NewAt).
+// For a complete log this is simply the entry count.
 func (l *Log) Len() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return len(l.entries)
+	return l.base + len(l.entries)
+}
+
+// Base returns the LSN beneath which entries have been truncated away
+// (0 for a complete log). Entries, Trace and Get cover only LSNs above it.
+func (l *Log) Base() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base
+}
+
+// Range invokes fn for each committed entry in LSN order until fn returns
+// false, without materializing a copy of the entry slice — the streaming
+// iteration the snapshot encoders use. fn runs under the log's read lock and
+// must not call back into the log.
+func (l *Log) Range(fn func(*Entry) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, e := range l.entries {
+		if !fn(e) {
+			return
+		}
+	}
 }
 
 // Entries returns the committed entries in LSN order. The slice is a copy;

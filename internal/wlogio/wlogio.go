@@ -38,10 +38,11 @@ type entryJSON struct {
 
 // versionJSON mirrors data.Version.
 type versionJSON struct {
-	Pos      float64 `json:"pos"`
-	Writer   string  `json:"writer,omitempty"`
-	Value    int64   `json:"value"`
-	Recovery bool    `json:"recovery,omitempty"`
+	Pos        float64 `json:"pos"`
+	Writer     string  `json:"writer,omitempty"`
+	Value      int64   `json:"value"`
+	Recovery   bool    `json:"recovery,omitempty"`
+	Checkpoint bool    `json:"checkpoint,omitempty"`
 }
 
 // snapshotJSON is the on-disk document.
@@ -56,8 +57,15 @@ const formatVersion = 1
 
 // Encode writes the log and store as a JSON snapshot.
 func Encode(w io.Writer, log *wlog.Log, store *data.Store) error {
-	snap := snapshotJSON{Format: formatVersion, Chains: make(map[string][]versionJSON)}
-	for _, e := range log.Entries() {
+	snap := snapshotJSON{
+		Format:  formatVersion,
+		Entries: make([]entryJSON, 0, log.Len()-log.Base()),
+		Chains:  make(map[string][]versionJSON),
+	}
+	// Range streams entries under the log's read lock instead of
+	// materializing the Entries() copy — on a 100k-entry log that copy is
+	// the dominant allocation of the whole encode.
+	log.Range(func(e *wlog.Entry) bool {
 		ej := entryJSON{
 			LSN:    e.LSN,
 			Run:    e.Run,
@@ -79,12 +87,16 @@ func Encode(w io.Writer, log *wlog.Log, store *data.Store) error {
 			}
 		}
 		snap.Entries = append(snap.Entries, ej)
-	}
+		return true
+	})
 	for _, k := range store.Keys() {
 		chain := store.Chain(k)
 		vj := make([]versionJSON, 0, len(chain))
 		for _, v := range chain {
-			vj = append(vj, versionJSON{Pos: v.Pos, Writer: v.Writer, Value: int64(v.Value), Recovery: v.Recovery})
+			vj = append(vj, versionJSON{
+				Pos: v.Pos, Writer: v.Writer, Value: int64(v.Value),
+				Recovery: v.Recovery, Checkpoint: v.Checkpoint,
+			})
 		}
 		snap.Chains[string(k)] = vj
 	}
@@ -131,16 +143,27 @@ func Decode(r io.Reader) (*wlog.Log, *data.Store, error) {
 			return nil, nil, fmt.Errorf("wlogio: rebuild log: %w", err)
 		}
 	}
-	store := data.NewStore()
-	keys := make([]string, 0, len(snap.Chains))
-	for k := range snap.Chains {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		for _, v := range snap.Chains[k] {
-			store.Write(data.Key(k), data.Value(v.Value), v.Pos, v.Writer, v.Recovery)
+	// Bulk-install the chains (one validation pass, no per-write lock
+	// traffic) and keep every version flag — the old per-version Write loop
+	// silently dropped Checkpoint bits, so a compacted store did not survive
+	// a round trip.
+	chains := make(map[data.Key][]data.Version, len(snap.Chains))
+	for k, vs := range snap.Chains {
+		if len(vs) == 0 {
+			continue
 		}
+		chain := make([]data.Version, 0, len(vs))
+		for _, v := range vs {
+			chain = append(chain, data.Version{
+				Pos: v.Pos, Writer: v.Writer, Value: data.Value(v.Value),
+				Recovery: v.Recovery, Checkpoint: v.Checkpoint,
+			})
+		}
+		chains[data.Key(k)] = chain
+	}
+	store, err := data.NewStoreFromChains(chains)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wlogio: rebuild store: %w", err)
 	}
 	return log, store, nil
 }

@@ -202,6 +202,45 @@ func TestRestartMidWorkload(t *testing.T) {
 	}
 }
 
+// TestCheckpointFlagRoundTrip: a compacted store keeps its checkpoint
+// boundaries across Encode/Decode. The old per-version Write rebuild dropped
+// the Checkpoint bit, so reloading a compacted snapshot produced a store
+// whose compaction horizon was silently forgotten.
+func TestCheckpointFlagRoundTrip(t *testing.T) {
+	s, err := scenario.Fig1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store().CompactBefore(2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, s.Log(), s.Store()); err != nil {
+		t.Fatal(err)
+	}
+	_, store2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCheckpoint := false
+	for _, k := range s.Store().Keys() {
+		a, b := s.Store().Chain(k), store2.Chain(k)
+		if len(a) != len(b) {
+			t.Fatalf("chain %s length %d vs %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("chain %s version %d: %+v vs %+v", k, i, a[i], b[i])
+			}
+			sawCheckpoint = sawCheckpoint || a[i].Checkpoint
+		}
+	}
+	if !sawCheckpoint {
+		t.Fatal("compaction left no checkpoint version; test exercises nothing")
+	}
+	if err := store2.CheckIndex(); err != nil {
+		t.Errorf("reloaded store index: %v", err)
+	}
+}
+
 // TestResumeCompletedRuns: complete runs come back Done and re-running them
 // is a no-op.
 func TestResumeCompletedRuns(t *testing.T) {

@@ -22,6 +22,11 @@ go test -race ./...
 # records real numbers).
 go test -run '^$' -bench '^Benchmark(Repair|AlertStorm)' -benchtime=1x .
 
+# Durability benchmark smoke: WAL append (group-commit) and restore
+# (snapshot-bounded replay) must run; BENCH_durability.json records real
+# numbers.
+go test -run '^$' -bench '^Benchmark(Append|Replay)$' -benchtime=1x ./internal/durable/
+
 # Doc-drift gate: every metric name declared in the obs catalog must be
 # documented in docs/OBSERVABILITY.md (TestCatalogDocumented enforces the
 # same pairing from Go; this catches it even when tests are skipped).
@@ -61,3 +66,37 @@ fi
 "$tmpdir/apismoke" "http://$addr"
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
+
+# Crash-restart smoke (docs/DURABILITY.md): boot with -durable, load
+# workflows, SIGKILL the process mid-life, restart on the same WAL
+# directory, and require the restored store to be byte-identical.
+go build -o "$tmpdir/crashsmoke" ./scripts/crashsmoke
+"$tmpdir/selfheal-server" -addr 127.0.0.1:0 -shards 2 -durable "$tmpdir/wal" > "$tmpdir/server2.out" 2>&1 &
+server_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^selfheal-server listening on //p' "$tmpdir/server2.out" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "durable selfheal-server never came up" >&2; cat "$tmpdir/server2.out" >&2; exit 1; }
+"$tmpdir/crashsmoke" seed "http://$addr" > "$tmpdir/store-before.json"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+"$tmpdir/selfheal-server" -addr 127.0.0.1:0 -shards 2 -durable "$tmpdir/wal" > "$tmpdir/server3.out" 2>&1 &
+server_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^selfheal-server listening on //p' "$tmpdir/server3.out" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "restarted selfheal-server never came up" >&2; cat "$tmpdir/server3.out" >&2; exit 1; }
+"$tmpdir/crashsmoke" dump "http://$addr" > "$tmpdir/store-after.json"
+cmp "$tmpdir/store-before.json" "$tmpdir/store-after.json" || {
+    echo "crash-restart smoke: restored store differs from pre-kill store" >&2
+    exit 1
+}
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+echo "CRASH SMOKE OK"

@@ -1,0 +1,112 @@
+// Command crashsmoke is the CI crash-restart gate for the durable service
+// (docs/DURABILITY.md). scripts/ci.sh boots selfheal-server with -durable,
+// runs `crashsmoke seed` to submit workflows and capture the store, kills
+// the server with SIGKILL, restarts it on the same WAL directory, and runs
+// `crashsmoke dump`: the two /api/v1/store documents must be byte-identical
+// (Go's JSON encoder sorts map keys, so the raw bodies are comparable).
+//
+//	crashsmoke seed http://host:port   submit runs, wait, print the store
+//	crashsmoke dump http://host:port   print the store
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"selfheal/internal/shard"
+	"selfheal/internal/wfjson"
+)
+
+func main() {
+	if len(os.Args) != 3 || (os.Args[1] != "seed" && os.Args[1] != "dump") {
+		log.Fatal("usage: crashsmoke seed|dump http://host:port")
+	}
+	mode, base := os.Args[1], os.Args[2]
+
+	if mode == "seed" {
+		for i := 0; i < 4; i++ {
+			id := fmt.Sprintf("crash%d", i)
+			status, body := do("POST", base+"/api/v1/runs",
+				map[string]any{"id": id, "spec": chainDoc(id, 6)})
+			if status != http.StatusCreated {
+				log.Fatalf("submit %s: status %d body %s", id, status, body)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			id := fmt.Sprintf("crash%d", i)
+			poll("completion of "+id, func() bool {
+				status, body := do("GET", base+"/api/v1/runs/"+id, nil)
+				if status != http.StatusOK {
+					log.Fatalf("get %s: status %d body %s", id, status, body)
+				}
+				var info shard.RunInfo
+				must(json.Unmarshal(body, &info))
+				return info.Status == "done"
+			})
+		}
+	}
+
+	status, body := do("GET", base+"/api/v1/store", nil)
+	if status != http.StatusOK {
+		log.Fatalf("store: status %d body %s", status, body)
+	}
+	os.Stdout.Write(body)
+}
+
+func chainDoc(name string, n int) *wfjson.SpecJSON {
+	sj := &wfjson.SpecJSON{Name: name, Start: "t1"}
+	for i := 1; i <= n; i++ {
+		tj := wfjson.TaskJSON{
+			ID:     fmt.Sprintf("t%d", i),
+			Writes: []string{fmt.Sprintf("%s.k%d", name, i)},
+			Bias:   int64(i),
+		}
+		if i > 1 {
+			tj.Reads = []string{fmt.Sprintf("%s.k%d", name, i-1)}
+		}
+		if i < n {
+			tj.Next = []string{fmt.Sprintf("t%d", i+1)}
+		}
+		sj.Tasks = append(sj.Tasks, tj)
+	}
+	return sj
+}
+
+func do(method, url string, payload any) (int, []byte) {
+	var buf bytes.Buffer
+	if payload != nil {
+		must(json.NewEncoder(&buf).Encode(payload))
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	must(err)
+	resp, err := http.DefaultClient.Do(req)
+	must(err)
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	_, err = out.ReadFrom(resp.Body)
+	must(err)
+	return resp.StatusCode, out.Bytes()
+}
+
+// poll retries cond every 50ms for up to 30s, failing the smoke test on
+// timeout.
+func poll(what string, cond func() bool) {
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
