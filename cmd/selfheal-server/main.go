@@ -20,6 +20,13 @@
 //	GET /metrics                     Prometheus text exposition (internal/obs)
 //	GET /varz                        expvar-style key-sorted JSON snapshot
 //
+// With -chaos, the white-box fuzzing hooks mount under /api/v1/chaos
+// (forge, checkpoint, drain, log, verify — docs/FUZZING.md); -audit
+// validates every installed repair against the Theorem-3 partial orders,
+// and -fault-skip-repair injects the mutation-smoke fault (the recovery
+// worker discards units without repairing). None of these belong in
+// production configurations.
+//
 // Routes and error envelope are documented in docs/API.md; the metric
 // catalog served by /metrics and /varz is docs/OBSERVABILITY.md.
 //
@@ -60,9 +67,13 @@ func main() {
 	triageOn := flag.Bool("triage", false, "streaming alert triage: cone coalescing, covered-alert prefilter, Report-time dedupe (docs/TRIAGE.md)")
 	durableDir := flag.String("durable", "", "WAL directory: persist all state and restore it on boot (docs/DURABILITY.md)")
 	snapEvery := flag.Int("snapshot-every", 4096, "with -durable, checkpoint once this many entries committed past the latest snapshot (0 disables)")
+	chaos := flag.Bool("chaos", false, "mount the white-box chaos routes under /api/v1/chaos (fuzzing only, docs/FUZZING.md)")
+	audit := flag.Bool("audit", false, "validate every repair schedule against the Theorem-3 partial orders (GET /api/v1/chaos/verify)")
+	faultSkipRepair := flag.Bool("fault-skip-repair", false, "FAULT INJECTION: recovery worker discards units without repairing (mutation smoke only)")
 	flag.Parse()
 
-	cfg := shard.Config{Shards: *shards, Strict: *strict}
+	cfg := shard.Config{Shards: *shards, Strict: *strict, AuditRepairs: *audit}
+	cfg.Fault.SkipRepair = *faultSkipRepair
 	if *triageOn {
 		cfg.Triage = triage.All()
 	}
@@ -91,8 +102,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	handler := httpapi.Server(reg, svc)
+	if *chaos {
+		handler = httpapi.ServerWithChaos(reg, svc)
+	}
 	srv := &http.Server{
-		Handler:           httpapi.Server(reg, svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// The resolved address line is a machine-readable contract (see package

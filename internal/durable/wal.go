@@ -20,6 +20,7 @@
 // WAL sequence order embeds the LSN order, and control records (spec,
 // alert, ack, adopt) are stamped with the highest entry LSN enqueued
 // before them.
+
 package durable
 
 import (

@@ -1,0 +1,119 @@
+package fuzz
+
+import (
+	"fmt"
+	"time"
+)
+
+// TargetFactory boots a fresh target for one episode (reset semantics: no
+// state is shared between episodes).
+type TargetFactory func() (Target, error)
+
+// Failure is one fuzzing find: the seed, the violations of the original
+// episode, and the shrunk reproducer.
+type Failure struct {
+	Seed       int64
+	Violations []Violation
+	Shrunk     *Schedule
+	// ShrinkSteps counts successful reductions from the generated schedule
+	// to Shrunk.
+	ShrinkSteps int
+}
+
+// Entry converts the failure into its committable corpus form.
+func (f *Failure) Entry() *CorpusEntry {
+	return &CorpusEntry{
+		Version:   CorpusVersion,
+		Violation: f.Violations[0].String(),
+		Schedule:  f.Shrunk,
+	}
+}
+
+// CampaignResult summarizes a fuzzing campaign.
+type CampaignResult struct {
+	Episodes int
+	Failures []*Failure
+}
+
+// Campaign runs one episode per seed against fresh targets, shrinking every
+// failure to a minimal reproducer. Harness errors abort the campaign;
+// oracle violations are collected and returned.
+func (r *Runner) Campaign(factory TargetFactory, seeds []int64, p GenParams) (*CampaignResult, error) {
+	res := &CampaignResult{}
+	for _, seed := range seeds {
+		fail, err := r.fuzzOne(factory, seed, p)
+		if err != nil {
+			return res, err
+		}
+		res.Episodes++
+		if fail != nil {
+			res.Failures = append(res.Failures, fail)
+		}
+	}
+	return res, nil
+}
+
+// CampaignUntil runs episodes with consecutive seeds starting at startSeed
+// until deadline, stopping early after the first failure (shrinking is the
+// expensive part; one minimal repro per campaign is the actionable output).
+func (r *Runner) CampaignUntil(factory TargetFactory, startSeed int64, deadline time.Time, p GenParams) (*CampaignResult, error) {
+	res := &CampaignResult{}
+	for seed := startSeed; time.Now().Before(deadline); seed++ {
+		fail, err := r.fuzzOne(factory, seed, p)
+		if err != nil {
+			return res, err
+		}
+		res.Episodes++
+		if fail != nil {
+			res.Failures = append(res.Failures, fail)
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// fuzzOne generates, runs and — on violation — shrinks one seed.
+func (r *Runner) fuzzOne(factory TargetFactory, seed int64, p GenParams) (*Failure, error) {
+	sch := GenSchedule(seed, p)
+	rep, err := r.runOn(factory, sch)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: seed %d: %w", seed, err)
+	}
+	if !rep.Failed() {
+		return nil, nil
+	}
+	// Shrink against the first oracle that fired: a candidate reproduces
+	// the failure iff the same oracle still fires on a fresh target.
+	oracle := rep.Violations[0].Oracle
+	shrunk, steps, err := Shrink(sch, func(cand *Schedule) (bool, error) {
+		crep, cerr := r.runOn(factory, cand)
+		if cerr != nil {
+			// A candidate that breaks the harness is simply not a valid
+			// reduction; keep shrinking elsewhere.
+			return false, nil
+		}
+		for _, v := range crep.Violations {
+			if v.Oracle == oracle {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: seed %d: shrink: %w", seed, err)
+	}
+	return &Failure{Seed: seed, Violations: rep.Violations, Shrunk: shrunk, ShrinkSteps: steps}, nil
+}
+
+// runOn boots a fresh target, runs the schedule, and tears the target down.
+func (r *Runner) runOn(factory TargetFactory, sch *Schedule) (*Report, error) {
+	t, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.RunEpisode(t, sch)
+	if cerr := t.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return rep, err
+}

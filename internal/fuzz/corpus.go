@@ -1,0 +1,110 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusVersion is the on-disk format version of corpus entries.
+const CorpusVersion = 1
+
+// A CorpusEntry is one committed reproducer: the shrunk schedule of a
+// failing episode plus the oracle it violated. Entries live as pretty
+// JSON files under internal/fuzz/testdata/corpus and replay as ordinary
+// go test regression cases (TestCorpusRegression) — after a fix, every
+// entry must report zero violations.
+type CorpusEntry struct {
+	// Version is CorpusVersion at write time.
+	Version int `json:"version"`
+	// Violation describes the oracle failure that produced the entry.
+	Violation string `json:"violation"`
+	// Schedule is the shrunk reproducer.
+	Schedule *Schedule `json:"schedule"`
+}
+
+// EncodeEntry serializes a corpus entry (indented, trailing newline — the
+// committed file format).
+func EncodeEntry(e *CorpusEntry) ([]byte, error) {
+	if e.Schedule == nil {
+		return nil, fmt.Errorf("fuzz: corpus entry has no schedule")
+	}
+	if err := e.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeEntry parses and validates a corpus entry.
+func DecodeEntry(b []byte) (*CorpusEntry, error) {
+	var e CorpusEntry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("fuzz: corpus entry: %w", err)
+	}
+	if e.Version != CorpusVersion {
+		return nil, fmt.Errorf("fuzz: corpus entry: unsupported version %d (want %d)", e.Version, CorpusVersion)
+	}
+	if e.Schedule == nil {
+		return nil, fmt.Errorf("fuzz: corpus entry has no schedule")
+	}
+	if err := e.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// WriteCorpusEntry writes e into dir as seed-<seed>.json (creating dir),
+// returning the file path.
+func WriteCorpusEntry(dir string, e *CorpusEntry) (string, error) {
+	b, err := EncodeEntry(e)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%d.json", e.Schedule.Seed))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every *.json entry in dir, sorted by file name. A
+// missing directory is an empty corpus.
+func LoadCorpus(dir string) (map[string]*CorpusEntry, error) {
+	files, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(files))
+	for _, f := range files {
+		if !f.IsDir() && strings.HasSuffix(f.Name(), ".json") {
+			names = append(names, f.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make(map[string]*CorpusEntry, len(names))
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		e, err := DecodeEntry(b)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = e
+	}
+	return out, nil
+}

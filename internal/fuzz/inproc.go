@@ -1,0 +1,122 @@
+package fuzz
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"selfheal/internal/durable"
+	"selfheal/internal/httpapi"
+	"selfheal/internal/obs"
+	"selfheal/internal/shard"
+	"selfheal/internal/triage"
+)
+
+// InProcOptions configures an in-process target.
+type InProcOptions struct {
+	// Shards is the worker shard count (0 takes shard defaults).
+	Shards int
+	// Dir enables durable mode: the service persists to this WAL directory
+	// and Restart reopens it (a clean-shutdown replay; the SIGKILL variant
+	// is cmd/selfheal-fuzz's child-process target).
+	Dir string
+	// Strict enables Theorem-4 strict gating; Triage enables the streaming
+	// triage pipeline — both legal interleavings the fuzzer should cover.
+	Strict bool
+	Triage bool
+	// Fault injects a deliberate soundness bug (mutation smoke).
+	Fault shard.FaultInjection
+}
+
+// InProcTarget serves ServerWithChaos on a loopback listener in-process:
+// the default episode target for go tests and smoke campaigns. Repairs are
+// always audited (shard.Config.AuditRepairs) so the dag-audit oracle is
+// live.
+type InProcTarget struct {
+	opts InProcOptions
+	svc  *shard.Service
+	srv  *http.Server
+	url  string
+	done chan error
+}
+
+// NewInProcTarget boots a fresh service and serves it on an ephemeral
+// loopback port.
+func NewInProcTarget(opts InProcOptions) (*InProcTarget, error) {
+	t := &InProcTarget{opts: opts}
+	if err := t.boot(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *InProcTarget) boot() error {
+	cfg := shard.Config{
+		Shards:       t.opts.Shards,
+		Strict:       t.opts.Strict,
+		AuditRepairs: true,
+		Fault:        t.opts.Fault,
+	}
+	if t.opts.Triage {
+		cfg.Triage = triage.All()
+	}
+	var svc *shard.Service
+	var err error
+	if t.opts.Dir != "" {
+		svc, err = shard.NewDurable(cfg, t.opts.Dir, durable.Options{})
+	} else {
+		svc, err = shard.New(cfg, nil)
+	}
+	if err != nil {
+		return fmt.Errorf("fuzz: in-proc target: %w", err)
+	}
+	svc.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Stop()
+		return fmt.Errorf("fuzz: in-proc target: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           httpapi.ServerWithChaos(obs.NewRegistry(), svc),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	t.svc, t.srv, t.done = svc, srv, done
+	t.url = "http://" + ln.Addr().String()
+	return nil
+}
+
+func (t *InProcTarget) shutdown() error {
+	err := t.srv.Close()
+	<-t.done
+	t.svc.Stop()
+	if err != nil {
+		return fmt.Errorf("fuzz: in-proc target: %w", err)
+	}
+	return nil
+}
+
+// BaseURL implements Target; it changes across Restart.
+func (t *InProcTarget) BaseURL() string { return t.url }
+
+// Durable implements Target.
+func (t *InProcTarget) Durable() bool { return t.opts.Dir != "" }
+
+// Restart implements Target: on a durable target it stops the service and
+// reopens the same WAL directory, exercising replay end to end.
+func (t *InProcTarget) Restart() error {
+	if !t.Durable() {
+		return ErrRestartUnsupported
+	}
+	if err := t.shutdown(); err != nil {
+		return err
+	}
+	return t.boot()
+}
+
+// Close implements Target.
+func (t *InProcTarget) Close() error { return t.shutdown() }

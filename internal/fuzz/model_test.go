@@ -1,0 +1,124 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Schedule generation is a pure function of the seed.
+func TestGenScheduleDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.Checkpoints, p.Restarts = 1, 1
+	a, _ := json.Marshal(GenSchedule(42, p))
+	b, _ := json.Marshal(GenSchedule(42, p))
+	if string(a) != string(b) {
+		t.Fatal("same seed generated different schedules")
+	}
+	c, _ := json.Marshal(GenSchedule(43, p))
+	if string(a) == string(c) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+// Generated schedules satisfy the model invariants across many seeds.
+func TestGenScheduleValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := DefaultParams()
+		p.Checkpoints, p.Restarts = 1, 1
+		if err := GenSchedule(seed, p).Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	base := GenSchedule(1, DefaultParams())
+	cases := map[string]func(*Schedule){
+		"unalerted forge": func(s *Schedule) {
+			kept := s.Ops[:0]
+			for _, op := range s.Ops {
+				if op.Kind != OpAlert {
+					kept = append(kept, op)
+				}
+			}
+			s.Ops = kept
+		},
+		"unknown accusation": func(s *Schedule) {
+			s.Ops = append(s.Ops, Op{Kind: OpAlert, Batch: [][]string{{"ghost/t0#1"}}})
+		},
+		"duplicate run": func(s *Schedule) {
+			for _, op := range s.Ops {
+				if op.Kind == OpSubmit {
+					s.Ops = append(s.Ops, op)
+					return
+				}
+			}
+		},
+	}
+	for name, mutate := range cases {
+		s := cloneSchedule(base)
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+// Corpus entries survive an encode/decode round trip exactly.
+func TestCorpusRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.Checkpoints, p.Restarts = 1, 1
+	e := &CorpusEntry{
+		Version:   CorpusVersion,
+		Violation: "benign-store: store differs",
+		Schedule:  GenSchedule(9, p),
+	}
+	b, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", e, got)
+	}
+}
+
+func TestCorpusDirRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	e := &CorpusEntry{Version: CorpusVersion, Violation: "x", Schedule: GenSchedule(3, DefaultParams())}
+	path, err := WriteCorpusEntry(dir, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("loaded %d entries", len(entries))
+	}
+	if got := entries[filepath.Base(path)]; got == nil || !reflect.DeepEqual(got.Schedule, e.Schedule) {
+		t.Fatal("loaded entry differs from written entry")
+	}
+	// A missing directory is an empty corpus, not an error.
+	if empty, err := LoadCorpus(filepath.Join(dir, "missing")); err != nil || len(empty) != 0 {
+		t.Fatalf("missing dir: %v, %d entries", err, len(empty))
+	}
+}
+
+func TestDecodeEntryRejects(t *testing.T) {
+	if _, err := DecodeEntry([]byte(`{"version":99,"schedule":{"seed":1,"ops":[]}}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := DecodeEntry([]byte(`{"version":1}`)); err == nil {
+		t.Error("missing schedule accepted")
+	}
+	if _, err := DecodeEntry([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/wlog"
+)
+
+// A Violation is one failed oracle check for an episode.
+type Violation struct {
+	// Oracle names the failed check: "benign-store", "check-index",
+	// "dag-audit", "run-failed", "restart".
+	Oracle string `json:"oracle"`
+	// Detail is the human-readable evidence.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// BenignStore computes the attack-free reference state of a schedule: the
+// serial execution of exactly the submitted workflows, with their declared
+// init values and no forged instances. Because generated runs use disjoint
+// key prefixes, the serial order does not matter; because repair undoes
+// every alerted forge and re-executes falsely accused tasks with identical
+// deterministic computes, the drained live store must equal this reference
+// (Theorems 1–2).
+func BenignStore(sch *Schedule) (map[string]int64, error) {
+	store := data.NewStore()
+	eng := engine.New(store, wlog.New())
+	for _, op := range sch.Ops {
+		if op.Kind != OpSubmit {
+			continue
+		}
+		spec, err := op.Blueprint.Spec()
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: benign reference: run %s: %w", op.Run, err)
+		}
+		// First-writer-wins init seeding, as SubmitRunSpec does.
+		for _, k := range sortedKeys(op.Blueprint.Init) {
+			if _, ok := store.Get(k); !ok {
+				store.Init(k, op.Blueprint.Init[k])
+			}
+		}
+		run, err := eng.NewRun(op.Run, spec)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: benign reference: run %s: %w", op.Run, err)
+		}
+		if err := eng.RunAll(context.Background(), run); err != nil {
+			return nil, fmt.Errorf("fuzz: benign reference: run %s: %w", op.Run, err)
+		}
+	}
+	snap := store.Snapshot()
+	out := make(map[string]int64, len(snap))
+	for k, v := range snap {
+		out[string(k)] = int64(v)
+	}
+	return out, nil
+}
+
+// DiffStores renders the difference between the expected benign state and
+// an observed store as sorted "key: want w, got g" lines; empty when equal.
+func DiffStores(want, got map[string]int64) string {
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	diff := ""
+	for _, k := range sorted {
+		w, inW := want[k]
+		g, inG := got[k]
+		switch {
+		case !inW:
+			diff += fmt.Sprintf("%s: want absent, got %d\n", k, g)
+		case !inG:
+			diff += fmt.Sprintf("%s: want %d, got absent\n", k, w)
+		case w != g:
+			diff += fmt.Sprintf("%s: want %d, got %d\n", k, w, g)
+		}
+	}
+	return diff
+}
+
+func sortedKeys(m map[data.Key]data.Value) []data.Key {
+	out := make([]data.Key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

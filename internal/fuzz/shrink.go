@@ -1,0 +1,262 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"selfheal/internal/wf"
+)
+
+// Fails reports whether a candidate schedule still reproduces the failure
+// being shrunk (typically: run an episode on a fresh target and check the
+// same oracle fires). A non-nil error aborts shrinking; the best schedule
+// found so far is returned.
+type Fails func(*Schedule) (bool, error)
+
+// Shrink reduces a failing schedule to a minimal reproducer: first it
+// drops whole operations (with cascades — removing a forge drops its
+// accusations, removing an alert drops forges left unalerted, removing a
+// submit drops accusations against its tasks), then it shrinks surviving
+// blueprints by removing leaf tasks and thins alert batches of redundant
+// accusations. Every candidate keeps Schedule.Validate's invariants, so a
+// shrink can never manufacture a new failure mode (an unalerted forge would
+// fail the benign oracle for a reason the original schedule never had).
+//
+// The search is greedy and deterministic: candidates are tried in a fixed
+// order and the first still-failing candidate is adopted, until a full pass
+// makes no progress. Returns the shrunk schedule and the number of
+// successful shrink steps.
+func Shrink(sch *Schedule, fails Fails) (*Schedule, int, error) {
+	cur := cloneSchedule(sch)
+	steps := 0
+	for {
+		next, err := shrinkOnce(cur, fails)
+		if err != nil {
+			return cur, steps, err
+		}
+		if next == nil {
+			return cur, steps, nil
+		}
+		cur = next
+		steps++
+	}
+}
+
+// shrinkOnce returns the first still-failing reduction of cur, or nil when
+// none of the candidates reproduces the failure.
+func shrinkOnce(cur *Schedule, fails Fails) (*Schedule, error) {
+	for _, cand := range candidates(cur) {
+		if cand.Validate() != nil {
+			continue
+		}
+		bad, err := fails(cand)
+		if err != nil {
+			return nil, err
+		}
+		if bad {
+			return cand, nil
+		}
+	}
+	return nil, nil
+}
+
+// candidates enumerates the reductions of s in fixed order: op removals
+// (largest effect first), then per-blueprint leaf-task removals, then
+// accusation thinning.
+func candidates(s *Schedule) []*Schedule {
+	var out []*Schedule
+	for i := range s.Ops {
+		if c := removeOp(s, i); c != nil {
+			out = append(out, c)
+		}
+	}
+	for i, op := range s.Ops {
+		if op.Kind != OpSubmit {
+			continue
+		}
+		for _, t := range removableTasks(op.Blueprint) {
+			if c := removeTask(s, i, t); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	out = append(out, thinAccusations(s)...)
+	return out
+}
+
+// removeOp drops op i and cascades the removal so the schedule stays
+// well-formed.
+func removeOp(s *Schedule, i int) *Schedule {
+	cp := cloneSchedule(s)
+	op := cp.Ops[i]
+	cp.Ops = append(cp.Ops[:i], cp.Ops[i+1:]...)
+	switch op.Kind {
+	case OpSubmit:
+		// Accusations against the removed run's tasks have no target.
+		dropAccusations(cp, func(id string) bool {
+			run, ok := accusedRun(id)
+			return ok && run == op.Run
+		})
+	case OpForge:
+		inst := string(op.ForgedInstance())
+		dropAccusations(cp, func(id string) bool { return id == inst })
+	case OpAlert:
+		// Forges alerted only here would be left unrepaired: drop them
+		// too (their instance cannot be named by any other alert, so no
+		// further cascade).
+		alerted := map[string]bool{}
+		for _, o := range cp.Ops {
+			if o.Kind != OpAlert {
+				continue
+			}
+			for _, bad := range o.Batch {
+				for _, id := range bad {
+					alerted[id] = true
+				}
+			}
+		}
+		kept := cp.Ops[:0]
+		for _, o := range cp.Ops {
+			if o.Kind == OpForge && !alerted[string(o.ForgedInstance())] {
+				continue
+			}
+			kept = append(kept, o)
+		}
+		cp.Ops = kept
+	}
+	return cp
+}
+
+// dropAccusations removes every accused ID matching drop, then alerts (and
+// batches) left empty.
+func dropAccusations(s *Schedule, drop func(string) bool) {
+	keptOps := s.Ops[:0]
+	for _, op := range s.Ops {
+		if op.Kind != OpAlert {
+			keptOps = append(keptOps, op)
+			continue
+		}
+		var batch [][]string
+		for _, bad := range op.Batch {
+			var ids []string
+			for _, id := range bad {
+				if !drop(id) {
+					ids = append(ids, id)
+				}
+			}
+			if len(ids) > 0 {
+				batch = append(batch, ids)
+			}
+		}
+		if len(batch) > 0 {
+			op.Batch = batch
+			keptOps = append(keptOps, op)
+		}
+	}
+	s.Ops = keptOps
+}
+
+// removableTasks lists the non-start tasks of bp whose removal keeps the
+// blueprint valid, in declaration order.
+func removableTasks(bp *wf.Blueprint) []wf.TaskID {
+	var out []wf.TaskID
+	for _, bt := range bp.Tasks {
+		if bt.ID == bp.Start {
+			continue
+		}
+		if shrunkBlueprint(bp, bt.ID) != nil {
+			out = append(out, bt.ID)
+		}
+	}
+	return out
+}
+
+// shrunkBlueprint returns bp without task victim (references to it removed,
+// choices degraded to straight-line successors), or nil when the result is
+// not a valid workflow.
+func shrunkBlueprint(bp *wf.Blueprint, victim wf.TaskID) *wf.Blueprint {
+	cp := &wf.Blueprint{Name: bp.Name, Start: bp.Start, Init: bp.Init}
+	for _, bt := range bp.Tasks {
+		if bt.ID == victim {
+			continue
+		}
+		t := bt
+		var next []wf.TaskID
+		for _, n := range t.Next {
+			if n != victim {
+				next = append(next, n)
+			}
+		}
+		t.Next = next
+		if t.Choose != nil && (t.Choose.Low == victim || t.Choose.High == victim || len(next) < 2) {
+			t.Choose = nil
+		}
+		cp.Tasks = append(cp.Tasks, t)
+	}
+	if _, err := cp.Spec(); err != nil {
+		return nil
+	}
+	return cp
+}
+
+// removeTask drops task victim from the blueprint of submit op i, plus any
+// accusations naming one of the victim's instances.
+func removeTask(s *Schedule, i int, victim wf.TaskID) *Schedule {
+	cp := cloneSchedule(s)
+	bp := shrunkBlueprint(cp.Ops[i].Blueprint, victim)
+	if bp == nil {
+		return nil
+	}
+	cp.Ops[i].Blueprint = bp
+	prefix := cp.Ops[i].Run + "/" + string(victim) + "#"
+	dropAccusations(cp, func(id string) bool { return strings.HasPrefix(id, prefix) })
+	return cp
+}
+
+// thinAccusations yields one candidate per droppable accused ID: forged
+// instances stay (dropping the only alert for a forge is removeOp's job,
+// with its cascade), so this trims false accusations of legitimate tasks.
+func thinAccusations(s *Schedule) []*Schedule {
+	forged := map[string]bool{}
+	for _, op := range s.Ops {
+		if op.Kind == OpForge {
+			forged[string(op.ForgedInstance())] = true
+		}
+	}
+	var out []*Schedule
+	for oi, op := range s.Ops {
+		if op.Kind != OpAlert {
+			continue
+		}
+		for bi, bad := range op.Batch {
+			for ii, id := range bad {
+				if forged[id] {
+					continue
+				}
+				cp := cloneSchedule(s)
+				b := cp.Ops[oi].Batch[bi]
+				cp.Ops[oi].Batch[bi] = append(append([]string{}, b[:ii]...), b[ii+1:]...)
+				if len(cp.Ops[oi].Batch[bi]) == 0 {
+					dropAccusations(cp, func(string) bool { return false }) // prune empties
+				}
+				out = append(out, cp)
+			}
+		}
+	}
+	return out
+}
+
+// cloneSchedule deep-copies via the JSON codec — schedules are fully
+// serializable by construction.
+func cloneSchedule(s *Schedule) *Schedule {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("fuzz: clone: %v", err))
+	}
+	var cp Schedule
+	if err := json.Unmarshal(b, &cp); err != nil {
+		panic(fmt.Sprintf("fuzz: clone: %v", err))
+	}
+	return &cp
+}

@@ -1,0 +1,182 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"selfheal/internal/data"
+	"selfheal/internal/obs"
+	"selfheal/internal/shard"
+	"selfheal/internal/wf"
+)
+
+// The chaos surface (docs/FUZZING.md): white-box hooks the stateful API
+// fuzzer (cmd/selfheal-fuzz) uses to attack and interrogate a live service.
+// The routes expose exactly what an in-process test harness would reach for
+// — forged commits, forced checkpoints, the committed log, and the global
+// soundness verdicts — so the fuzzer can drive a real server over HTTP and
+// still check oracles that need internal state. They are mounted only by
+// ServerWithChaos and must never be enabled on a production service.
+//
+//	POST /api/v1/chaos/forge       commit a forged task instance (attack)
+//	POST /api/v1/chaos/checkpoint  force a durable snapshot now
+//	POST /api/v1/chaos/drain       block until recovery drains (or runs idle)
+//	GET  /api/v1/chaos/log         committed log entries (lsn, id, forged)
+//	GET  /api/v1/chaos/verify      check-index + Theorem-3 audit verdicts
+
+// ServerWithChaos returns Server's route set plus the chaos surface.
+func ServerWithChaos(reg *obs.Registry, svc *shard.Service) http.Handler {
+	return observed(reg, svc, chaosRoutes)
+}
+
+// forgeRequest is the POST /api/v1/chaos/forge document: the forged task
+// reads the named keys' latest versions and commits the given writes, as if
+// an attacker executed an unauthorized task (§II.B).
+type forgeRequest struct {
+	// Run names the workflow run the forged instance claims to belong to.
+	Run string `json:"run"`
+	// Task is the forged task's name; it need not exist in any spec.
+	Task string `json:"task"`
+	// Reads lists keys whose current versions the forged task observes,
+	// creating the data dependences damage assessment will chase.
+	Reads []string `json:"reads,omitempty"`
+	// Writes maps each corrupted key to the forged value.
+	Writes map[string]int64 `json:"writes"`
+}
+
+// logEntry is one committed log record in GET /api/v1/chaos/log.
+type logEntry struct {
+	LSN    int    `json:"lsn"`
+	ID     string `json:"id"`
+	Run    string `json:"run,omitempty"`
+	Task   string `json:"task"`
+	Visit  int    `json:"visit"`
+	Forged bool   `json:"forged,omitempty"`
+}
+
+// verifyResponse is the GET /api/v1/chaos/verify document: the global
+// soundness verdicts the fuzzer's oracles assert after draining.
+type verifyResponse struct {
+	State string `json:"state"`
+	// CheckIndex is "ok" or the data.CheckIndex violation text.
+	CheckIndex string `json:"check_index"`
+	// AuditViolations counts Theorem-3 partial-order violations across all
+	// installed repairs (requires shard.Config.AuditRepairs).
+	AuditViolations int    `json:"audit_violations"`
+	AuditError      string `json:"audit_error,omitempty"`
+	RecoveryError   string `json:"recovery_error,omitempty"`
+}
+
+func chaosRoutes(mux *http.ServeMux, svc *shard.Service) {
+	mux.HandleFunc("POST /api/v1/chaos/forge", func(w http.ResponseWriter, r *http.Request) {
+		var req forgeRequest
+		if err := decodeStrict(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Task == "" || len(req.Writes) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("forge needs a task name and at least one write"))
+			return
+		}
+		reads := make([]data.Key, len(req.Reads))
+		for i, k := range req.Reads {
+			reads[i] = data.Key(k)
+		}
+		writes := make(map[data.Key]data.Value, len(req.Writes))
+		for k, v := range req.Writes {
+			writes[data.Key(k)] = data.Value(v)
+		}
+		inst, err := svc.InjectForged(req.Run, wf.TaskID(req.Task), reads, writes)
+		if err != nil {
+			serviceError(w, svc, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"instance": string(inst)})
+	})
+
+	mux.HandleFunc("POST /api/v1/chaos/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Checkpoint(r.Context()); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+
+	mux.HandleFunc("POST /api/v1/chaos/drain", func(w http.ResponseWriter, r *http.Request) {
+		timeout := 10 * time.Second
+		if s := r.URL.Query().Get("timeout"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("timeout: invalid %q", s))
+				return
+			}
+			timeout = d
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		var err error
+		switch wait := r.URL.Query().Get("wait"); wait {
+		case "", "idle":
+			// All runs retired and recovery fully drained: the quiescent
+			// point at which the fuzzer's global oracles are defined.
+			err = svc.WaitIdle(ctx)
+		case "recovery":
+			err = svc.DrainRecovery(ctx)
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("wait: unknown mode %q (want idle or recovery)", wait))
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusConflict, fmt.Errorf("drain: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "state": svc.State().String()})
+	})
+
+	mux.HandleFunc("GET /api/v1/chaos/log", func(w http.ResponseWriter, _ *http.Request) {
+		entries := svc.Log().Entries()
+		out := make([]logEntry, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, logEntry{
+				LSN:    e.LSN,
+				ID:     string(e.ID()),
+				Run:    e.Run,
+				Task:   string(e.Task),
+				Visit:  e.Visit,
+				Forged: e.Forged,
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"base":    svc.Log().Base(),
+			"entries": out,
+		})
+	})
+
+	mux.HandleFunc("GET /api/v1/chaos/verify", func(w http.ResponseWriter, _ *http.Request) {
+		resp := verifyResponse{State: svc.State().String(), CheckIndex: "ok"}
+		if err := svc.Store().CheckIndex(); err != nil {
+			resp.CheckIndex = err.Error()
+		}
+		resp.AuditViolations = svc.Metrics().AuditViolations
+		if err := svc.LastAuditError(); err != nil {
+			resp.AuditError = err.Error()
+		}
+		if err := svc.LastRecoveryError(); err != nil {
+			resp.RecoveryError = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// decodeStrict decodes a JSON request body rejecting unknown fields.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	return nil
+}

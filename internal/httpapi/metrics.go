@@ -23,9 +23,14 @@ func ObservedHandler(reg *obs.Registry) http.Handler {
 	return observed(reg, nil)
 }
 
-// observed assembles the mux for Handler, ObservedHandler and Server.
-func observed(reg *obs.Registry, svc *shard.Service) http.Handler {
+// observed assembles the mux for Handler, ObservedHandler, Server and
+// ServerWithChaos; extra mounts additional route sets (the chaos surface)
+// before instrumentation wraps the mux.
+func observed(reg *obs.Registry, svc *shard.Service, extra ...func(*http.ServeMux, *shard.Service)) http.Handler {
 	mux := baseMux(svc)
+	for _, mount := range extra {
+		mount(mux, svc)
+	}
 	if reg == nil {
 		return mux
 	}

@@ -128,3 +128,63 @@ func TestCompactionOfUntouchedHistoryIsFine(t *testing.T) {
 		t.Errorf("undone = %v", res.Undone)
 	}
 }
+
+// TestFrozenHistoryRepairable: damage layered on top of a compaction
+// boundary is repairable — the undo exposes the boundary version, and the
+// frozen pre-horizon instances are kept without re-verification (the
+// versions they observed are gone, which is not damage). Accusing a frozen
+// instance itself is refused with ErrHorizon: its surviving version is the
+// boundary, which an undo cannot remove.
+func TestFrozenHistoryRepairable(t *testing.T) {
+	spec, err := wf.NewBuilder("fz", "w1").
+		Task("w1").Writes("k").
+		Compute(func(map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"k": 7}
+		}).Then("t2").End().
+		Task("t2").Reads("k").Writes("out").
+		Compute(func(r map[data.Key]data.Value) map[data.Key]data.Value {
+			return map[data.Key]data.Value{"out": r["k"] * 2}
+		}).End().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := data.NewStore()
+	eng := engine.New(st, wlog.New())
+	run, err := eng.NewRun("r", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(context.Background(), run); err != nil {
+		t.Fatal(err)
+	}
+	horizon := float64(eng.Log().Len())
+	st.CompactBefore(horizon)
+
+	// Post-horizon attack on a checkpointed key.
+	forged, err := eng.InjectForged("atk", "x", nil, map[data.Key]data.Value{"k": -999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]*wf.Spec{"r": spec}
+	res, err := recovery.Repair(st, eng.Log(), specs, []wlog.InstanceID{forged},
+		recovery.Options{CompactionHorizon: horizon})
+	if err != nil {
+		t.Fatalf("repair of post-horizon damage on frozen keys: %v", err)
+	}
+	if v, ok := res.Store.Get("k"); !ok || v.Value != 7 {
+		t.Errorf("k = %v after repair, want the boundary value 7", v.Value)
+	}
+	if err := res.Store.CheckIndex(); err != nil {
+		t.Error(err)
+	}
+
+	// Accusing frozen history directly is impossible to repair and must be
+	// refused, not silently mangled.
+	_, err = recovery.Repair(st, eng.Log(), specs,
+		[]wlog.InstanceID{wlog.FormatInstance("r", "w1", 1)},
+		recovery.Options{CompactionHorizon: horizon})
+	if !errors.Is(err, recovery.ErrHorizon) {
+		t.Fatalf("accusing a frozen instance: err = %v, want ErrHorizon", err)
+	}
+}

@@ -324,13 +324,19 @@ func replayOnce(pristine *data.Store, log *wlog.Log, specs map[string]*wf.Spec, 
 	sort.Slice(staged, func(i, j int) bool { return staged[i].LSN > staged[j].LSN })
 	writers := make([]string, 0, len(staged))
 	for _, e := range staged {
-		// The horizon check runs against the pristine store: versions
-		// replaced by earlier repairs (stripped before the replay) are
-		// deterministically reconstructed and are not horizon violations —
-		// only versions the caller declared compacted (below
-		// CompactionHorizon) are really gone.
-		if err := checkUndoHorizon(pristine, log, undo, e, opts.CompactionHorizon); err != nil {
-			return nil, err
+		// Instances at or below the compaction horizon are frozen history:
+		// their surviving effect is the checkpoint boundary version, which
+		// deletion preserves by design — an "undo" would leave the old value
+		// in place and the redo would collide with it. Refuse outright.
+		//
+		// This is the only horizon hazard: compaction keeps each key's
+		// latest pre-horizon version as the boundary, so undoing a
+		// post-horizon instance always exposes a valid earlier state (a
+		// newer surviving version, the boundary, or honest absence when an
+		// earlier repair removed a forged chain entirely).
+		if opts.CompactionHorizon > 0 && float64(e.LSN) <= opts.CompactionHorizon {
+			return nil, fmt.Errorf("%w: undo(%s) targets frozen history at or below the compaction horizon %g",
+				ErrHorizon, e.ID(), opts.CompactionHorizon)
 		}
 		writers = append(writers, string(e.ID()))
 		it.schedule = append(it.schedule, Action{
@@ -418,51 +424,6 @@ func closeNewUndo(g *deps.Graph, it *iterationResult, wrong []wlog.InstanceID) {
 		seed[id] = true
 	}
 	it.newUndo = g.ReadersClosure(seed)
-}
-
-// checkUndoHorizon verifies that undoing e still exposes the version a
-// reader would have observed before e: for every key e wrote, the latest
-// surviving prior writer recorded in the log must still have its version in
-// the store, and an initial version observed by any logged read must still
-// exist. Store compaction may have discarded either, in which case the undo
-// would silently expose the wrong (older or missing) value.
-func checkUndoHorizon(st *data.Store, log *wlog.Log, undo map[wlog.InstanceID]bool, e *wlog.Entry, horizon float64) error {
-	if horizon <= 0 {
-		return nil
-	}
-	entries := log.Entries()
-	for k := range e.Writes {
-		// Latest prior writer of k that is not itself being undone.
-		var prev *wlog.Entry
-		initialObserved := false
-		for _, w := range entries {
-			if w.LSN >= e.LSN {
-				break
-			}
-			if _, wrote := w.Writes[k]; wrote && !undo[w.ID()] {
-				prev = w
-			}
-			if obs, ok := w.Reads[k]; ok && obs.Writer == "" && obs.WriterPos == data.InitPos {
-				initialObserved = true
-			}
-		}
-		if obs, ok := e.Reads[k]; ok && obs.Writer == "" && obs.WriterPos == data.InitPos {
-			initialObserved = true
-		}
-		switch {
-		case prev != nil && float64(prev.LSN) <= horizon:
-			if _, ok := st.VersionAt(k, float64(prev.LSN)); !ok {
-				return fmt.Errorf("%w: undo(%s) needs %s@%d written by %s",
-					ErrHorizon, e.ID(), k, prev.LSN, prev.ID())
-			}
-		case prev == nil && initialObserved:
-			if _, ok := st.GetBefore(k, 0.5); !ok {
-				return fmt.Errorf("%w: undo(%s) needs the initial version of %s",
-					ErrHorizon, e.ID(), k)
-			}
-		}
-	}
-	return nil
 }
 
 // instKey identifies a task instance within one run.
@@ -580,13 +541,26 @@ func (w *walker) step(st *data.Store, log *wlog.Log, undo map[wlog.InstanceID]bo
 	switch {
 	case matched && !repositioned && !undo[inst]:
 		// KEPT: verify the recorded reads against the corrected history.
-		if !w.verifyKept(st, entry) {
+		// Instances at or below the compaction horizon are exempt: the
+		// versions they observed are discarded (only the latest survives as
+		// the checkpoint boundary), so re-verification would misread frozen,
+		// committed-forever history as damage. Compaction certifies the
+		// prefix; the walk trusts the recorded trace there.
+		frozen := w.opts.CompactionHorizon > 0 && float64(entry.LSN) <= w.opts.CompactionHorizon
+		if !frozen && !w.verifyKept(st, entry) {
 			it.newUndo[inst] = true
 		}
 		it.keptVerified++
 		switch {
 		case len(task.Next) == 1:
 			next = task.Next[0]
+		case len(task.Next) > 1 && frozen:
+			// Frozen branch decisions are history; the pre-decision reads
+			// may be compacted, so follow the recorded choice.
+			next = entry.Chosen
+			if !containsID(task.Next, next) {
+				return fmt.Errorf("recovery: %s recorded invalid successor %q", inst, next)
+			}
 		case len(task.Next) > 1:
 			// Re-derive the branch decision from the corrected reads:
 			// a decision that no longer matches the recorded one means

@@ -450,10 +450,17 @@ func (s *Service) executeDurable(u *unit) error {
 	// Boot-horizon refusal: a repair whose damage closure touches a run
 	// with pre-snapshot commits would resync that run against a truncated
 	// trace (wrong visit counters, invisible early writes). Refuse loudly
-	// rather than install a silently wrong repair.
+	// rather than install a silently wrong repair. Retired runs whose
+	// entries all sit beneath the snapshot are exempt: they are frozen
+	// history, never replayed or resynced — their surviving effect is the
+	// checkpoint boundary versions, which post-snapshot repairs expose by
+	// undoing the damage layered on top.
 	for run := range pre {
 		sp := specs[run]
 		if sp == nil {
+			continue
+		}
+		if s.runFrozen(run) {
 			continue
 		}
 		for _, k := range recovery.Footprint(sp) {
@@ -514,6 +521,21 @@ func (s *Service) executeDurable(u *unit) error {
 	s.observeQuiesce(quiesceStart, s.cfg.Shards)
 	s.exec.resumeAll()
 	return err
+}
+
+// runFrozen reports whether run is retired with no log entries above the
+// snapshot horizon: frozen history whose only surviving effect is the
+// checkpoint boundary versions. Such runs are never replayed or resynced,
+// so repairs touching their key footprints are sound.
+func (s *Service) runFrozen(run string) bool {
+	x := s.exec
+	x.mu.Lock()
+	rs, ok := x.runs[run]
+	x.mu.Unlock()
+	if !ok || (rs.state != RunDone && rs.state != RunFailed) {
+		return false
+	}
+	return len(s.eng.Log().Trace(run, false)) == 0
 }
 
 // installDurable merges a scoped repair into the live store and writes the

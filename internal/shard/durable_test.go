@@ -13,7 +13,6 @@ import (
 	"selfheal/internal/data"
 	"selfheal/internal/durable"
 	"selfheal/internal/engine"
-	"selfheal/internal/recovery"
 	"selfheal/internal/wfjson"
 	"selfheal/internal/wlog"
 )
@@ -340,8 +339,9 @@ func TestCheckpointBoundsReplayAndHorizon(t *testing.T) {
 		t.Errorf("b.k3 = %d after repair, benign value is %d", v.Value, durableVal(3))
 	}
 
-	// Damage whose closure reaches run a's keys: a committed before the
-	// snapshot, so its trace is truncated and the repair must refuse.
+	// Damage on run a's keys: a is retired with every entry beneath the
+	// snapshot — frozen history. The undo exposes the checkpoint boundary
+	// version, so the repair succeeds instead of refusing conservatively.
 	inst, err = svc2.InjectForged("intruder", "evil2", []data.Key{"a.k1"},
 		map[data.Key]data.Value{"a.k1": -9})
 	if err != nil {
@@ -351,8 +351,11 @@ func TestCheckpointBoundsReplayAndHorizon(t *testing.T) {
 		t.Fatal(err)
 	}
 	drainRecovery(t, svc2)
-	if err := svc2.LastRecoveryError(); !errors.Is(err, recovery.ErrHorizon) {
-		t.Errorf("pre-epoch repair error = %v, want ErrHorizon", err)
+	if err := svc2.LastRecoveryError(); err != nil {
+		t.Errorf("repair over frozen run a failed: %v", err)
+	}
+	if v, _ := svc2.Store().Get("a.k1"); v.Value != durableVal(1) {
+		t.Errorf("a.k1 = %d after repair, boundary value is %d", v.Value, durableVal(1))
 	}
 }
 

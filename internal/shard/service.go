@@ -56,6 +56,16 @@ type Config struct {
 	// services only (NewDurable); 0 disables automatic checkpoints —
 	// restores replay the whole log. See docs/DURABILITY.md.
 	SnapshotEvery int
+	// AuditRepairs validates every installed repair's schedule against the
+	// Theorem-3 partial orders (recovery.AuditSchedule) and accumulates
+	// violations in Metrics.AuditViolations. The audit costs one pass over
+	// the repair schedule; it exists so a fuzzing or chaos campaign can
+	// assert "no repair ever violated the constraint DAG" from outside
+	// (GET /api/v1/chaos/verify, docs/FUZZING.md).
+	AuditRepairs bool
+	// Fault selects deliberate soundness faults for the fuzzer's mutation
+	// smoke. Never set in production.
+	Fault FaultInjection
 	// Strict selects the paper's strict-correctness strategy (Theorem-4
 	// gating): every shard quiesces for the whole SCAN and RECOVERY
 	// period, so no normal task executes while recovery work is known or
@@ -94,34 +104,59 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Metrics counts the service's activity. All fields are cumulative.
+// FaultInjection selects deliberate soundness faults, used only by the
+// fuzzer's mutation smoke (cmd/selfheal-fuzz -fault-skip-repair): a service
+// booted with a fault MUST fail the fuzzing oracles, which proves the
+// oracle suite can actually catch an unsound implementation. See
+// docs/FUZZING.md.
+type FaultInjection struct {
+	// SkipRepair makes the recovery worker dequeue units and acknowledge
+	// them as executed without performing any repair — alerts are consumed
+	// but the damage stays in the store.
+	SkipRepair bool
+}
+
+// Metrics counts the service's activity. All fields are cumulative. The
+// JSON names are the wire contract of GET /api/v1/state (docs/API.md).
 type Metrics struct {
 	// AlertsReported, AlertsLost, AlertsAnalyzed count IDS reports;
 	// AlertsLost is the measured side of the CTMC loss probability.
-	AlertsReported, AlertsLost, AlertsAnalyzed int
+	AlertsReported int `json:"alerts_reported"`
+	AlertsLost     int `json:"alerts_lost"`
+	AlertsAnalyzed int `json:"alerts_analyzed"`
 	// UnitsExecuted counts recovery units completed; RecoveryErrors
 	// counts units whose repair failed.
-	UnitsExecuted, RecoveryErrors int
+	UnitsExecuted  int `json:"units_executed"`
+	RecoveryErrors int `json:"recovery_errors"`
 	// Undone, Redone, NewExecuted accumulate recovery work sizes.
-	Undone, Redone, NewExecuted int
+	Undone      int `json:"undone"`
+	Redone      int `json:"redone"`
+	NewExecuted int `json:"new_executed"`
 	// RunsSubmitted, RunsCompleted, RunsFailed count run lifecycles.
-	RunsSubmitted, RunsCompleted, RunsFailed int
+	RunsSubmitted int `json:"runs_submitted"`
+	RunsCompleted int `json:"runs_completed"`
+	RunsFailed    int `json:"runs_failed"`
 	// NormalSteps totals committed normal task executions; ShardSteps
 	// splits them per shard.
-	NormalSteps int
-	ShardSteps  []int
+	NormalSteps int   `json:"normal_steps"`
+	ShardSteps  []int `json:"shard_steps"`
 	// CommitBatches and CommitEntries count group commits and the entries
 	// they carried; Entries/Batches is the achieved group-commit fold.
-	CommitBatches, CommitEntries int
+	CommitBatches int `json:"commit_batches"`
+	CommitEntries int `json:"commit_entries"`
 	// ConesAnalyzed counts damage-cone analyses (AnalyzeGraph calls);
 	// AlertsAnalyzed/ConesAnalyzed is the achieved coalescing fold.
-	ConesAnalyzed int
+	ConesAnalyzed int `json:"cones_analyzed"`
 	// AlertsPrefiltered counts alerts dropped at triage because an
 	// in-flight recovery unit's damage closure already covered them.
-	AlertsPrefiltered int
+	AlertsPrefiltered int `json:"alerts_prefiltered"`
 	// AlertsDeduped counts Report-time absorptions of bad sets already
 	// queued (only nonzero with Triage.Dedupe).
-	AlertsDeduped int
+	AlertsDeduped int `json:"alerts_deduped"`
+	// AuditViolations counts Theorem-3 partial-order violations found by
+	// the per-repair schedule audit (only maintained with
+	// Config.AuditRepairs; always 0 on a sound implementation).
+	AuditViolations int `json:"audit_violations"`
 }
 
 // RunInfo is one run's externally visible status (the /api/v1/runs/{id}
@@ -188,6 +223,7 @@ type Service struct {
 	executing     bool
 	metrics       Metrics
 	lastRecovery  error
+	lastAudit     error
 	gateHeld      bool // recovery goroutine only; under mu for State readers
 	startStopOnce struct{ started, stopped sync.Once }
 
@@ -611,6 +647,14 @@ func (s *Service) LastRecoveryError() error {
 	return s.lastRecovery
 }
 
+// LastAuditError returns the most recent Theorem-3 schedule-audit
+// violation, if any (Config.AuditRepairs).
+func (s *Service) LastAuditError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAudit
+}
+
 // InjectForged commits a forged task through the commit pipeline, so the
 // injection serializes with concurrent group commits exactly like any other
 // log append.
@@ -904,6 +948,15 @@ func (s *Service) executeUnit() {
 
 	var err error
 	switch {
+	case s.cfg.Fault.SkipRepair:
+		// Deliberate soundness fault (mutation smoke): consume the unit
+		// without repairing anything. The accounting still runs so the
+		// faulty service looks healthy from the outside — exactly the
+		// failure the fuzzing oracles must catch.
+		s.mu.Lock()
+		s.metrics.UnitsExecuted++
+		s.mu.Unlock()
+		s.o.units.Inc()
 	case s.wal != nil:
 		err = s.executeDurable(u)
 	case s.cfg.Strict:
@@ -1035,11 +1088,19 @@ func (s *Service) resyncActive(res *recovery.Result, specs map[string]*wf.Spec) 
 }
 
 func (s *Service) recordRepairStats(res *recovery.Result) {
+	var audit []error
+	if s.cfg.AuditRepairs {
+		audit = recovery.AuditSchedule(res)
+	}
 	s.mu.Lock()
 	s.metrics.UnitsExecuted++
 	s.metrics.Undone += len(res.Undone)
 	s.metrics.Redone += len(res.Redone)
 	s.metrics.NewExecuted += len(res.NewExecuted)
+	if len(audit) > 0 {
+		s.metrics.AuditViolations += len(audit)
+		s.lastAudit = fmt.Errorf("shard: repair schedule violates Theorem-3 orders: %w", audit[0])
+	}
 	s.mu.Unlock()
 	s.o.units.Inc()
 	s.o.undone.Add(int64(len(res.Undone)))

@@ -25,6 +25,20 @@ type GenConfig struct {
 	Cycles int
 	// CycleBound is the per-gate iteration limit; 0 means 2.
 	CycleBound int
+	// MaxWrites bounds each task's write-set size (GenerateBlueprint only;
+	// 0 means 2). Generate keeps its historical 1-or-2 write sets so
+	// seeded scenarios stay bit-identical across releases.
+	MaxWrites int
+	// Prefix namespaces the pool keys: PoolKey(i) is Prefix + "k<i>". Runs
+	// generated with disjoint prefixes have disjoint key footprints, which
+	// makes their combined attack-free final state order-independent — the
+	// property the fuzzer's serial-execution oracle needs.
+	Prefix string
+}
+
+// PoolKey returns the name of pool key i under the configured prefix.
+func (c GenConfig) PoolKey(i int) data.Key {
+	return data.Key(fmt.Sprintf("%sk%d", c.Prefix, i))
 }
 
 // DefaultGenConfig returns a configuration producing medium-sized branched
@@ -61,17 +75,17 @@ func Generate(name string, cfg GenConfig, rng *rand.Rand) *Spec {
 		nr := rng.Intn(cfg.MaxReads + 1)
 		seen := make(map[data.Key]bool, nr)
 		for len(t.Reads) < nr {
-			k := GenKey(rng.Intn(cfg.Keys))
+			k := cfg.PoolKey(rng.Intn(cfg.Keys))
 			if !seen[k] {
 				seen[k] = true
 				t.Reads = append(t.Reads, k)
 			}
 		}
 		// Write set: one or two pool keys.
-		w1 := GenKey(rng.Intn(cfg.Keys))
+		w1 := cfg.PoolKey(rng.Intn(cfg.Keys))
 		t.Writes = []data.Key{w1}
 		if rng.Float64() < 0.3 {
-			if w2 := GenKey(rng.Intn(cfg.Keys)); w2 != w1 {
+			if w2 := cfg.PoolKey(rng.Intn(cfg.Keys)); w2 != w1 {
 				t.Writes = append(t.Writes, w2)
 			}
 		}

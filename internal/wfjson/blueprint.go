@@ -1,0 +1,47 @@
+package wfjson
+
+import (
+	"selfheal/internal/wf"
+)
+
+// FromBlueprint converts a serializable generated workflow (wf.Blueprint)
+// into the wire document POST /api/v1/runs accepts. The conversion is
+// lossless by construction: blueprints are restricted to exactly the task
+// bodies this format can express (sum-plus-bias computes, threshold
+// chooses), so Build(FromBlueprint(bp)) compiles the same specification as
+// bp.Spec().
+func FromBlueprint(bp *wf.Blueprint) *SpecJSON {
+	sj := &SpecJSON{
+		Name:  bp.Name,
+		Start: string(bp.Start),
+		Tasks: make([]TaskJSON, 0, len(bp.Tasks)),
+	}
+	for _, bt := range bp.Tasks {
+		tj := TaskJSON{ID: string(bt.ID), Bias: int64(bt.Bias)}
+		for _, n := range bt.Next {
+			tj.Next = append(tj.Next, string(n))
+		}
+		for _, k := range bt.Reads {
+			tj.Reads = append(tj.Reads, string(k))
+		}
+		for _, k := range bt.Writes {
+			tj.Writes = append(tj.Writes, string(k))
+		}
+		if c := bt.Choose; c != nil {
+			tj.Choose = &ChooseJSON{
+				Key:       string(c.Key),
+				Threshold: int64(c.Threshold),
+				Low:       string(c.Low),
+				High:      string(c.High),
+			}
+		}
+		sj.Tasks = append(sj.Tasks, tj)
+	}
+	if len(bp.Init) > 0 {
+		sj.Init = make(map[string]int64, len(bp.Init))
+		for k, v := range bp.Init {
+			sj.Init[string(k)] = int64(v)
+		}
+	}
+	return sj
+}

@@ -1,0 +1,76 @@
+package wfjson
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/wf"
+	"selfheal/internal/wlog"
+)
+
+// FromBlueprint is lossless: across many random blueprints, executing the
+// wire document (decoded with Build, as POST /api/v1/runs does) produces
+// exactly the store that executing the locally compiled blueprint does —
+// the equivalence the fuzzer's benign-equality oracle depends on.
+func TestFromBlueprintRoundTripExecution(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := wf.GenConfig{
+			Tasks:      2 + rng.Intn(8),
+			Keys:       1 + rng.Intn(5),
+			MaxReads:   rng.Intn(3),
+			MaxWrites:  rng.Intn(3),
+			BranchProb: rng.Float64(),
+			Prefix:     "rt_",
+		}
+		bp := wf.GenerateBlueprint("rt", cfg, rng)
+
+		sj := FromBlueprint(bp)
+		// The wire document must survive JSON serialization, as it does
+		// over HTTP.
+		raw, err := json.Marshal(sj)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var decoded SpecJSON
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		wireSpec, wireInit, err := Build(&decoded)
+		if err != nil {
+			t.Fatalf("seed %d: Build: %v", seed, err)
+		}
+		localSpec, err := bp.Spec()
+		if err != nil {
+			t.Fatalf("seed %d: Spec: %v", seed, err)
+		}
+
+		wireStore := execute(t, wireSpec, wireInit)
+		localStore := execute(t, localSpec, bp.Init)
+		if !data.Equal(wireStore, localStore) {
+			t.Fatalf("seed %d: wire and local execution diverge:\n%s",
+				seed, data.Diff(wireStore, localStore))
+		}
+	}
+}
+
+func execute(t *testing.T, spec *wf.Spec, init map[data.Key]data.Value) *data.Store {
+	t.Helper()
+	store := data.NewStore()
+	for k, v := range init {
+		store.Init(k, v)
+	}
+	eng := engine.New(store, wlog.New())
+	run, err := eng.NewRun(spec.Name, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(context.Background(), run); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
