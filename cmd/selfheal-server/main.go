@@ -27,6 +27,18 @@
 // worker discards units without repairing). None of these belong in
 // production configurations.
 //
+// With -node-id and -peers the process boots as one member of a networked
+// cluster (internal/cluster, docs/CLUSTER.md) instead of a single-process
+// shard service: the node-to-node API mounts under /internal/v1/ next to
+// the public surface, GET /api/v1/cluster reports the topology, and every
+// node answers the full v1 API regardless of which node owns a run.
+// -cluster-dir persists the replicated record journal, -join catches the
+// replica up from the peers before serving (restart/rejoin), and
+// -quiesce-hold artificially extends an incident's partial-quiescence
+// window so the mid-repair behaviour can be observed. Cluster nodes always
+// mount the chaos routes (the cluster test harness drives them); do not
+// expose them publicly.
+//
 // Routes and error envelope are documented in docs/API.md; the metric
 // catalog served by /metrics and /varz is docs/OBSERVABILITY.md.
 //
@@ -50,15 +62,95 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"selfheal/internal/cluster"
 	"selfheal/internal/durable"
 	"selfheal/internal/httpapi"
 	"selfheal/internal/obs"
 	"selfheal/internal/shard"
 	"selfheal/internal/triage"
 )
+
+// parsePeers decodes the -peers flag: "id=host:port,id=host:port,...".
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		peers[id] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
+}
+
+// serveCluster boots the process as one cluster member and blocks until a
+// termination signal.
+func serveCluster(addr, nodeID, peersFlag, dir string, join bool, hold time.Duration) {
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	node, err := cluster.New(cluster.Config{
+		NodeID:      nodeID,
+		Peers:       peers,
+		Dir:         dir,
+		Join:        join,
+		QuiesceHold: hold,
+		Registry:    reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/internal/", node.InternalHandler())
+	mux.Handle("/", httpapi.ClusterServer(reg, node))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// Keep the resolved address the first line on stdout (boot contract).
+	fmt.Printf("selfheal-server listening on %s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	// Start after the listener is up: -join pulls from peers that may in
+	// turn be probing us.
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selfheal-server cluster node %s up (stamper %v)\n", node.ID(), node.IsStamper())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case s := <-sig:
+		fmt.Printf("selfheal-server shutting down (%v)\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		node.Stop()
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
@@ -70,7 +162,20 @@ func main() {
 	chaos := flag.Bool("chaos", false, "mount the white-box chaos routes under /api/v1/chaos (fuzzing only, docs/FUZZING.md)")
 	audit := flag.Bool("audit", false, "validate every repair schedule against the Theorem-3 partial orders (GET /api/v1/chaos/verify)")
 	faultSkipRepair := flag.Bool("fault-skip-repair", false, "FAULT INJECTION: recovery worker discards units without repairing (mutation smoke only)")
+	nodeID := flag.String("node-id", "", "cluster mode: this node's member ID (requires -peers)")
+	peersFlag := flag.String("peers", "", "cluster mode: static membership as id=host:port,... (must include -node-id)")
+	join := flag.Bool("join", false, "cluster mode: catch the replica up from the peers before serving")
+	clusterDir := flag.String("cluster-dir", "", "cluster mode: directory for the replicated record journal")
+	quiesceHold := flag.Duration("quiesce-hold", 0, "cluster mode: extend each incident's partial-quiescence window (testing)")
 	flag.Parse()
+
+	if *nodeID != "" || *peersFlag != "" {
+		if *nodeID == "" || *peersFlag == "" {
+			log.Fatal("cluster mode needs both -node-id and -peers")
+		}
+		serveCluster(*addr, *nodeID, *peersFlag, *clusterDir, *join, *quiesceHold)
+		return
+	}
 
 	cfg := shard.Config{Shards: *shards, Strict: *strict, AuditRepairs: *audit}
 	cfg.Fault.SkipRepair = *faultSkipRepair

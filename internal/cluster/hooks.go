@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"fmt"
+
+	"selfheal/internal/obs"
+)
+
+// hooks adapts the cluster's instrumentation points to the obs registry.
+// Every method is safe on a zero value (nil registry): the registry and its
+// primitives are nil-safe by design, so an unobserved node pays a nil check.
+type hooks struct{ reg *obs.Registry }
+
+func (h hooks) recordStamped(kind string) {
+	h.reg.Counter(fmt.Sprintf("%s{kind=%q}", obs.MClusterRecordsStamped, kind)).Inc()
+}
+
+func (h hooks) recordsApplied(n int) {
+	h.reg.Gauge(obs.MClusterRecordsApplied).Set(int64(n))
+}
+
+func (h hooks) replicationError(peer string) {
+	h.reg.Counter(fmt.Sprintf("%s{peer=%q}", obs.MClusterReplicationErrors, peer)).Inc()
+}
+
+func (h hooks) replicationLag(peer string, lag int) {
+	h.reg.Gauge(fmt.Sprintf("%s{peer=%q}", obs.MClusterReplicationLag, peer)).Set(int64(lag))
+}
+
+func (h hooks) proxied(route string) {
+	h.reg.Counter(fmt.Sprintf("%s{route=%q}", obs.MClusterProxied, route)).Inc()
+}
+
+func (h hooks) tokenSent()       { h.reg.Counter(obs.MClusterTokensSent).Inc() }
+func (h hooks) tokenReceived()   { h.reg.Counter(obs.MClusterTokensReceived).Inc() }
+func (h hooks) stale()           { h.reg.Counter(obs.MClusterStaleSubmissions).Inc() }
+func (h hooks) pausedKeys(n int) { h.reg.Gauge(obs.MClusterPausedKeys).Set(int64(n)) }
+func (h hooks) incident()        { h.reg.Counter(obs.MClusterIncidents).Inc() }

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wlog"
+)
+
+// incidentWorker is the per-node incident leader loop: it drains the
+// bounded alert queue in batches and runs each batch through the full
+// assess → quiesce → repair → release sequence. A node only receives
+// alerts it leads (the accused run's owner routes them here), so incident
+// leadership is distributed per run.
+func (n *Node) incidentWorker() {
+	defer n.wg.Done()
+	for {
+		var first []wlog.InstanceID
+		select {
+		case <-n.stop:
+			return
+		case first = <-n.alertCh:
+		}
+		n.inIncident.Store(true)
+		batch := [][]wlog.InstanceID{first}
+	drain:
+		for {
+			select {
+			case more := <-n.alertCh:
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		n.runIncident(batch)
+		n.pendingAlerts.Add(-int64(len(batch)))
+		n.alertsAnalyzed.Add(int64(len(batch)))
+		n.inIncident.Store(false)
+	}
+}
+
+// runIncident leads one incident: distributed damage assessment, partial
+// quiescence of the nodes owning damaged keys, a replicated repair record,
+// then release. Dead peers are tolerated at every step — the repair itself
+// is sound regardless because it executes at a fixed stream position.
+func (n *Node) runIncident(batch [][]wlog.InstanceID) {
+	n.o.incident()
+	seen := make(map[wlog.InstanceID]bool)
+	var bad []wlog.InstanceID
+	for _, b := range batch {
+		for _, id := range b {
+			if !seen[id] {
+				seen[id] = true
+				bad = append(bad, id)
+			}
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+
+	keys := n.assessDamage(bad)
+
+	// Quiesce only the nodes owning damaged keys (§IV partial quiescence),
+	// plus the sequencer's admission gate: a clean node may still own a
+	// task that READS a damaged key, and admission is where that is caught.
+	targets := map[string]bool{n.ring.Stamper(): true}
+	for _, k := range keys {
+		targets[n.ring.OwnerOfKey(data.Key(k))] = true
+	}
+	tlist := sortedKeyList(targets)
+	for _, t := range tlist {
+		if t == n.cfg.NodeID {
+			n.quiesceKeys(keys)
+			continue
+		}
+		_ = n.client.quiesce(n.peerAddr(t), keys)
+	}
+
+	seq, err := n.submitRepair(instanceStrings(bad))
+	if err != nil {
+		// The repair could not be stamped (e.g. the accused instances are
+		// not in the log): release at the current position and move on.
+		seq = n.rep.Applied()
+	} else {
+		ctx, cancel := context.WithTimeout(n.stopCtx, 30*time.Second)
+		_ = n.rep.WaitApplied(ctx, seq)
+		cancel()
+	}
+
+	if n.cfg.QuiesceHold > 0 {
+		n.sleep(n.cfg.QuiesceHold)
+	}
+
+	for _, t := range tlist {
+		if t == n.cfg.NodeID {
+			n.releaseKeys(keys, seq)
+			continue
+		}
+		_ = n.client.release(n.peerAddr(t), keys, seq)
+	}
+}
+
+// assessDamage fans the damage-key closure out across the membership: the
+// accused instances are partitioned by hash, each member computes the
+// closure of its partition on its own replica, and the leader unions the
+// results. Any unreachable member's partition is assessed locally instead.
+func (n *Node) assessDamage(bad []wlog.InstanceID) []string {
+	members := n.ring.Members()
+	parts := make(map[string][]wlog.InstanceID)
+	for _, id := range bad {
+		m := members[int(hash32(string(id))%uint32(len(members)))]
+		parts[m] = append(parts[m], id)
+	}
+	keys := make(map[string]bool)
+	for m, part := range parts {
+		var ks []string
+		var err error
+		if m != n.cfg.NodeID {
+			ks, err = n.client.assess(n.peerAddr(m), instanceStrings(part))
+		}
+		if m == n.cfg.NodeID || err != nil {
+			ks = n.rep.DamageKeys(part)
+		}
+		for _, k := range ks {
+			keys[k] = true
+		}
+	}
+	return sortedKeyList(keys)
+}

@@ -1,0 +1,874 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/httpapi"
+	"selfheal/internal/obs"
+	"selfheal/internal/shard"
+	"selfheal/internal/triage"
+	"selfheal/internal/wf"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// Config boots one cluster node.
+type Config struct {
+	// NodeID is this process's member identity; it must appear in Peers.
+	NodeID string
+	// Peers maps every member ID (self included) to its host:port. The map
+	// is the static membership: every node derives the same ring from it.
+	Peers map[string]string
+	// Dir, when set, holds the node's record journal (restart replay).
+	Dir string
+	// Join performs a synchronous catch-up from the peers before serving —
+	// the -join boot mode for restarted or journal-less nodes.
+	Join bool
+	// QuiesceHold artificially extends an incident's quiesce window after
+	// the repair lands, so tests can observe partial quiescence mid-flight.
+	QuiesceHold time.Duration
+	// AlertBuf bounds the incident alert queue (default 16).
+	AlertBuf int
+	// Registry receives the cluster metrics (nil disables them).
+	Registry *obs.Registry
+}
+
+// Node is one member of the networked deployment: a full replica of the
+// record stream plus the executor, replication and incident machinery. It
+// implements the httpapi Backend/ChaosBackend surfaces, so any node is a
+// complete client entry point; the node owning a run's current task is the
+// one that actually executes it.
+type Node struct {
+	cfg     Config
+	ring    *Ring
+	rep     *replica
+	journal *journal
+	st      *stamper // non-nil only on the sequencer
+	client  *peerClient
+	o       hooks
+
+	stop       chan struct{}
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
+
+	pushMu   sync.Mutex
+	pushCond *sync.Cond
+
+	// Executor gate: keys quiesced on this node by an incident leader.
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+	paused   map[data.Key]bool
+
+	drivingMu sync.Mutex
+	driving   map[string]bool
+
+	alertCh        chan []wlog.InstanceID
+	pendingAlerts  atomic.Int64
+	inIncident     atomic.Bool
+	alertsReported atomic.Int64
+	alertsLost     atomic.Int64
+	alertsAnalyzed atomic.Int64
+}
+
+// New builds a node: ring derivation, journal replay, sequencer election.
+func New(cfg Config) (*Node, error) {
+	if cfg.NodeID == "" {
+		return nil, errors.New("cluster: node ID required")
+	}
+	if len(cfg.Peers) == 0 {
+		cfg.Peers = map[string]string{cfg.NodeID: ""}
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return nil, fmt.Errorf("cluster: node %s is not in the peer map", cfg.NodeID)
+	}
+	if cfg.AlertBuf <= 0 {
+		cfg.AlertBuf = 16
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	n := &Node{
+		cfg:     cfg,
+		ring:    NewRing(ids),
+		rep:     newReplica(),
+		client:  newPeerClient(),
+		o:       hooks{cfg.Registry},
+		stop:    make(chan struct{}),
+		paused:  make(map[data.Key]bool),
+		driving: make(map[string]bool),
+		alertCh: make(chan []wlog.InstanceID, cfg.AlertBuf),
+	}
+	n.stopCtx, n.stopCancel = context.WithCancel(context.Background())
+	n.pushCond = sync.NewCond(&n.pushMu)
+	n.gateCond = sync.NewCond(&n.gateMu)
+	isStamper := n.ring.Stamper() == cfg.NodeID
+	if cfg.Dir != "" {
+		j, recs, err := openJournal(cfg.Dir, cfg.NodeID, isStamper)
+		if err != nil {
+			return nil, err
+		}
+		n.journal = j
+		for i := range recs {
+			if _, err := n.rep.Apply(&recs[i]); err != nil {
+				j.close()
+				return nil, fmt.Errorf("cluster: journal replay: %w", err)
+			}
+		}
+		n.o.recordsApplied(n.rep.Applied())
+	}
+	if isStamper {
+		n.st = newStamper(n)
+	}
+	return n, nil
+}
+
+// ID returns the node's member identity.
+func (n *Node) ID() string { return n.cfg.NodeID }
+
+// IsStamper reports whether this node is the cluster's sequencer.
+func (n *Node) IsStamper() bool { return n.st != nil }
+
+// Ring exposes the ownership map (read-only).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Start launches replication, the incident worker and the run reconciler.
+// With Config.Join set it first catches the replica up from the peers.
+func (n *Node) Start() error {
+	if n.cfg.Join {
+		if err := n.catchUp(); err != nil {
+			return err
+		}
+	}
+	if n.st != nil {
+		for _, id := range n.ring.Members() {
+			if id == n.cfg.NodeID {
+				continue
+			}
+			n.wg.Add(1)
+			go n.pusher(id)
+		}
+	} else {
+		n.wg.Add(1)
+		go n.pullLoop()
+	}
+	n.wg.Add(1)
+	go n.incidentWorker()
+	n.wg.Add(1)
+	go n.reconcileLoop()
+	return nil
+}
+
+// Stop shuts the node down and waits for its goroutines.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.stopCancel()
+		n.wakePushers()
+		n.gateMu.Lock()
+		n.gateCond.Broadcast()
+		n.gateMu.Unlock()
+		n.wg.Wait()
+		n.journal.close()
+	})
+}
+
+func (n *Node) stopped() bool {
+	select {
+	case <-n.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d, returning false if the node stopped first.
+func (n *Node) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-n.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (n *Node) peerAddr(id string) string { return n.cfg.Peers[id] }
+func (n *Node) stamperAddr() string       { return n.peerAddr(n.ring.Stamper()) }
+
+// applyRecord applies one replicated record and journals it on success.
+func (n *Node) applyRecord(rec *Record) error {
+	ok, err := n.rep.Apply(rec)
+	if err != nil {
+		return err
+	}
+	if ok {
+		// Follower journals are flush-only (no fsync): a torn tail after
+		// SIGKILL is healed by the catch-up pull at restart.
+		_ = n.journal.append(rec)
+		n.o.recordsApplied(n.rep.Applied())
+	}
+	return nil
+}
+
+// catchUp pulls the stream from the most advanced reachable peer until the
+// replica reaches that peer's position (the -join boot mode).
+func (n *Node) catchUp() error {
+	target, from := 0, ""
+	for _, id := range n.ring.Members() {
+		if id == n.cfg.NodeID {
+			continue
+		}
+		st, err := n.client.status(n.peerAddr(id))
+		if err != nil {
+			continue
+		}
+		if st.Applied >= target && from == "" || st.Applied > target {
+			target, from = st.Applied, id
+		}
+	}
+	for from != "" && n.rep.Applied() < target {
+		recs, err := n.client.fetchCommits(n.peerAddr(from), n.rep.Applied(), 512)
+		if err != nil {
+			return fmt.Errorf("cluster: join catch-up from %s: %w", from, err)
+		}
+		if len(recs) == 0 {
+			return fmt.Errorf("cluster: join catch-up stalled at %d of %d", n.rep.Applied(), target)
+		}
+		for i := range recs {
+			if err := n.applyRecord(&recs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pullLoop is the follower's catch-up fallback behind the stamper's push:
+// it polls the stamper (then any peer) for records past the local cursor.
+func (n *Node) pullLoop() {
+	defer n.wg.Done()
+	peers := []string{n.ring.Stamper()}
+	for _, id := range n.ring.Members() {
+		if id != n.cfg.NodeID && id != n.ring.Stamper() {
+			peers = append(peers, id)
+		}
+	}
+	for !n.stopped() {
+		progressed := false
+		for _, id := range peers {
+			recs, err := n.client.fetchCommits(n.peerAddr(id), n.rep.Applied(), 512)
+			if err != nil || len(recs) == 0 {
+				continue
+			}
+			for i := range recs {
+				if err := n.applyRecord(&recs[i]); err != nil {
+					return
+				}
+			}
+			progressed = true
+			break
+		}
+		if !progressed && !n.sleep(100*time.Millisecond) {
+			return
+		}
+	}
+}
+
+// reconcileLoop re-fires driveRun for every active run: explicit token
+// handoffs are a latency optimization, the reconciler is the guarantee that
+// a lost token (or a restarted node) cannot strand a workflow.
+func (n *Node) reconcileLoop() {
+	defer n.wg.Done()
+	for n.sleep(30 * time.Millisecond) {
+		for _, run := range n.rep.ActiveRuns() {
+			n.driveRun(run)
+		}
+	}
+}
+
+// driveRun ensures exactly one local driver loop per run.
+func (n *Node) driveRun(run string) {
+	if n.stopped() {
+		return
+	}
+	n.drivingMu.Lock()
+	if n.driving[run] {
+		n.drivingMu.Unlock()
+		return
+	}
+	n.driving[run] = true
+	n.drivingMu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.drivingMu.Lock()
+			delete(n.driving, run)
+			n.drivingMu.Unlock()
+		}()
+		n.runLoop(run)
+	}()
+}
+
+// runLoop advances one run until it completes, the control token moves to
+// another node, or the node stops.
+func (n *Node) runLoop(run string) {
+	for !n.stopped() {
+		cur, visit, done, ok := n.rep.Frontier(run)
+		if !ok || done {
+			return
+		}
+		spec := n.rep.Spec(run)
+		if spec == nil {
+			return
+		}
+		task := spec.Tasks[cur]
+		if task == nil {
+			return
+		}
+		if owner := n.ring.OwnerOfTask(run, spec, cur); owner != n.cfg.NodeID {
+			n.o.tokenSent()
+			if err := n.client.sendToken(n.peerAddr(owner), run, n.rep.Applied()); err == nil {
+				return // handed off: the owner drives from here
+			}
+			// Owner unreachable: execute locally. The stamper's OCC
+			// serializes us against whoever else picks the run up.
+		}
+		if !n.gateWait(task) {
+			return
+		}
+		if !n.executeStep(run, cur, visit, task) {
+			if !n.sleep(25 * time.Millisecond) {
+				return
+			}
+		}
+	}
+}
+
+// executeStep optimistically executes one task against the local replica
+// and submits it to the stamper. It returns false when the step must be
+// retried after a pause (submission error or quiesced footprint).
+func (n *Node) executeStep(run string, cur wf.TaskID, visit int, task *wf.Task) bool {
+	obsv, vals := n.rep.readView(task)
+	written := make(map[string]int64, len(task.Writes))
+	if task.Compute != nil {
+		out := task.Compute(vals)
+		for _, k := range task.Writes {
+			written[string(k)] = int64(out[k])
+		}
+	} else {
+		for _, k := range task.Writes {
+			written[string(k)] = 0
+		}
+	}
+	chosen := ""
+	if len(task.Next) > 1 {
+		chosen = string(task.Choose(vals))
+	}
+	ej := &EntryJSON{
+		Run:    run,
+		Task:   string(cur),
+		Visit:  visit,
+		Reads:  make(map[string]ReadObsJSON, len(obsv)),
+		Writes: written,
+		Chosen: chosen,
+	}
+	for k, o := range obsv {
+		ej.Reads[string(k)] = ReadObsJSON{Value: int64(o.Value), Writer: o.Writer, WriterPos: o.WriterPos}
+	}
+	res, err := n.submitEntry(ej)
+	if err != nil {
+		return false
+	}
+	switch res.Status {
+	case SubPaused:
+		return false
+	case SubStale:
+		n.o.stale()
+	}
+	// Catch the local replica up to the stamper's position before reading
+	// the next frontier (also how a stale executor recomputes correctly).
+	ctx, cancel := context.WithTimeout(n.stopCtx, 5*time.Second)
+	defer cancel()
+	_ = n.rep.WaitApplied(ctx, res.Seq)
+	return true
+}
+
+// gateWait blocks while the task's footprint intersects this node's
+// quiesced keys. Returns false when the node stopped instead.
+func (n *Node) gateWait(task *wf.Task) bool {
+	n.gateMu.Lock()
+	defer n.gateMu.Unlock()
+	for {
+		if n.stopped() {
+			return false
+		}
+		blocked := false
+		for _, k := range task.Reads {
+			if n.paused[k] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			for _, k := range task.Writes {
+				if n.paused[k] {
+					blocked = true
+					break
+				}
+			}
+		}
+		if !blocked {
+			return true
+		}
+		n.gateCond.Wait()
+	}
+}
+
+// quiesceKeys pauses the executor gate (and, on the sequencer, admission)
+// for the given keys.
+func (n *Node) quiesceKeys(keys []string) {
+	n.gateMu.Lock()
+	for _, k := range keys {
+		n.paused[data.Key(k)] = true
+	}
+	n.gateMu.Unlock()
+	if n.st != nil {
+		n.st.PauseKeys(keys)
+	}
+}
+
+// releaseKeys unpauses the keys once the replica has applied the repair
+// (record `after`), asynchronously.
+func (n *Node) releaseKeys(keys []string, after int) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(n.stopCtx, 30*time.Second)
+		defer cancel()
+		_ = n.rep.WaitApplied(ctx, after)
+		n.gateMu.Lock()
+		for _, k := range keys {
+			delete(n.paused, data.Key(k))
+		}
+		n.gateCond.Broadcast()
+		n.gateMu.Unlock()
+		if n.st != nil {
+			n.st.ReleaseKeys(keys)
+		}
+	}()
+}
+
+// Submission routing: local call on the sequencer, HTTP to it elsewhere.
+
+func (n *Node) submitEntry(ej *EntryJSON) (SubmitResult, error) {
+	if n.st != nil {
+		return n.st.SubmitEntry(n.cfg.NodeID, ej), nil
+	}
+	return n.client.submitEntry(n.stamperAddr(), n.cfg.NodeID, ej)
+}
+
+func (n *Node) submitSpec(run string, doc *wfjson.SpecJSON) (int, error) {
+	if n.st != nil {
+		return n.st.SubmitSpec(n.cfg.NodeID, run, doc)
+	}
+	n.o.proxied("runs")
+	return n.client.submitSpec(n.stamperAddr(), n.cfg.NodeID, run, doc)
+}
+
+func (n *Node) submitForge(run, task string, reads []string, writes map[string]int64) (wlog.InstanceID, int, error) {
+	if n.st != nil {
+		return n.st.SubmitForge(n.cfg.NodeID, run, task, reads, writes)
+	}
+	n.o.proxied("chaos/forge")
+	return n.client.submitForge(n.stamperAddr(), n.cfg.NodeID, run, task, reads, writes)
+}
+
+func (n *Node) submitRepair(bad []string) (int, error) {
+	if n.st != nil {
+		return n.st.SubmitRepair(n.cfg.NodeID, bad)
+	}
+	return n.client.submitRepair(n.stamperAddr(), n.cfg.NodeID, bad)
+}
+
+// ---- httpapi.Backend ----
+
+// SubmitRunSpec registers a run through the sequencer and waits until the
+// local replica has applied it (read-your-writes for the submitting client).
+func (n *Node) SubmitRunSpec(id string, doc *wfjson.SpecJSON) error {
+	if id == "" {
+		return fmt.Errorf("cluster: %w: empty run id", engine.ErrBadSpec)
+	}
+	if _, _, err := wfjson.Build(doc); err != nil {
+		return fmt.Errorf("cluster: %w: %v", engine.ErrBadSpec, err)
+	}
+	seq, err := n.submitSpec(id, doc)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(n.stopCtx, 10*time.Second)
+	defer cancel()
+	if err := n.rep.WaitApplied(ctx, seq); err != nil {
+		return err
+	}
+	n.driveRun(id)
+	return nil
+}
+
+// RunInfo returns one run's view; Shard is the owner's ring position.
+func (n *Node) RunInfo(id string) (shard.RunInfo, error) {
+	done, ok := n.rep.RunDone(id)
+	if !ok {
+		return shard.RunInfo{}, fmt.Errorf("cluster: run %s: %w", id, engine.ErrUnknownRun)
+	}
+	status := "active"
+	if done {
+		status = "done"
+	}
+	return shard.RunInfo{ID: id, Status: status, Shard: n.ring.OwnerIndexOfRun(id), Steps: n.rep.Steps(id)}, nil
+}
+
+// Runs lists every run, sorted by ID.
+func (n *Node) Runs() []shard.RunInfo {
+	ids := n.rep.RunIDs()
+	out := make([]shard.RunInfo, 0, len(ids))
+	for _, id := range ids {
+		if info, err := n.RunInfo(id); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Trace returns a run's committed instance IDs, forged included.
+func (n *Node) Trace(run string) []wlog.InstanceID { return n.rep.Trace(run, true) }
+
+// ReportAlerts validates a batch and routes each alert to its incident
+// leader (the accused run's owner), falling back to leading locally when
+// the leader is unreachable.
+func (n *Node) ReportAlerts(alerts []triage.Alert) (admitted, dropped int, err error) {
+	// Syntax over the whole batch first: a malformed ID anywhere is a bad
+	// request regardless of position.
+	for _, a := range alerts {
+		if len(a.Bad) == 0 {
+			return 0, 0, fmt.Errorf("cluster: %w: empty alert", engine.ErrBadSpec)
+		}
+		for _, id := range a.Bad {
+			if _, _, _, perr := wlog.ParseInstance(id); perr != nil {
+				return 0, 0, fmt.Errorf("cluster: alert instance %q: %w", id, engine.ErrBadSpec)
+			}
+		}
+	}
+	// Presence next, against the full local replica.
+	for _, a := range alerts {
+		for _, id := range a.Bad {
+			if !n.rep.HasInstance(id) {
+				return 0, 0, fmt.Errorf("cluster: alert instance %q: %w", id, engine.ErrUnknownRun)
+			}
+		}
+	}
+	for _, a := range alerts {
+		run, _, _, _ := wlog.ParseInstance(a.Bad[0])
+		leader := n.ring.OwnerOfRun(run)
+		if leader == n.cfg.NodeID {
+			if n.admitAlert(a.Bad) {
+				admitted++
+			} else {
+				dropped++
+			}
+			continue
+		}
+		n.o.proxied("alerts")
+		ad, dr, ferr := n.client.forwardAlert(n.peerAddr(leader), instanceStrings(a.Bad))
+		if ferr != nil {
+			var ae *apiError
+			if errors.As(ferr, &ae) {
+				return admitted, dropped, ferr
+			}
+			// Leader unreachable: lead the incident from here.
+			if n.admitAlert(a.Bad) {
+				admitted++
+			} else {
+				dropped++
+			}
+			continue
+		}
+		admitted += ad
+		dropped += dr
+	}
+	return admitted, dropped, nil
+}
+
+// admitAlert enqueues one alert on the bounded incident queue.
+func (n *Node) admitAlert(bad []wlog.InstanceID) bool {
+	n.pendingAlerts.Add(1)
+	select {
+	case n.alertCh <- append([]wlog.InstanceID(nil), bad...):
+		n.alertsReported.Add(1)
+		return true
+	default:
+		n.pendingAlerts.Add(-1)
+		n.alertsLost.Add(1)
+		return false
+	}
+}
+
+// RetryAfterSeconds is the 429/partial-drop backpressure hint.
+func (n *Node) RetryAfterSeconds() int {
+	return shard.EstimateRetryAfter(int(n.pendingAlerts.Load()), shard.DefaultDrainSecPerAlert)
+}
+
+// StateString is the §IV.C classification of this node.
+func (n *Node) StateString() string {
+	if n.inIncident.Load() {
+		return "RECOVERY"
+	}
+	if n.pendingAlerts.Load() > 0 {
+		return "SCAN"
+	}
+	return "NORMAL"
+}
+
+// QueueLengths returns (alerts queued, incidents in flight, 0).
+func (n *Node) QueueLengths() (int, int, int) {
+	units := 0
+	if n.inIncident.Load() {
+		units = 1
+	}
+	return int(n.pendingAlerts.Load()), units, 0
+}
+
+// MetricsDoc summarizes this node's view of the cluster's accounting.
+func (n *Node) MetricsDoc() shard.Metrics {
+	st := n.rep.Stats()
+	ids := n.rep.RunIDs()
+	completed := 0
+	for _, id := range ids {
+		if done, _ := n.rep.RunDone(id); done {
+			completed++
+		}
+	}
+	normal := 0
+	_, entries := n.rep.LogEntries()
+	for _, e := range entries {
+		if !e.Forged {
+			normal++
+		}
+	}
+	return shard.Metrics{
+		AlertsReported: int(n.alertsReported.Load()),
+		AlertsLost:     int(n.alertsLost.Load()),
+		AlertsAnalyzed: int(n.alertsAnalyzed.Load()),
+		UnitsExecuted:  st.units,
+		RecoveryErrors: st.errors,
+		Undone:         st.undone,
+		Redone:         st.redone,
+		NewExecuted:    st.newExec,
+		RunsSubmitted:  len(ids),
+		RunsCompleted:  completed,
+		NormalSteps:    normal,
+	}
+}
+
+// StoreSnapshot returns the committed value of every key.
+func (n *Node) StoreSnapshot() map[string]int64 {
+	snap := n.rep.Snapshot()
+	out := make(map[string]int64, len(snap))
+	for k, v := range snap {
+		out[string(k)] = int64(v)
+	}
+	return out
+}
+
+// ---- httpapi.ChaosBackend ----
+
+// InjectForged routes the forged commit through the sequencer and waits for
+// the local replica to apply it.
+func (n *Node) InjectForged(run, task string, reads []string, writes map[string]int64) (wlog.InstanceID, error) {
+	inst, seq, err := n.submitForge(run, task, reads, writes)
+	if err != nil {
+		return "", err
+	}
+	ctx, cancel := context.WithTimeout(n.stopCtx, 10*time.Second)
+	defer cancel()
+	if err := n.rep.WaitApplied(ctx, seq); err != nil {
+		return "", err
+	}
+	return inst, nil
+}
+
+// Checkpoint is unsupported: the replicated stream (plus per-node journals)
+// is the cluster's durability story.
+func (n *Node) Checkpoint(ctx context.Context) error {
+	return errors.New("cluster: nodes do not checkpoint; the replicated record stream is durable")
+}
+
+// WaitIdle blocks until the whole cluster is quiescent: every member caught
+// up to the sequencer, no active runs, no alerts queued, no incident —
+// stable for two consecutive polls.
+func (n *Node) WaitIdle(ctx context.Context) error {
+	return n.waitQuiescent(ctx, true)
+}
+
+// DrainRecovery blocks until alerts and incidents have drained cluster-wide
+// and every member caught up (runs may still be active).
+func (n *Node) DrainRecovery(ctx context.Context) error {
+	return n.waitQuiescent(ctx, false)
+}
+
+func (n *Node) waitQuiescent(ctx context.Context, wantRunsDone bool) error {
+	stable := 0
+	for {
+		if n.clusterQuiescent(wantRunsDone) {
+			stable++
+			if stable >= 2 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.stop:
+			return errors.New("cluster: node stopped")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (n *Node) clusterQuiescent(wantRunsDone bool) bool {
+	if n.pendingAlerts.Load() > 0 || n.inIncident.Load() {
+		return false
+	}
+	if wantRunsDone && len(n.rep.ActiveRuns()) > 0 {
+		return false
+	}
+	applied := make(map[string]int, len(n.cfg.Peers))
+	for _, id := range n.ring.Members() {
+		if id == n.cfg.NodeID {
+			applied[id] = n.rep.Applied()
+			continue
+		}
+		st, err := n.client.status(n.peerAddr(id))
+		if err != nil {
+			return false
+		}
+		if st.Alerts > 0 || st.Incident {
+			return false
+		}
+		if wantRunsDone && st.ActiveRuns > 0 {
+			return false
+		}
+		applied[id] = st.Applied
+	}
+	head := applied[n.ring.Stamper()]
+	for _, a := range applied {
+		if a != head {
+			return false
+		}
+	}
+	return true
+}
+
+// LogDoc returns the replica's committed log.
+func (n *Node) LogDoc() (int, []httpapi.LogEntry) {
+	base, entries := n.rep.LogEntries()
+	out := make([]httpapi.LogEntry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, httpapi.LogEntry{
+			LSN:    e.LSN,
+			ID:     string(e.ID()),
+			Run:    e.Run,
+			Task:   string(e.Task),
+			Visit:  e.Visit,
+			Forged: e.Forged,
+		})
+	}
+	return base, out
+}
+
+// VerifyDoc returns this replica's soundness verdicts for the fuzz oracles.
+func (n *Node) VerifyDoc() httpapi.VerifyDoc {
+	doc := httpapi.VerifyDoc{State: n.StateString(), CheckIndex: "ok"}
+	if err := n.rep.CheckIndex(); err != nil {
+		doc.CheckIndex = err.Error()
+	}
+	st := n.rep.Stats()
+	doc.AuditViolations = st.auditViolations
+	if st.lastAudit != nil {
+		doc.AuditError = st.lastAudit.Error()
+	}
+	if st.lastErr != nil {
+		doc.RecoveryError = st.lastErr.Error()
+	}
+	return doc
+}
+
+// ---- GET /api/v1/cluster ----
+
+// MemberStatus is one member's health in the cluster document.
+type MemberStatus struct {
+	ID      string `json:"id"`
+	Addr    string `json:"addr"`
+	Stamper bool   `json:"stamper"`
+	Alive   bool   `json:"alive"`
+	Applied int    `json:"applied"`
+	State   string `json:"state,omitempty"`
+}
+
+// ClusterInfo is the GET /api/v1/cluster document served by every node.
+type ClusterInfo struct {
+	Node    string         `json:"node"`
+	Stamper string         `json:"stamper"`
+	Applied int            `json:"applied"`
+	Members []MemberStatus `json:"members"`
+}
+
+// ClusterDoc reports the topology and each member's replication health.
+func (n *Node) ClusterDoc() any {
+	info := ClusterInfo{
+		Node:    n.cfg.NodeID,
+		Stamper: n.ring.Stamper(),
+		Applied: n.rep.Applied(),
+	}
+	for _, id := range n.ring.Members() {
+		m := MemberStatus{ID: id, Addr: n.peerAddr(id), Stamper: id == n.ring.Stamper()}
+		if id == n.cfg.NodeID {
+			m.Alive, m.Applied, m.State = true, n.rep.Applied(), n.StateString()
+		} else if st, err := n.client.status(n.peerAddr(id)); err == nil {
+			m.Alive, m.Applied, m.State = true, st.Applied, st.State
+		}
+		info.Members = append(info.Members, m)
+	}
+	return info
+}
+
+func instanceStrings(ids []wlog.InstanceID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func sortedKeyList(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

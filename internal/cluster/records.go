@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"selfheal/internal/data"
+	"selfheal/internal/wf"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// Record kinds: the three deterministic state-machine transitions every
+// replica applies in stream order.
+const (
+	// KindSpec registers a run (spec + first-writer-wins init seeding).
+	KindSpec = "spec"
+	// KindEntry commits one task instance (normal or forged) with the
+	// stamper's authoritative read observations.
+	KindEntry = "entry"
+	// KindRepair runs the Theorem-1..4 repair for the accused instances at
+	// this stream position, on every node.
+	KindRepair = "repair"
+)
+
+// Record is one position of the replicated cluster stream. Seq is dense and
+// 1-based; a replica at applied=N holds exactly the effects of records
+// 1..N, which is what makes "applied" a complete replication cursor.
+type Record struct {
+	Seq  int    `json:"seq"`
+	Kind string `json:"kind"`
+	// Origin is the node that submitted the record (observability only —
+	// never part of the applied state).
+	Origin string `json:"origin,omitempty"`
+
+	// KindSpec fields.
+	Run  string           `json:"run,omitempty"`
+	Spec *wfjson.SpecJSON `json:"spec,omitempty"`
+	Init map[string]int64 `json:"init,omitempty"`
+
+	// KindEntry field.
+	Entry *EntryJSON `json:"entry,omitempty"`
+
+	// KindRepair field.
+	Bad []string `json:"bad,omitempty"`
+}
+
+// ReadObsJSON is the wire form of wlog.ReadObs.
+type ReadObsJSON struct {
+	Value     int64   `json:"value"`
+	Writer    string  `json:"writer,omitempty"`
+	WriterPos float64 `json:"writer_pos"`
+}
+
+// EntryJSON is the wire form of a committed task instance. The LSN is not
+// carried: every replica's log assigns the same dense LSN because entry
+// records occupy the same stream positions everywhere.
+type EntryJSON struct {
+	Run    string                 `json:"run,omitempty"`
+	Task   string                 `json:"task"`
+	Visit  int                    `json:"visit"`
+	Forged bool                   `json:"forged,omitempty"`
+	Reads  map[string]ReadObsJSON `json:"reads,omitempty"`
+	Writes map[string]int64       `json:"writes,omitempty"`
+	Chosen string                 `json:"chosen,omitempty"`
+}
+
+// ToEntry converts the wire form into a fresh wlog.Entry (LSN unassigned).
+func (ej *EntryJSON) ToEntry() *wlog.Entry {
+	e := &wlog.Entry{
+		Run:    ej.Run,
+		Task:   wf.TaskID(ej.Task),
+		Visit:  ej.Visit,
+		Forged: ej.Forged,
+		Chosen: wf.TaskID(ej.Chosen),
+		Reads:  make(map[data.Key]wlog.ReadObs, len(ej.Reads)),
+		Writes: make(map[data.Key]data.Value, len(ej.Writes)),
+	}
+	for k, o := range ej.Reads {
+		e.Reads[data.Key(k)] = wlog.ReadObs{
+			Value:     data.Value(o.Value),
+			Writer:    o.Writer,
+			WriterPos: o.WriterPos,
+		}
+	}
+	for k, v := range ej.Writes {
+		e.Writes[data.Key(k)] = data.Value(v)
+	}
+	return e
+}
+
+// EntryToJSON converts a wlog.Entry into its wire form.
+func EntryToJSON(e *wlog.Entry) *EntryJSON {
+	ej := &EntryJSON{
+		Run:    e.Run,
+		Task:   string(e.Task),
+		Visit:  e.Visit,
+		Forged: e.Forged,
+		Chosen: string(e.Chosen),
+		Reads:  make(map[string]ReadObsJSON, len(e.Reads)),
+		Writes: make(map[string]int64, len(e.Writes)),
+	}
+	for k, o := range e.Reads {
+		ej.Reads[string(k)] = ReadObsJSON{
+			Value:     int64(o.Value),
+			Writer:    o.Writer,
+			WriterPos: o.WriterPos,
+		}
+	}
+	for k, v := range e.Writes {
+		ej.Writes[string(k)] = int64(v)
+	}
+	return ej
+}
+
+// journal is the per-node JSONL record log: one applied record per line.
+// Restart replays the journal, then -join pulls whatever the tail lost —
+// so followers never fsync, and only the stamper (the single authority for
+// stream positions) syncs each append.
+type journal struct {
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+}
+
+func openJournal(dir, nodeID string, sync bool) (*journal, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("cluster: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, nodeID+".journal")
+	var recs []Record
+	if raw, err := os.ReadFile(path); err == nil {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		for dec.More() {
+			var rec Record
+			if err := dec.Decode(&rec); err != nil {
+				// A torn tail (crash mid-write) truncates the replay here;
+				// the catch-up pull re-fetches everything past it.
+				break
+			}
+			if rec.Seq != len(recs)+1 {
+				break
+			}
+			recs = append(recs, rec)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: journal: %w", err)
+	}
+	if len(recs) > 0 {
+		// Rewrite the journal to exactly the replayable prefix, dropping
+		// any torn tail so appends continue from a clean line boundary.
+		if err := f.Truncate(0); err == nil {
+			w := bufio.NewWriter(f)
+			enc := json.NewEncoder(w)
+			for i := range recs {
+				_ = enc.Encode(&recs[i])
+			}
+			_ = w.Flush()
+		}
+	}
+	return &journal{f: f, w: bufio.NewWriter(f), sync: sync}, recs, nil
+}
+
+func (j *journal) append(rec *Record) error {
+	if j == nil {
+		return nil
+	}
+	if err := json.NewEncoder(j.w).Encode(rec); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	_ = j.w.Flush()
+	_ = j.f.Close()
+}

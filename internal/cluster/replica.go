@@ -1,0 +1,406 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"selfheal/internal/data"
+	"selfheal/internal/recovery"
+	"selfheal/internal/wf"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// runState is one run's execution frontier as derived from the stream.
+type runState struct {
+	cur    wf.TaskID
+	visits map[wf.TaskID]int
+	done   bool
+}
+
+// repairStats accumulates the replica's deterministic repair accounting.
+type repairStats struct {
+	units, undone, redone, newExec, errors, auditViolations int
+	lastErr                                                 error
+	lastAudit                                               error
+}
+
+// replica is the deterministic state machine every node holds: the full
+// system log, the versioned store, the run specifications and every run's
+// execution frontier, all derived by applying the record stream in order.
+// Two replicas at the same applied position are byte-identical — including
+// after repairs, which execute at a fixed stream position with Parallel=1.
+type replica struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	applied int
+	history []Record // records 1..applied, served to catching-up peers
+
+	log   *wlog.Log
+	store *data.Store
+	specs map[string]*wf.Spec
+	runs  map[string]*runState
+
+	ropts recovery.Options
+	stats repairStats
+}
+
+func newReplica() *replica {
+	r := &replica{
+		log:   wlog.New(),
+		store: data.NewStore(),
+		specs: make(map[string]*wf.Spec),
+		runs:  make(map[string]*runState),
+		// Parallel=1 pins the repair schedule: every replica computes the
+		// identical result at the identical stream position.
+		ropts: recovery.Options{Parallel: 1},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Applied returns the replication cursor.
+func (r *replica) Applied() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// WaitApplied blocks until the replica has applied at least seq or the
+// context dies.
+func (r *replica) WaitApplied(ctx context.Context, seq int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.applied < seq {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: waiting for record %d (applied %d): %w", seq, r.applied, err)
+		}
+		// Arm a waker so cond.Wait cannot outlive the context.
+		stop := context.AfterFunc(ctx, r.cond.Broadcast)
+		r.cond.Wait()
+		stop()
+	}
+	return nil
+}
+
+// RecordsAfter returns records (after, after+len] for peer catch-up, capped.
+func (r *replica) RecordsAfter(after, max int) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if after >= len(r.history) {
+		return nil
+	}
+	end := len(r.history)
+	if max > 0 && end-after > max {
+		end = after + max
+	}
+	return append([]Record(nil), r.history[after:end]...)
+}
+
+// Apply applies one record. Records must arrive in stream order; a gap or
+// replayed record is reported by the boolean without touching state.
+func (r *replica) Apply(rec *Record) (applied bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.Seq <= r.applied {
+		return false, nil // duplicate delivery: already applied
+	}
+	if rec.Seq != r.applied+1 {
+		return false, nil // gap: caller must fetch the missing records
+	}
+	switch rec.Kind {
+	case KindSpec:
+		err = r.applySpec(rec)
+	case KindEntry:
+		err = r.applyEntry(rec)
+	case KindRepair:
+		r.applyRepair(rec)
+	default:
+		err = fmt.Errorf("cluster: record %d has unknown kind %q", rec.Seq, rec.Kind)
+	}
+	if err != nil {
+		// A failed application is a stream-integrity error: refusing the
+		// record (and everything after it) is safer than diverging.
+		return false, err
+	}
+	r.applied = rec.Seq
+	r.history = append(r.history, *rec)
+	r.cond.Broadcast()
+	return true, nil
+}
+
+func (r *replica) applySpec(rec *Record) error {
+	spec, init, err := wfjson.Build(rec.Spec)
+	if err != nil {
+		return fmt.Errorf("cluster: record %d spec: %w", rec.Seq, err)
+	}
+	if _, dup := r.specs[rec.Run]; dup {
+		return fmt.Errorf("cluster: record %d: run %s already registered", rec.Seq, rec.Run)
+	}
+	// First writer wins, decided at this stream position — deterministic
+	// on every replica regardless of map iteration order because Init only
+	// touches keys with no versions at all.
+	for k, v := range init {
+		if _, ok := r.store.Get(k); !ok {
+			r.store.Init(k, v)
+		}
+	}
+	r.specs[rec.Run] = spec
+	r.runs[rec.Run] = &runState{cur: spec.Start, visits: make(map[wf.TaskID]int)}
+	return nil
+}
+
+func (r *replica) applyEntry(rec *Record) error {
+	if rec.Entry == nil {
+		return fmt.Errorf("cluster: record %d: entry record without entry", rec.Seq)
+	}
+	e := rec.Entry.ToEntry()
+	lsn, err := r.log.Append(e)
+	if err != nil {
+		return fmt.Errorf("cluster: record %d: %w", rec.Seq, err)
+	}
+	id := e.ID()
+	for k, v := range e.Writes {
+		r.store.Write(k, v, float64(lsn), string(id), false)
+	}
+	if e.Forged {
+		return nil
+	}
+	rs := r.runs[e.Run]
+	if rs == nil {
+		return fmt.Errorf("cluster: record %d: entry for unregistered run %s", rec.Seq, e.Run)
+	}
+	spec := r.specs[e.Run]
+	task := spec.Tasks[e.Task]
+	if task == nil {
+		return fmt.Errorf("cluster: record %d: run %s has no task %s", rec.Seq, e.Run, e.Task)
+	}
+	rs.visits[e.Task] = e.Visit
+	switch {
+	case len(task.Next) == 0:
+		rs.done = true
+	case len(task.Next) == 1:
+		rs.cur = task.Next[0]
+	default:
+		rs.cur = e.Chosen
+	}
+	return nil
+}
+
+// applyRepair runs the deterministic repair at this stream position. A
+// repair that fails to compute is recorded (the recovery-error oracle
+// surfaces it) but does not poison the stream: every replica fails it
+// identically, so they stay convergent.
+func (r *replica) applyRepair(rec *Record) {
+	bad := make([]wlog.InstanceID, len(rec.Bad))
+	for i, s := range rec.Bad {
+		bad[i] = wlog.InstanceID(s)
+	}
+	res, err := recovery.Repair(r.store, r.log, r.specsCopy(), bad, r.ropts)
+	r.stats.units++
+	if err != nil {
+		r.stats.errors++
+		r.stats.lastErr = fmt.Errorf("cluster: repair at record %d: %w", rec.Seq, err)
+		return
+	}
+	r.store = res.Store
+	r.stats.undone += len(res.Undone)
+	r.stats.redone += len(res.Redone)
+	r.stats.newExec += len(res.NewExecuted)
+	if audit := recovery.AuditSchedule(res); len(audit) > 0 {
+		r.stats.auditViolations += len(audit)
+		r.stats.lastAudit = fmt.Errorf("cluster: repair schedule violates Theorem-3 orders: %w", audit[0])
+	}
+	// Move every rewritten run onto its corrected frontier, rebuilding
+	// visit counts from the full trace (forged included) exactly like the
+	// single-node engine's resync.
+	for run, rs := range r.runs {
+		cur, done, ok := res.Frontier(run, r.specs[run])
+		if !ok {
+			continue
+		}
+		rs.cur, rs.done = cur, done
+		visits := make(map[wf.TaskID]int)
+		for _, e := range r.log.Trace(run, true) {
+			if e.Visit > visits[e.Task] {
+				visits[e.Task] = e.Visit
+			}
+		}
+		rs.visits = visits
+	}
+}
+
+func (r *replica) specsCopy() map[string]*wf.Spec {
+	out := make(map[string]*wf.Spec, len(r.specs))
+	for k, v := range r.specs {
+		out[k] = v
+	}
+	return out
+}
+
+// Frontier returns a run's current execution position: the task to execute
+// next, the visit number that execution would commit, and whether the run
+// exists / is done.
+func (r *replica) Frontier(run string) (cur wf.TaskID, visit int, done, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.runs[run]
+	if rs == nil {
+		return "", 0, false, false
+	}
+	return rs.cur, rs.visits[rs.cur] + 1, rs.done, true
+}
+
+// Spec returns a run's specification.
+func (r *replica) Spec(run string) *wf.Spec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.specs[run]
+}
+
+// HasRun reports whether the run is registered.
+func (r *replica) HasRun(run string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs[run] != nil
+}
+
+// ActiveRuns returns the IDs of runs that are not done, sorted.
+func (r *replica) ActiveRuns() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for id, rs := range r.runs {
+		if !rs.done {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunIDs returns every registered run ID, sorted.
+func (r *replica) RunIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.runs))
+	for id := range r.runs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunDone reports whether a run exists and has completed.
+func (r *replica) RunDone(run string) (done, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.runs[run]
+	if rs == nil {
+		return false, false
+	}
+	return rs.done, true
+}
+
+// Stats returns a copy of the repair accounting.
+func (r *replica) Stats() repairStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Snapshot returns the committed value of every key.
+func (r *replica) Snapshot() map[data.Key]data.Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Snapshot()
+}
+
+// CheckIndex re-validates the store's writer index.
+func (r *replica) CheckIndex() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.CheckIndex()
+}
+
+// Trace returns a run's committed instance IDs in LSN order.
+func (r *replica) Trace(run string, withForged bool) []wlog.InstanceID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries := r.log.Trace(run, withForged)
+	out := make([]wlog.InstanceID, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.ID())
+	}
+	return out
+}
+
+// Steps counts a run's committed normal (non-forged) executions.
+func (r *replica) Steps(run string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.log.Trace(run, false))
+}
+
+// HasInstance reports whether an instance is committed in the log.
+func (r *replica) HasInstance(id wlog.InstanceID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.log.Get(id)
+	return ok
+}
+
+// DamageKeys computes the damage-key closure of the accused instances on
+// this replica (the distributed-assessment partition step).
+func (r *replica) DamageKeys(bad []wlog.InstanceID) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	closure := recovery.DamageKeyClosure(r.log, r.specsCopy(), bad)
+	out := make([]string, 0, len(closure))
+	for k := range closure {
+		out = append(out, string(k))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LogEntries returns the log's truncation base and committed entries.
+func (r *replica) LogEntries() (int, []*wlog.Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Base(), r.log.Entries()
+}
+
+// readView returns a task's read observations and plain values against the
+// replica's current committed state — the executor's optimistic read set,
+// revalidated by the stamper at commit time.
+func (r *replica) readView(task *wf.Task) (map[data.Key]wlog.ReadObs, map[data.Key]data.Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	obs := make(map[data.Key]wlog.ReadObs, len(task.Reads))
+	vals := make(map[data.Key]data.Value, len(task.Reads))
+	for _, k := range task.Reads {
+		v, ok := r.store.Get(k)
+		if !ok {
+			obs[k] = wlog.ReadObs{Value: 0, WriterPos: wlog.MissingPos}
+			vals[k] = 0
+			continue
+		}
+		obs[k] = wlog.ReadObs{Value: v.Value, Writer: v.Writer, WriterPos: v.Pos}
+		vals[k] = v.Value
+	}
+	return obs, vals
+}
+
+// currentObs returns the current committed observation for one key.
+func (r *replica) currentObs(k data.Key) wlog.ReadObs {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.store.Get(k)
+	if !ok {
+		return wlog.ReadObs{Value: 0, WriterPos: wlog.MissingPos}
+	}
+	return wlog.ReadObs{Value: v.Value, Writer: v.Writer, WriterPos: v.Pos}
+}

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"selfheal/internal/data"
+	"selfheal/internal/engine"
+	"selfheal/internal/wf"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// Submission statuses the stamper returns to executors.
+const (
+	// SubOK: the entry was stamped; Seq is its stream position.
+	SubOK = "ok"
+	// SubDup: the instance is already committed (a retransmit after a lost
+	// response) — benign; Seq is the stamper's current position.
+	SubDup = "dup"
+	// SubStale: the submission's frontier or read versions no longer match
+	// the stamper's replica. The executor catches its replica up to Seq
+	// and re-executes.
+	SubStale = "stale"
+	// SubPaused: the task's footprint intersects a quiesced incident's
+	// damaged keys. The executor retries after the repair releases.
+	SubPaused = "paused"
+)
+
+// SubmitResult is the stamper's verdict on an entry submission.
+type SubmitResult struct {
+	Status string `json:"status"`
+	Seq    int    `json:"seq"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// stamper is the cluster's single sequencer: the lowest-sorted member. It
+// owns the dense record stream — every spec, entry and repair record is
+// validated against the stamper's replica and stamped under one mutex, so
+// the stream is a serialization of the whole cluster's commits. Entry
+// submissions carry the executor's optimistic read observations; the
+// stamper re-reads its own replica and rejects any submission whose
+// observations are no longer current (the §VII merge discipline as OCC).
+type stamper struct {
+	n  *Node
+	mu sync.Mutex
+	// pausedKeys is the admission gate of partial quiescence: while an
+	// incident holds keys, no entry touching them is stamped, anywhere in
+	// the cluster — even from nodes that were not asked to quiesce
+	// (a clean node may own a task that READS a damaged key).
+	pausedKeys map[data.Key]bool
+}
+
+func newStamper(n *Node) *stamper {
+	return &stamper{n: n, pausedKeys: make(map[data.Key]bool)}
+}
+
+// stampLocked assigns the next stream position, journals, applies locally
+// and wakes the replication pushers. Callers hold s.mu.
+func (s *stamper) stampLocked(rec *Record) (int, error) {
+	rec.Seq = s.n.rep.Applied() + 1
+	if err := s.n.journal.append(rec); err != nil {
+		return 0, fmt.Errorf("cluster: stamper journal: %w", err)
+	}
+	ok, err := s.n.rep.Apply(rec)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("cluster: stamper replica refused record %d", rec.Seq)
+	}
+	s.n.o.recordStamped(rec.Kind)
+	s.n.wakePushers()
+	return rec.Seq, nil
+}
+
+// SubmitSpec validates and stamps a run registration.
+func (s *stamper) SubmitSpec(origin, run string, doc *wfjson.SpecJSON) (int, error) {
+	_, init, err := wfjson.Build(doc)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: run %s: %w: %v", run, engine.ErrBadSpec, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n.rep.HasRun(run) {
+		return 0, fmt.Errorf("cluster: run %s: %w", run, engine.ErrRunExists)
+	}
+	initW := make(map[string]int64, len(init))
+	for k, v := range init {
+		initW[string(k)] = int64(v)
+	}
+	return s.stampLocked(&Record{Kind: KindSpec, Origin: origin, Run: run, Spec: doc, Init: initW})
+}
+
+// SubmitEntry validates an executor's optimistic submission and stamps it.
+func (s *stamper) SubmitEntry(origin string, ej *EntryJSON) SubmitResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.n.rep
+
+	inst := wlog.FormatInstance(ej.Run, wf.TaskID(ej.Task), ej.Visit)
+	if rep.HasInstance(inst) {
+		return SubmitResult{Status: SubDup, Seq: rep.Applied()}
+	}
+	spec := rep.Spec(ej.Run)
+	if spec == nil {
+		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: "unknown run"}
+	}
+	task := spec.Tasks[wf.TaskID(ej.Task)]
+	if task == nil {
+		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: "unknown task"}
+	}
+	cur, visit, done, _ := rep.Frontier(ej.Run)
+	if done || cur != wf.TaskID(ej.Task) || visit != ej.Visit {
+		return SubmitResult{Status: SubStale, Seq: rep.Applied(),
+			Reason: fmt.Sprintf("frontier is %s#%d", cur, visit)}
+	}
+	// Partial-quiescence admission gate: reject anything touching a
+	// quiesced key (reads included — a damaged value must not leak into a
+	// new commit while the repair is in flight).
+	for _, k := range task.Reads {
+		if s.pausedKeys[k] {
+			return SubmitResult{Status: SubPaused, Seq: rep.Applied()}
+		}
+	}
+	for _, k := range task.Writes {
+		if s.pausedKeys[k] {
+			return SubmitResult{Status: SubPaused, Seq: rep.Applied()}
+		}
+	}
+	// OCC validation: every observed read version must still be the
+	// current committed version on the stamper's replica.
+	for _, k := range task.Reads {
+		want := rep.currentObs(k)
+		got, ok := ej.Reads[string(k)]
+		if !ok || data.Value(got.Value) != want.Value || got.Writer != want.Writer || got.WriterPos != want.WriterPos {
+			return SubmitResult{Status: SubStale, Seq: rep.Applied(),
+				Reason: fmt.Sprintf("read %s is stale", k)}
+		}
+	}
+	seq, err := s.stampLocked(&Record{Kind: KindEntry, Origin: origin, Entry: ej})
+	if err != nil {
+		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: err.Error()}
+	}
+	return SubmitResult{Status: SubOK, Seq: seq}
+}
+
+// SubmitForge commits an attacker task outside any specification, reading
+// the current versions of the named keys — the cluster's equivalent of the
+// single-node engine's InjectForged (always visit 1).
+func (s *stamper) SubmitForge(origin, run, task string, reads []string, writes map[string]int64) (wlog.InstanceID, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.n.rep
+	inst := wlog.FormatInstance(run, wf.TaskID(task), 1)
+	if rep.HasInstance(inst) {
+		return "", 0, fmt.Errorf("cluster: forged instance %s already committed: %w", inst, engine.ErrRunExists)
+	}
+	ej := &EntryJSON{
+		Run:    run,
+		Task:   task,
+		Visit:  1,
+		Forged: true,
+		Reads:  make(map[string]ReadObsJSON, len(reads)),
+		Writes: writes,
+	}
+	for _, k := range reads {
+		o := rep.currentObs(data.Key(k))
+		ej.Reads[k] = ReadObsJSON{Value: int64(o.Value), Writer: o.Writer, WriterPos: o.WriterPos}
+	}
+	seq, err := s.stampLocked(&Record{Kind: KindEntry, Origin: origin, Entry: ej})
+	if err != nil {
+		return "", 0, err
+	}
+	return inst, seq, nil
+}
+
+// SubmitRepair stamps a repair record for the accused instances. The caller
+// (the incident leader) has already quiesced the damaged keys' owners.
+func (s *stamper) SubmitRepair(origin string, bad []string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range bad {
+		if !s.n.rep.HasInstance(wlog.InstanceID(id)) {
+			return 0, fmt.Errorf("cluster: repair names unknown instance %s: %w", id, engine.ErrUnknownRun)
+		}
+	}
+	return s.stampLocked(&Record{Kind: KindRepair, Origin: origin, Bad: bad})
+}
+
+// PauseKeys adds keys to the admission gate (incident quiesce).
+func (s *stamper) PauseKeys(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		s.pausedKeys[data.Key(k)] = true
+	}
+	s.n.o.pausedKeys(len(s.pausedKeys))
+}
+
+// ReleaseKeys removes keys from the admission gate.
+func (s *stamper) ReleaseKeys(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.pausedKeys, data.Key(k))
+	}
+	s.n.o.pausedKeys(len(s.pausedKeys))
+}
+
+// pusher streams new records to one peer in order, resuming from whatever
+// the peer acknowledges — push is the primary replication path, with the
+// follower's pull loop as the catch-up fallback.
+func (n *Node) pusher(peerID string) {
+	defer n.wg.Done()
+	sent := 0
+	for {
+		n.pushMu.Lock()
+		for sent >= n.rep.Applied() && !n.stopped() {
+			n.pushCond.Wait()
+		}
+		n.pushMu.Unlock()
+		if n.stopped() {
+			return
+		}
+		batch := n.rep.RecordsAfter(sent, 256)
+		if len(batch) == 0 {
+			continue
+		}
+		applied, err := n.client.pushCommits(n.peerAddr(peerID), batch)
+		if err != nil {
+			n.o.replicationError(peerID)
+			if !n.sleep(100 * time.Millisecond) {
+				return
+			}
+			// Re-probe from the peer's acknowledged position next round.
+			continue
+		}
+		if applied > sent {
+			sent = applied
+		} else if applied < sent {
+			sent = applied // peer restarted behind us: rewind
+		} else if !n.sleep(20 * time.Millisecond) {
+			return
+		}
+		n.o.replicationLag(peerID, n.rep.Applied()-sent)
+	}
+}
+
+// wakePushers signals every replication pusher that new records exist.
+func (n *Node) wakePushers() {
+	n.pushMu.Lock()
+	n.pushCond.Broadcast()
+	n.pushMu.Unlock()
+}

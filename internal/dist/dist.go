@@ -12,6 +12,10 @@
 // cross-processor data dependences: t8 on one processor reads what t1 wrote
 // on another). Commits are serialized by the cluster so commit stamps are
 // unique and totally ordered.
+//
+// This package is the in-process model of that deployment; internal/cluster
+// (docs/CLUSTER.md) realizes the same design as a real networked cluster of
+// selfheal-server processes.
 package dist
 
 import (

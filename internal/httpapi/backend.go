@@ -1,0 +1,81 @@
+package httpapi
+
+import (
+	"context"
+
+	"selfheal/internal/shard"
+	"selfheal/internal/triage"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// Backend is the execution-layer surface the versioned workflow API is
+// written against. Two implementations exist: the single-process sharded
+// service (shard.Service, via shardBackend) and a cluster node
+// (internal/cluster, via ClusterServer) — the same handlers, route table and
+// OpenAPI document serve both, which is what makes any cluster node a valid
+// entry point for the stable API.
+type Backend interface {
+	// SubmitRunSpec registers a wfjson workflow run. Errors wrap the
+	// engine/shard sentinels for status mapping.
+	SubmitRunSpec(id string, spec *wfjson.SpecJSON) error
+	// RunInfo returns one run's status; unknown IDs wrap engine.ErrUnknownRun.
+	RunInfo(id string) (shard.RunInfo, error)
+	// Runs lists every run, sorted by ID.
+	Runs() []shard.RunInfo
+	// Trace returns a run's committed instance IDs in LSN order, forged
+	// included (the ?trace=1 payload).
+	Trace(run string) []wlog.InstanceID
+	// ReportAlerts admits a validated batch of IDS alerts.
+	ReportAlerts(alerts []triage.Alert) (admitted, dropped int, err error)
+	// RetryAfterSeconds is the backpressure hint for 429s and partial drops.
+	RetryAfterSeconds() int
+	// StateString is the §IV.C classification (NORMAL/SCAN/RECOVERY).
+	StateString() string
+	// QueueLengths returns (alerts queued, recovery units queued, deferred).
+	QueueLengths() (int, int, int)
+	// MetricsDoc is the cumulative accounting of GET /api/v1/state.
+	MetricsDoc() shard.Metrics
+	// StoreSnapshot is the committed value of every key.
+	StoreSnapshot() map[string]int64
+}
+
+// ChaosBackend is the white-box surface behind /api/v1/chaos (fuzzing only).
+type ChaosBackend interface {
+	Backend
+	// InjectForged commits an attacker task outside any specification.
+	InjectForged(run, task string, reads []string, writes map[string]int64) (wlog.InstanceID, error)
+	// Checkpoint forces a durable snapshot (error when not durable).
+	Checkpoint(ctx context.Context) error
+	// WaitIdle blocks until all runs retired and recovery drained.
+	WaitIdle(ctx context.Context) error
+	// DrainRecovery blocks until recovery work drained (runs may step on).
+	DrainRecovery(ctx context.Context) error
+	// LogDoc returns the committed log (truncation base and entries).
+	LogDoc() (base int, entries []LogEntry)
+	// VerifyDoc returns the soundness verdicts for the fuzzing oracles.
+	VerifyDoc() VerifyDoc
+}
+
+// LogEntry is one committed log record in GET /api/v1/chaos/log.
+type LogEntry struct {
+	LSN    int    `json:"lsn"`
+	ID     string `json:"id"`
+	Run    string `json:"run,omitempty"`
+	Task   string `json:"task"`
+	Visit  int    `json:"visit"`
+	Forged bool   `json:"forged,omitempty"`
+}
+
+// VerifyDoc is the GET /api/v1/chaos/verify document: the global soundness
+// verdicts the fuzzer's oracles assert after draining.
+type VerifyDoc struct {
+	State string `json:"state"`
+	// CheckIndex is "ok" or the data.CheckIndex violation text.
+	CheckIndex string `json:"check_index"`
+	// AuditViolations counts Theorem-3 partial-order violations across all
+	// installed repairs (requires repair auditing to be enabled).
+	AuditViolations int    `json:"audit_violations"`
+	AuditError      string `json:"audit_error,omitempty"`
+	RecoveryError   string `json:"recovery_error,omitempty"`
+}

@@ -7,10 +7,8 @@ import (
 	"net/http"
 	"time"
 
-	"selfheal/internal/data"
 	"selfheal/internal/obs"
 	"selfheal/internal/shard"
-	"selfheal/internal/wf"
 )
 
 // The chaos surface (docs/FUZZING.md): white-box hooks the stateful API
@@ -19,7 +17,8 @@ import (
 // — forged commits, forced checkpoints, the committed log, and the global
 // soundness verdicts — so the fuzzer can drive a real server over HTTP and
 // still check oracles that need internal state. They are mounted only by
-// ServerWithChaos and must never be enabled on a production service.
+// ServerWithChaos (and cluster nodes booted for testing) and must never be
+// enabled on a production service.
 //
 //	POST /api/v1/chaos/forge       commit a forged task instance (attack)
 //	POST /api/v1/chaos/checkpoint  force a durable snapshot now
@@ -29,7 +28,13 @@ import (
 
 // ServerWithChaos returns Server's route set plus the chaos surface.
 func ServerWithChaos(reg *obs.Registry, svc *shard.Service) http.Handler {
-	return observed(reg, svc, chaosRoutes)
+	b := shardBackend{svc: svc}
+	fams := []string{FamLegacy, FamV1, FamChaos}
+	return assemble(reg, fams, func(m *apiMux) {
+		legacyRoutes(m)
+		v1Routes(m, b, fams)
+		chaosRoutes(m, b)
+	})
 }
 
 // forgeRequest is the POST /api/v1/chaos/forge document: the forged task
@@ -47,31 +52,8 @@ type forgeRequest struct {
 	Writes map[string]int64 `json:"writes"`
 }
 
-// logEntry is one committed log record in GET /api/v1/chaos/log.
-type logEntry struct {
-	LSN    int    `json:"lsn"`
-	ID     string `json:"id"`
-	Run    string `json:"run,omitempty"`
-	Task   string `json:"task"`
-	Visit  int    `json:"visit"`
-	Forged bool   `json:"forged,omitempty"`
-}
-
-// verifyResponse is the GET /api/v1/chaos/verify document: the global
-// soundness verdicts the fuzzer's oracles assert after draining.
-type verifyResponse struct {
-	State string `json:"state"`
-	// CheckIndex is "ok" or the data.CheckIndex violation text.
-	CheckIndex string `json:"check_index"`
-	// AuditViolations counts Theorem-3 partial-order violations across all
-	// installed repairs (requires shard.Config.AuditRepairs).
-	AuditViolations int    `json:"audit_violations"`
-	AuditError      string `json:"audit_error,omitempty"`
-	RecoveryError   string `json:"recovery_error,omitempty"`
-}
-
-func chaosRoutes(mux *http.ServeMux, svc *shard.Service) {
-	mux.HandleFunc("POST /api/v1/chaos/forge", func(w http.ResponseWriter, r *http.Request) {
+func chaosRoutes(mux *apiMux, cb ChaosBackend) {
+	mux.handle("POST", "/api/v1/chaos/forge", func(w http.ResponseWriter, r *http.Request) {
 		var req forgeRequest
 		if err := decodeStrict(r, &req); err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -81,31 +63,23 @@ func chaosRoutes(mux *http.ServeMux, svc *shard.Service) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("forge needs a task name and at least one write"))
 			return
 		}
-		reads := make([]data.Key, len(req.Reads))
-		for i, k := range req.Reads {
-			reads[i] = data.Key(k)
-		}
-		writes := make(map[data.Key]data.Value, len(req.Writes))
-		for k, v := range req.Writes {
-			writes[data.Key(k)] = data.Value(v)
-		}
-		inst, err := svc.InjectForged(req.Run, wf.TaskID(req.Task), reads, writes)
+		inst, err := cb.InjectForged(req.Run, req.Task, req.Reads, req.Writes)
 		if err != nil {
-			serviceError(w, svc, err)
+			serviceError(w, cb, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]any{"instance": string(inst)})
 	})
 
-	mux.HandleFunc("POST /api/v1/chaos/checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		if err := svc.Checkpoint(r.Context()); err != nil {
+	mux.handle("POST", "/api/v1/chaos/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if err := cb.Checkpoint(r.Context()); err != nil {
 			httpError(w, http.StatusConflict, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
 
-	mux.HandleFunc("POST /api/v1/chaos/drain", func(w http.ResponseWriter, r *http.Request) {
+	mux.handle("POST", "/api/v1/chaos/drain", func(w http.ResponseWriter, r *http.Request) {
 		timeout := 10 * time.Second
 		if s := r.URL.Query().Get("timeout"); s != "" {
 			d, err := time.ParseDuration(s)
@@ -122,9 +96,9 @@ func chaosRoutes(mux *http.ServeMux, svc *shard.Service) {
 		case "", "idle":
 			// All runs retired and recovery fully drained: the quiescent
 			// point at which the fuzzer's global oracles are defined.
-			err = svc.WaitIdle(ctx)
+			err = cb.WaitIdle(ctx)
 		case "recovery":
-			err = svc.DrainRecovery(ctx)
+			err = cb.DrainRecovery(ctx)
 		default:
 			httpError(w, http.StatusBadRequest, fmt.Errorf("wait: unknown mode %q (want idle or recovery)", wait))
 			return
@@ -133,41 +107,22 @@ func chaosRoutes(mux *http.ServeMux, svc *shard.Service) {
 			httpError(w, http.StatusConflict, fmt.Errorf("drain: %w", err))
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "state": svc.State().String()})
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "state": cb.StateString()})
 	})
 
-	mux.HandleFunc("GET /api/v1/chaos/log", func(w http.ResponseWriter, _ *http.Request) {
-		entries := svc.Log().Entries()
-		out := make([]logEntry, 0, len(entries))
-		for _, e := range entries {
-			out = append(out, logEntry{
-				LSN:    e.LSN,
-				ID:     string(e.ID()),
-				Run:    e.Run,
-				Task:   string(e.Task),
-				Visit:  e.Visit,
-				Forged: e.Forged,
-			})
+	mux.handle("GET", "/api/v1/chaos/log", func(w http.ResponseWriter, _ *http.Request) {
+		base, entries := cb.LogDoc()
+		if entries == nil {
+			entries = []LogEntry{}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"base":    svc.Log().Base(),
-			"entries": out,
+			"base":    base,
+			"entries": entries,
 		})
 	})
 
-	mux.HandleFunc("GET /api/v1/chaos/verify", func(w http.ResponseWriter, _ *http.Request) {
-		resp := verifyResponse{State: svc.State().String(), CheckIndex: "ok"}
-		if err := svc.Store().CheckIndex(); err != nil {
-			resp.CheckIndex = err.Error()
-		}
-		resp.AuditViolations = svc.Metrics().AuditViolations
-		if err := svc.LastAuditError(); err != nil {
-			resp.AuditError = err.Error()
-		}
-		if err := svc.LastRecoveryError(); err != nil {
-			resp.RecoveryError = err.Error()
-		}
-		writeJSON(w, http.StatusOK, resp)
+	mux.handle("GET", "/api/v1/chaos/verify", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, cb.VerifyDoc())
 	})
 }
 

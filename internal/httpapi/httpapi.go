@@ -35,21 +35,27 @@ func Handler() http.Handler {
 // non-nil, and — when svc is non-nil — the versioned workflow API under
 // /api/v1/ backed by the sharded self-healing service (docs/API.md).
 func Server(reg *obs.Registry, svc *shard.Service) http.Handler {
-	return observed(reg, svc)
+	if svc == nil {
+		return ObservedHandler(reg)
+	}
+	fams := []string{FamLegacy, FamV1}
+	b := shardBackend{svc: svc}
+	return assemble(reg, fams, func(m *apiMux) {
+		legacyRoutes(m)
+		v1Routes(m, b, fams)
+	})
 }
 
-func baseMux(svc *shard.Service) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealth)
-	mux.HandleFunc("GET /figures", handleFigures)
-	mux.HandleFunc("GET /figure/{id}", handleFigure)
-	mux.HandleFunc("GET /solve", handleSolve)
-	mux.HandleFunc("GET /stg.dot", handleSTG)
-	mux.HandleFunc("POST /repair", handleRepair)
-	if svc != nil {
-		v1Routes(mux, svc)
-	}
-	return mux
+// legacyRoutes mounts the unversioned analysis surface. These routes predate
+// the workflow service: CTMC figure regeneration, custom solving, the Fig 3
+// state graph and the stateless remote-repair endpoint.
+func legacyRoutes(mux *apiMux) {
+	mux.handle("GET", "/healthz", handleHealth)
+	mux.handle("GET", "/figures", handleFigures)
+	mux.handle("GET", "/figure/{id}", handleFigure)
+	mux.handle("GET", "/solve", handleSolve)
+	mux.handle("GET", "/stg.dot", handleSTG)
+	mux.handle("POST", "/repair", handleRepair)
 }
 
 func handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -6,10 +6,9 @@ import (
 	"time"
 
 	"selfheal/internal/obs"
-	"selfheal/internal/shard"
 )
 
-// ObservedHandler returns the service's routes wired into the observability
+// ObservedHandler returns the analysis routes wired into the observability
 // registry: two exposition endpoints —
 //
 //	GET /metrics   Prometheus text format (hand-rolled, deterministic order)
@@ -20,32 +19,38 @@ import (
 // is docs/OBSERVABILITY.md. A nil registry returns the uninstrumented
 // routes, identical to Handler.
 func ObservedHandler(reg *obs.Registry) http.Handler {
-	return observed(reg, nil)
+	return assemble(reg, []string{FamLegacy}, func(m *apiMux) { legacyRoutes(m) })
 }
 
-// observed assembles the mux for Handler, ObservedHandler, Server and
-// ServerWithChaos; extra mounts additional route sets (the chaos surface)
-// before instrumentation wraps the mux.
-func observed(reg *obs.Registry, svc *shard.Service, extra ...func(*http.ServeMux, *shard.Service)) http.Handler {
-	mux := baseMux(svc)
-	for _, mount := range extra {
-		mount(mux, svc)
+// assemble builds every server variant: a route-table-checked mux for the
+// given families, the caller's mounts, the exposition endpoints when a
+// registry is attached, and the instrumentation wrapper. finish() panics if
+// any declared route of the families was not mounted, so a server that
+// drifts from the route table cannot boot.
+func assemble(reg *obs.Registry, families []string, mount func(*apiMux)) http.Handler {
+	if reg != nil {
+		families = append(append([]string(nil), families...), FamMetrics)
 	}
+	m := newAPIMux(families...)
+	mount(m)
+	if reg != nil {
+		m.handle("GET", "/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+			}
+		})
+		m.handle("GET", "/varz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+			}
+		})
+	}
+	mux := m.finish()
 	if reg == nil {
 		return mux
 	}
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WritePrometheus(w); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-		}
-	})
-	mux.HandleFunc("GET /varz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := reg.WriteJSON(w); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-		}
-	})
 	reqSeconds := reg.Histogram(obs.MHTTPRequestSeconds, obs.LatencyBuckets)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, pattern := mux.Handler(r)

@@ -1,0 +1,101 @@
+package httpapi
+
+import (
+	"context"
+
+	"selfheal/internal/data"
+	"selfheal/internal/shard"
+	"selfheal/internal/triage"
+	"selfheal/internal/wf"
+	"selfheal/internal/wfjson"
+	"selfheal/internal/wlog"
+)
+
+// shardBackend adapts the single-process sharded service to the Backend
+// surface the v1 handlers are written against.
+type shardBackend struct {
+	svc *shard.Service
+}
+
+func (b shardBackend) SubmitRunSpec(id string, spec *wfjson.SpecJSON) error {
+	return b.svc.SubmitRunSpec(id, spec)
+}
+
+func (b shardBackend) RunInfo(id string) (shard.RunInfo, error) { return b.svc.RunInfo(id) }
+func (b shardBackend) Runs() []shard.RunInfo                    { return b.svc.Runs() }
+
+func (b shardBackend) Trace(run string) []wlog.InstanceID {
+	entries := b.svc.Log().Trace(run, true)
+	out := make([]wlog.InstanceID, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.ID())
+	}
+	return out
+}
+
+func (b shardBackend) ReportAlerts(alerts []triage.Alert) (int, int, error) {
+	return b.svc.ReportAlerts(alerts)
+}
+
+func (b shardBackend) RetryAfterSeconds() int { return b.svc.RetryAfterSeconds() }
+func (b shardBackend) StateString() string    { return b.svc.State().String() }
+func (b shardBackend) QueueLengths() (int, int, int) {
+	return b.svc.QueueLengths()
+}
+func (b shardBackend) MetricsDoc() shard.Metrics { return b.svc.Metrics() }
+
+func (b shardBackend) StoreSnapshot() map[string]int64 {
+	snap := b.svc.Store().Snapshot()
+	out := make(map[string]int64, len(snap))
+	for k, v := range snap {
+		out[string(k)] = int64(v)
+	}
+	return out
+}
+
+func (b shardBackend) InjectForged(run, task string, reads []string, writes map[string]int64) (wlog.InstanceID, error) {
+	rk := make([]data.Key, len(reads))
+	for i, k := range reads {
+		rk[i] = data.Key(k)
+	}
+	wk := make(map[data.Key]data.Value, len(writes))
+	for k, v := range writes {
+		wk[data.Key(k)] = data.Value(v)
+	}
+	return b.svc.InjectForged(run, wf.TaskID(task), rk, wk)
+}
+
+func (b shardBackend) Checkpoint(ctx context.Context) error    { return b.svc.Checkpoint(ctx) }
+func (b shardBackend) WaitIdle(ctx context.Context) error      { return b.svc.WaitIdle(ctx) }
+func (b shardBackend) DrainRecovery(ctx context.Context) error { return b.svc.DrainRecovery(ctx) }
+
+func (b shardBackend) LogDoc() (int, []LogEntry) {
+	entries := b.svc.Log().Entries()
+	out := make([]LogEntry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, LogEntry{
+			LSN:    e.LSN,
+			ID:     string(e.ID()),
+			Run:    e.Run,
+			Task:   string(e.Task),
+			Visit:  e.Visit,
+			Forged: e.Forged,
+		})
+	}
+	return b.svc.Log().Base(), out
+}
+
+func (b shardBackend) VerifyDoc() VerifyDoc {
+	doc := VerifyDoc{State: b.svc.State().String(), CheckIndex: "ok"}
+	if err := b.svc.Store().CheckIndex(); err != nil {
+		doc.CheckIndex = err.Error()
+	}
+	doc.AuditViolations = b.svc.Metrics().AuditViolations
+	if err := b.svc.LastAuditError(); err != nil {
+		doc.AuditError = err.Error()
+	}
+	if err := b.svc.LastRecoveryError(); err != nil {
+		doc.RecoveryError = err.Error()
+	}
+	return doc
+}

@@ -14,18 +14,21 @@ import (
 	"selfheal/internal/wlog"
 )
 
-// The versioned workflow API (docs/API.md): the sharded self-healing
-// service as an HTTP resource model.
+// The versioned workflow API (docs/API.md): the self-healing execution layer
+// as an HTTP resource model, written against the Backend surface so the
+// sharded single-process service and a cluster node serve identical routes.
 //
-//	POST /api/v1/runs        submit a workflow run (wfjson spec)
-//	GET  /api/v1/runs        list run statuses
-//	GET  /api/v1/runs/{id}   one run's status
-//	POST /api/v1/alerts      deliver an IDS alert
-//	GET  /api/v1/state       NORMAL/SCAN/RECOVERY, queues, metrics
+//	POST /api/v1/runs          submit a workflow run (wfjson spec)
+//	GET  /api/v1/runs          list run statuses (paginated with query params)
+//	GET  /api/v1/runs/{id}     one run's status (?trace=1 adds instance IDs)
+//	POST /api/v1/alerts        deliver IDS alerts
+//	GET  /api/v1/state         NORMAL/SCAN/RECOVERY, queues, metrics
+//	GET  /api/v1/store         committed store snapshot
+//	GET  /api/v1/openapi.json  generated OpenAPI 3.1 description
 //
 // Every error is the single JSON envelope {"error": {"code", "message"}};
 // sentinel errors of the execution layers map to status codes via
-// errors.Is (400 bad_spec, 404 not_found, 409 run_exists, 429 queue_full).
+// errors.Is (400 bad_request, 404 not_found, 409 run_exists, 429 queue_full).
 
 // runRequest is the POST /api/v1/runs document.
 type runRequest struct {
@@ -40,7 +43,7 @@ type runRequest struct {
 // alertRequest is the POST /api/v1/alerts document: a single alert (bad),
 // a batch of alerts (batch), or both.
 type alertRequest struct {
-	// Bad lists the malicious task instances ("run:task:visit").
+	// Bad lists the malicious task instances ("run/task#visit").
 	Bad []string `json:"bad,omitempty"`
 	// Batch delivers several alerts in one admission, each its own bad
 	// set. The whole request is validated before anything is queued.
@@ -63,9 +66,31 @@ type stateResponse struct {
 	Runs []shard.RunInfo `json:"runs"`
 }
 
-// v1Routes mounts the versioned workflow API over the sharded service.
-func v1Routes(mux *http.ServeMux, svc *shard.Service) {
-	mux.HandleFunc("POST /api/v1/runs", func(w http.ResponseWriter, r *http.Request) {
+// runsPage is the paginated GET /api/v1/runs document, returned only when
+// the request carries any of the status/limit/after query parameters; the
+// bare-array response is preserved for parameterless requests.
+type runsPage struct {
+	Runs []shard.RunInfo `json:"runs"`
+	// Next is the resume cursor: pass it as ?after= to fetch the following
+	// page. Empty when this page is the last. The cursor is stable because
+	// the listing is sorted by immutable run IDs — runs submitted while
+	// paginating are seen iff they sort after the cursor.
+	Next string `json:"next,omitempty"`
+}
+
+// tracedRunInfo is the GET /api/v1/runs/{id}?trace=1 document: the run
+// status plus its committed instance IDs.
+type tracedRunInfo struct {
+	shard.RunInfo
+	// Trace lists the run's committed instance IDs ("run/task#visit") in
+	// commit (LSN) order, forged instances included — exactly the IDs
+	// POST /api/v1/alerts accepts.
+	Trace []wlog.InstanceID `json:"trace"`
+}
+
+// v1Routes mounts the versioned workflow API over a backend.
+func v1Routes(mux *apiMux, b Backend, families []string) {
+	mux.handle("POST", "/api/v1/runs", func(w http.ResponseWriter, r *http.Request) {
 		var req runRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -74,38 +99,86 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 			return
 		}
 		if req.ID == "" {
-			serviceError(w, svc, fmt.Errorf("run id is required: %w", engine.ErrBadSpec))
+			serviceError(w, b, fmt.Errorf("run id is required: %w", engine.ErrBadSpec))
 			return
 		}
 		// SubmitRunSpec validates the document, seeds the declared initial
 		// values (first writer wins) through the commit pipeline and, on a
 		// durable service, persists the spec record before placing the run.
-		if err := svc.SubmitRunSpec(req.ID, &req.Spec); err != nil {
-			serviceError(w, svc, err)
+		if err := b.SubmitRunSpec(req.ID, &req.Spec); err != nil {
+			serviceError(w, b, err)
 			return
 		}
-		info, err := svc.RunInfo(req.ID)
+		info, err := b.RunInfo(req.ID)
 		if err != nil {
-			serviceError(w, svc, err)
+			serviceError(w, b, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
 	})
 
-	mux.HandleFunc("GET /api/v1/runs", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Runs())
+	mux.handle("GET", "/api/v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if !q.Has("status") && !q.Has("limit") && !q.Has("after") {
+			// Legacy unpaginated contract: the bare sorted array.
+			writeJSON(w, http.StatusOK, b.Runs())
+			return
+		}
+		status := q.Get("status")
+		switch status {
+		case "", "active", "deferred", "done", "failed":
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("status: unknown %q (want active, deferred, done or failed)", status))
+			return
+		}
+		limit := 0
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("limit: want a positive integer, got %q", s))
+				return
+			}
+			limit = n
+		}
+		after := q.Get("after")
+		var page runsPage
+		page.Runs = []shard.RunInfo{}
+		for _, info := range b.Runs() { // sorted by ID: the cursor order
+			if after != "" && info.ID <= after {
+				continue
+			}
+			if status != "" && info.Status != status {
+				continue
+			}
+			if limit > 0 && len(page.Runs) == limit {
+				// One past the page: the previous entry is not the last
+				// match, so hand out a resume cursor.
+				page.Next = page.Runs[limit-1].ID
+				break
+			}
+			page.Runs = append(page.Runs, info)
+		}
+		writeJSON(w, http.StatusOK, page)
 	})
 
-	mux.HandleFunc("GET /api/v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		info, err := svc.RunInfo(r.PathValue("id"))
+	mux.handle("GET", "/api/v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := b.RunInfo(r.PathValue("id"))
 		if err != nil {
-			serviceError(w, svc, err)
+			serviceError(w, b, err)
+			return
+		}
+		if r.URL.Query().Get("trace") == "1" {
+			trace := b.Trace(info.ID)
+			if trace == nil {
+				trace = []wlog.InstanceID{}
+			}
+			writeJSON(w, http.StatusOK, tracedRunInfo{RunInfo: info, Trace: trace})
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
 
-	mux.HandleFunc("POST /api/v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+	mux.handle("POST", "/api/v1/alerts", func(w http.ResponseWriter, r *http.Request) {
 		var req alertRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -124,55 +197,52 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 		if len(req.Bad) > 0 {
 			alerts = append(alerts, triage.Alert{Bad: toIDs(req.Bad)})
 		}
-		for _, b := range req.Batch {
-			alerts = append(alerts, triage.Alert{Bad: toIDs(b)})
+		for _, bad := range req.Batch {
+			alerts = append(alerts, triage.Alert{Bad: toIDs(bad)})
 		}
 		if len(alerts) == 0 {
-			serviceError(w, svc, fmt.Errorf("alert names no instances: %w", engine.ErrBadSpec))
+			serviceError(w, b, fmt.Errorf("alert names no instances: %w", engine.ErrBadSpec))
 			return
 		}
-		admitted, dropped, err := svc.ReportAlerts(alerts)
+		admitted, dropped, err := b.ReportAlerts(alerts)
 		if err != nil {
-			serviceError(w, svc, err)
+			serviceError(w, b, err)
 			return
 		}
 		if admitted == 0 {
 			// The whole batch was lost to the bounded queue: real
 			// backpressure, with a Retry-After derived from the queue depth
 			// and the measured drain rate.
-			serviceError(w, svc, fmt.Errorf("shard: alert queue full (capacity dropped %d alerts): %w", dropped, shard.ErrQueueFull))
+			serviceError(w, b, fmt.Errorf("shard: alert queue full (capacity dropped %d alerts): %w", dropped, shard.ErrQueueFull))
 			return
 		}
 		if dropped > 0 {
 			// Partial admission: report success but hint the reporter to
 			// pace the rest.
-			w.Header().Set("Retry-After", strconv.Itoa(svc.RetryAfterSeconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(b.RetryAfterSeconds()))
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"status":   "queued",
 			"admitted": admitted,
 			"dropped":  dropped,
-			"state":    svc.State().String(),
+			"state":    b.StateString(),
 		})
 	})
 
-	mux.HandleFunc("GET /api/v1/state", func(w http.ResponseWriter, _ *http.Request) {
+	mux.handle("GET", "/api/v1/state", func(w http.ResponseWriter, _ *http.Request) {
 		var resp stateResponse
-		resp.State = svc.State().String()
-		resp.Queues.Alerts, resp.Queues.Units, resp.Queues.Deferred = svc.QueueLengths()
-		resp.Metrics = svc.Metrics()
-		resp.Runs = svc.Runs()
+		resp.State = b.StateString()
+		resp.Queues.Alerts, resp.Queues.Units, resp.Queues.Deferred = b.QueueLengths()
+		resp.Metrics = b.MetricsDoc()
+		resp.Runs = b.Runs()
 		writeJSON(w, http.StatusOK, resp)
 	})
 
-	mux.HandleFunc("GET /api/v1/store", func(w http.ResponseWriter, _ *http.Request) {
-		snap := svc.Store().Snapshot()
-		out := make(map[string]int64, len(snap))
-		for k, v := range snap {
-			out[string(k)] = int64(v)
-		}
-		writeJSON(w, http.StatusOK, out)
+	mux.handle("GET", "/api/v1/store", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, b.StoreSnapshot())
 	})
+
+	mux.handle("GET", "/api/v1/openapi.json", handleOpenAPI(families...))
 }
 
 // serviceError maps the execution layers' sentinel errors onto status codes
@@ -180,7 +250,7 @@ func v1Routes(mux *http.ServeMux, svc *shard.Service) {
 // service's current alert-queue depth and measured drain rate instead of a
 // fixed constant, so a storming reporter backs off proportionally to the
 // actual congestion.
-func serviceError(w http.ResponseWriter, svc *shard.Service, err error) {
+func serviceError(w http.ResponseWriter, b Backend, err error) {
 	switch {
 	case errors.Is(err, engine.ErrBadSpec):
 		httpError(w, http.StatusBadRequest, err)
@@ -189,7 +259,7 @@ func serviceError(w http.ResponseWriter, svc *shard.Service, err error) {
 	case errors.Is(err, engine.ErrRunExists):
 		httpError(w, http.StatusConflict, err)
 	case errors.Is(err, shard.ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(svc.RetryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(b.RetryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, err)
 	default:
 		httpError(w, http.StatusInternalServerError, err)

@@ -72,6 +72,18 @@ const (
 	MHTTPRequests       = "http_requests_total"
 	MHTTPRequestSeconds = "http_request_seconds"
 
+	// internal/cluster — the networked multi-node deployment (§VII).
+	MClusterRecordsStamped    = "cluster_records_stamped_total"
+	MClusterRecordsApplied    = "cluster_records_applied"
+	MClusterReplicationErrors = "cluster_replication_errors_total"
+	MClusterReplicationLag    = "cluster_replication_lag"
+	MClusterProxied           = "cluster_proxied_requests_total"
+	MClusterTokensSent        = "cluster_tokens_sent_total"
+	MClusterTokensReceived    = "cluster_tokens_received_total"
+	MClusterStaleSubmissions  = "cluster_stale_submissions_total"
+	MClusterPausedKeys        = "cluster_paused_keys"
+	MClusterIncidents         = "cluster_incidents_total"
+
 	// internal/durable — the segmented write-ahead log (Ancora/PAPERS.md).
 	MWalFsyncSeconds    = "wal_fsync_seconds"
 	MWalGroupEntries    = "wal_group_entries"
@@ -152,6 +164,16 @@ func Catalog() []Def {
 		{MShardQuiescedShards, "histogram", "—", "§IV", "Shards paused for one recovery-unit repair (partial quiescence scope)."},
 		{MHTTPRequests, "counter", "—", "—", "HTTP requests served, labeled by route."},
 		{MHTTPRequestSeconds, "histogram", "—", "—", "HTTP request latency across all routes."},
+		{MClusterRecordsStamped, "counter", "—", "§VII", "Records assigned a stream position by this node's sequencer, labeled by kind."},
+		{MClusterRecordsApplied, "gauge", "—", "§VII", "Replication cursor: stream records applied to the local replica."},
+		{MClusterReplicationErrors, "counter", "—", "§VII", "Failed record pushes to a peer, labeled by peer."},
+		{MClusterReplicationLag, "gauge", "—", "§VII", "Records stamped locally but not yet acknowledged by a peer, labeled by peer."},
+		{MClusterProxied, "counter", "—", "§VII", "Client API requests forwarded to the owning node, labeled by route."},
+		{MClusterTokensSent, "counter", "—", "§VII", "Workflow control tokens handed to another node (run's next task owned elsewhere)."},
+		{MClusterTokensReceived, "counter", "—", "§VII", "Workflow control tokens accepted from another node."},
+		{MClusterStaleSubmissions, "counter", "—", "§VII", "Optimistic task submissions rejected by the sequencer (frontier or read set no longer current)."},
+		{MClusterPausedKeys, "gauge", "—", "§IV", "Store keys currently quiesced by an incident's partial quiescence."},
+		{MClusterIncidents, "counter", "—", "§IV", "Damage incidents this node led through assess, quiesce and repair."},
 		{MWalFsyncSeconds, "histogram", "—", "§I", "Wall-clock latency of one group-commit fsync."},
 		{MWalGroupEntries, "histogram", "—", "§II.A", "Records made durable by one fsync (the achieved group-commit fold)."},
 		{MWalAppendedBytes, "counter", "—", "§II.A", "Bytes appended to WAL segments."},

@@ -1,0 +1,30 @@
+package shard
+
+import "testing"
+
+// TestEstimateRetryAfterClamp pins the Retry-After estimator's contract:
+// ceil(queued * secPerAlert) seconds, clamped to [1, 60] so a reporter
+// neither hammers an almost-empty queue nor backs off for minutes.
+func TestEstimateRetryAfterClamp(t *testing.T) {
+	cases := []struct {
+		queued int
+		spa    float64
+		want   int
+	}{
+		{0, DefaultDrainSecPerAlert, 1},      // empty queue still paces to the floor
+		{1, 0.0, 1},                          // unmeasured drain rate: floor
+		{1, DefaultDrainSecPerAlert, 1},      // 0.05s rounds up to the floor
+		{40, DefaultDrainSecPerAlert, 2},     // 2.0s exact
+		{41, DefaultDrainSecPerAlert, 3},     // 2.05s rounds up
+		{100, 0.25, 25},                      // mid-range passes through
+		{1200, DefaultDrainSecPerAlert, 60},  // 60s exact: at the ceiling
+		{10000, DefaultDrainSecPerAlert, 60}, // 500s clamps to the ceiling
+		{1, 3600, 60},                        // one pathological alert still clamps
+		{-5, DefaultDrainSecPerAlert, 1},     // negative depth cannot underflow the floor
+	}
+	for _, c := range cases {
+		if got := EstimateRetryAfter(c.queued, c.spa); got != c.want {
+			t.Errorf("EstimateRetryAfter(%d, %g) = %d, want %d", c.queued, c.spa, got, c.want)
+		}
+	}
+}

@@ -496,10 +496,20 @@ func (s *Service) ReportAlerts(alerts []triage.Alert) (admitted, dropped int, er
 	if len(alerts) == 0 {
 		return 0, 0, fmt.Errorf("shard: %w: empty alert batch", engine.ErrBadSpec)
 	}
+	// Syntax over the whole batch first: a malformed ID anywhere is a bad
+	// request (400) regardless of position, while a well-formed ID absent
+	// from the log is a lookup miss (404).
 	for _, a := range alerts {
 		if len(a.Bad) == 0 {
 			return 0, 0, fmt.Errorf("shard: %w: alert names no instances", engine.ErrBadSpec)
 		}
+		for _, id := range a.Bad {
+			if _, _, _, perr := wlog.ParseInstance(id); perr != nil {
+				return 0, 0, fmt.Errorf("shard: %w: malformed instance ID: %v", engine.ErrBadSpec, perr)
+			}
+		}
+	}
+	for _, a := range alerts {
 		for _, id := range a.Bad {
 			if _, ok := s.eng.Log().Get(id); !ok {
 				return 0, 0, fmt.Errorf("shard: alert names unknown instance %s: %w", id, engine.ErrUnknownRun)
@@ -1127,79 +1137,11 @@ func coveredBy(damaged []data.Key, dkeys map[data.Key]bool) bool {
 
 // damageKeyClosure computes the §IV quiesce scope for a unit: the union of
 // the key-footprint components containing any key an instance in the
-// worst-case undo set read or wrote. Quiescing whole components (not just
-// the touched keys) is what lets the repair's fixpoint grow — any instance
-// the replay later discovers to be damaged shares a component with the
-// seeds, because damage propagates only through shared data objects.
+// worst-case undo set read or wrote (recovery.DamageKeyClosure, shared with
+// the cluster's partial-quiescence coordinator).
 func (s *Service) damageKeyClosure(u *unit) map[data.Key]bool {
 	s.mu.Lock()
 	specs := s.specsCopyLocked()
 	s.mu.Unlock()
-
-	parent := make(map[data.Key]data.Key)
-	var find func(data.Key) data.Key
-	find = func(k data.Key) data.Key {
-		p, ok := parent[k]
-		if !ok || p == k {
-			if !ok {
-				parent[k] = k
-			}
-			return k
-		}
-		r := find(p)
-		parent[k] = r
-		return r
-	}
-	union := func(a, b data.Key) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
-	for _, sp := range specs {
-		fp := footprint(sp)
-		for i := 1; i < len(fp); i++ {
-			union(fp[0], fp[i])
-		}
-	}
-
-	seeds := make(map[data.Key]bool)
-	addEntry := func(id wlog.InstanceID) {
-		e, ok := s.eng.Log().Get(id)
-		if !ok {
-			return
-		}
-		for k := range e.Writes {
-			seeds[k] = true
-		}
-		for k := range e.Reads {
-			seeds[k] = true
-		}
-		if sp := specs[e.Run]; sp != nil {
-			for _, k := range footprint(sp) {
-				seeds[k] = true
-			}
-		}
-	}
-	for _, id := range u.an.WorstCaseUndo() {
-		addEntry(id)
-	}
-	for _, id := range u.bad {
-		addEntry(id)
-	}
-
-	roots := make(map[data.Key]bool)
-	for k := range seeds {
-		roots[find(k)] = true
-	}
-	out := make(map[data.Key]bool, len(seeds))
-	for k := range parent {
-		if roots[find(k)] {
-			out[k] = true
-		}
-	}
-	for k := range seeds {
-		out[k] = true // forged-only keys outside every footprint
-	}
-	return out
+	return recovery.DamageKeyClosure(s.eng.Log(), specs, u.an.WorstCaseUndo(), u.bad)
 }

@@ -245,8 +245,11 @@ func TestSubmitAndLookupErrors(t *testing.T) {
 	if _, err := svc.RunInfo("nope"); !errors.Is(err, engine.ErrUnknownRun) {
 		t.Fatalf("unknown run: err = %v, want ErrUnknownRun", err)
 	}
-	if err := svc.Report([]wlog.InstanceID{"ghost:t1:1"}); !errors.Is(err, engine.ErrUnknownRun) {
+	if err := svc.Report([]wlog.InstanceID{"ghost/t1#1"}); !errors.Is(err, engine.ErrUnknownRun) {
 		t.Fatalf("unknown instance alert: err = %v, want ErrUnknownRun", err)
+	}
+	if err := svc.Report([]wlog.InstanceID{"ghost:t1:1"}); !errors.Is(err, engine.ErrBadSpec) {
+		t.Fatalf("malformed instance alert: err = %v, want ErrBadSpec", err)
 	}
 	if err := svc.Report(nil); !errors.Is(err, engine.ErrBadSpec) {
 		t.Fatalf("empty alert: err = %v, want ErrBadSpec", err)

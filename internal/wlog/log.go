@@ -15,6 +15,8 @@ package wlog
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +32,29 @@ type InstanceID string
 // FormatInstance builds the canonical instance ID "run/task#visit".
 func FormatInstance(run string, task wf.TaskID, visit int) InstanceID {
 	return InstanceID(fmt.Sprintf("%s/%s#%d", run, task, visit))
+}
+
+// ParseInstance splits a canonical instance ID back into its run, task and
+// visit parts, validating the "run/task#visit" shape FormatInstance emits:
+// a non-empty run (everything before the first '/'), a non-empty task, and
+// a positive decimal visit after the last '#'. It is the syntactic gate the
+// alert-admission path uses to tell a malformed ID (400) from a well-formed
+// ID that simply is not in the log (404).
+func ParseInstance(id InstanceID) (run string, task wf.TaskID, visit int, err error) {
+	s := string(id)
+	slash := strings.Index(s, "/")
+	if slash <= 0 {
+		return "", "", 0, fmt.Errorf("wlog: instance %q: want run/task#visit", s)
+	}
+	hash := strings.LastIndex(s, "#")
+	if hash < slash+2 || hash == len(s)-1 {
+		return "", "", 0, fmt.Errorf("wlog: instance %q: want run/task#visit", s)
+	}
+	visit, err = strconv.Atoi(s[hash+1:])
+	if err != nil || visit < 1 {
+		return "", "", 0, fmt.Errorf("wlog: instance %q: visit must be a positive integer", s)
+	}
+	return s[:slash], wf.TaskID(s[slash+1 : hash]), visit, nil
 }
 
 // ReadObs records one observed read: the value and the identity of the

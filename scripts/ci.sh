@@ -61,6 +61,8 @@ tmpdir=$(mktemp -d)
 trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/selfheal-server" ./cmd/selfheal-server
 go build -o "$tmpdir/apismoke" ./scripts/apismoke
+go build -o "$tmpdir/openapidrift" ./scripts/openapidrift
+go build -o "$tmpdir/clustersmoke" ./scripts/clustersmoke
 "$tmpdir/selfheal-server" -addr 127.0.0.1:0 -shards 4 > "$tmpdir/server.out" 2>&1 &
 server_pid=$!
 addr=""
@@ -75,6 +77,9 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 "$tmpdir/apismoke" "http://$addr"
+# OpenAPI drift gate: the served /api/v1/openapi.json must match the route
+# table in both directions (scripts/openapidrift).
+"$tmpdir/openapidrift" "http://$addr"
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 
@@ -111,6 +116,12 @@ cmp "$tmpdir/store-before.json" "$tmpdir/store-after.json" || {
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 echo "CRASH SMOKE OK"
+
+# Cluster smoke (docs/CLUSTER.md): a 3-node cluster of real processes —
+# cross-node run, forged attack, SIGKILL a follower mid-repair, rejoin it
+# with -join, then require byte-identical stores on every node
+# (scripts/clustersmoke orchestrates the processes itself).
+"$tmpdir/clustersmoke" "$tmpdir/selfheal-server"
 
 # Fuzz smoke (docs/FUZZING.md): a fixed-seed campaign against the healthy
 # service must report zero oracle violations, and the mutation smoke must
