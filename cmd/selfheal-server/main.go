@@ -96,19 +96,20 @@ func parsePeers(s string) (map[string]string, error) {
 
 // serveCluster boots the process as one cluster member and blocks until a
 // termination signal.
-func serveCluster(addr, nodeID, peersFlag, dir string, join bool, hold time.Duration) {
+func serveCluster(addr, nodeID, peersFlag, dir string, join bool, hold time.Duration, window int) {
 	peers, err := parsePeers(peersFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 	reg := obs.NewRegistry()
 	node, err := cluster.New(cluster.Config{
-		NodeID:      nodeID,
-		Peers:       peers,
-		Dir:         dir,
-		Join:        join,
-		QuiesceHold: hold,
-		Registry:    reg,
+		NodeID:       nodeID,
+		Peers:        peers,
+		Dir:          dir,
+		Join:         join,
+		QuiesceHold:  hold,
+		SubmitWindow: window,
+		Registry:     reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -167,13 +168,14 @@ func main() {
 	join := flag.Bool("join", false, "cluster mode: catch the replica up from the peers before serving")
 	clusterDir := flag.String("cluster-dir", "", "cluster mode: directory for the replicated record journal")
 	quiesceHold := flag.Duration("quiesce-hold", 0, "cluster mode: extend each incident's partial-quiescence window (testing)")
+	submitWindow := flag.Int("submit-window", 0, "cluster mode: executor pipelining window, entries per batched submission (0 = default 32, 1 = per-record)")
 	flag.Parse()
 
 	if *nodeID != "" || *peersFlag != "" {
 		if *nodeID == "" || *peersFlag == "" {
 			log.Fatal("cluster mode needs both -node-id and -peers")
 		}
-		serveCluster(*addr, *nodeID, *peersFlag, *clusterDir, *join, *quiesceHold)
+		serveCluster(*addr, *nodeID, *peersFlag, *clusterDir, *join, *quiesceHold, *submitWindow)
 		return
 	}
 

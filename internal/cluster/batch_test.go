@@ -1,0 +1,195 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"selfheal/internal/cluster"
+	"selfheal/internal/obs"
+	"selfheal/internal/triage"
+	"selfheal/internal/wlog"
+)
+
+// Wire mirrors of the internal submit API (the test drives the endpoint
+// exactly as a peer node would, over real HTTP).
+type wireEntry struct {
+	Run    string           `json:"run,omitempty"`
+	Task   string           `json:"task"`
+	Visit  int              `json:"visit"`
+	Forged bool             `json:"forged,omitempty"`
+	Writes map[string]int64 `json:"writes,omitempty"`
+}
+
+type wireSubmitReq struct {
+	Origin  string      `json:"origin"`
+	Entries []wireEntry `json:"entries"`
+}
+
+type wireSubmitResp struct {
+	Results []struct {
+		Status string `json:"status"`
+		Seq    int    `json:"seq"`
+		Reason string `json:"reason,omitempty"`
+	} `json:"results"`
+}
+
+func postSubmit(tb testing.TB, url string, req wireSubmitReq) wireSubmitResp {
+	tb.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/internal/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var out wireSubmitResp
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
+		tb.Fatalf("submit: status %d err %v", resp.StatusCode, err)
+	}
+	if len(out.Results) != len(req.Entries) {
+		tb.Fatalf("submit: %d results for %d entries", len(out.Results), len(req.Entries))
+	}
+	return out
+}
+
+func forgedBatch(prefix string, lo, n int) []wireEntry {
+	entries := make([]wireEntry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = wireEntry{
+			Run: "bench", Task: fmt.Sprintf("%s%09d", prefix, lo+i), Visit: 1, Forged: true,
+			Writes: map[string]int64{"bk": int64(lo + i)},
+		}
+	}
+	return entries
+}
+
+// A batched POST /internal/v1/submit stamps every entry with dense
+// consecutive seqs in submission order; resubmitting the same batch is
+// fully deduplicated; and the follower converges byte-identically.
+func TestBatchSubmitEndpoint(t *testing.T) {
+	ids := []string{"a", "b"}
+	h := startCluster(t, ids, true, nil)
+
+	req := wireSubmitReq{Origin: "test", Entries: forgedBatch("f", 0, 24)}
+	out := postSubmit(t, h.url("a"), req)
+	for i, res := range out.Results {
+		if res.Status != "ok" {
+			t.Fatalf("entry %d: status %s (%s)", i, res.Status, res.Reason)
+		}
+		if i > 0 && res.Seq != out.Results[i-1].Seq+1 {
+			t.Fatalf("entry %d: seq %d after %d — batch seqs must be dense and ordered",
+				i, res.Seq, out.Results[i-1].Seq)
+		}
+	}
+
+	// Retransmit after a (simulated) lost response: every verdict is dup.
+	out2 := postSubmit(t, h.url("a"), req)
+	for i, res := range out2.Results {
+		if res.Status != "dup" {
+			t.Fatalf("resubmitted entry %d: status %s, want dup", i, res.Status)
+		}
+	}
+
+	// The whole batch replicates and both stores agree.
+	deadline := time.Now().Add(5 * time.Second)
+	want := out.Results[len(out.Results)-1].Seq
+	for h.nodes["b"].ClusterDoc().(cluster.ClusterInfo).Applied < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reached seq %d", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.assertStoresIdentical()
+}
+
+// recordStream pulls the full committed stream (JSON form) from one node,
+// with Origin cleared: origins may legitimately differ between equivalent
+// executions and are documented as observability-only.
+func recordStream(t *testing.T, url string) []json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(url + "/internal/v1/commits?after=0&max=100000")
+	if err != nil {
+		t.Fatalf("commits: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Records []map[string]json.RawMessage `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("commits decode: %v", err)
+	}
+	out := make([]json.RawMessage, len(doc.Records))
+	for i, rec := range doc.Records {
+		delete(rec, "origin")
+		b, _ := json.Marshal(rec)
+		out[i] = b
+	}
+	return out
+}
+
+// The acceptance invariant for the pipelined commit path: a cluster running
+// with SubmitWindow=32 (batched, speculative windows) commits the exact
+// same record stream — same seqs, same entries, same read observations —
+// as one running with SubmitWindow=1 (the old per-record path), and every
+// replica of both ends byte-identical, including through a forge + repair.
+func TestBatchSerialStampingEquivalence(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	run := func(window int) (*harness, []json.RawMessage) {
+		h := startCluster(t, ids, true, func(id string, cfg *cluster.Config) {
+			cfg.SubmitWindow = window
+		})
+		keys := keysByOwner(ids, 8)
+		// Owner-contiguous segments: 8 consecutive tasks per owner, so the
+		// windowed executor actually forms multi-entry batches.
+		var chain []string
+		for _, id := range ids {
+			chain = append(chain, keys[id][:8]...)
+		}
+		entry := h.nodes[h.follower()]
+		if err := entry.SubmitRunSpec("eq", chainSpec(chain, 7)); err != nil {
+			t.Fatalf("window %d: submit: %v", window, err)
+		}
+		waitRunDone(t, entry, "eq", 20*time.Second)
+		h.waitIdle("a", 10*time.Second)
+
+		// Attack + repair: the repair record must land at the same stream
+		// position in both executions.
+		inst, err := entry.InjectForged("eq", "evil", nil, map[string]int64{chain[3]: 4242})
+		if err != nil {
+			t.Fatalf("window %d: forge: %v", window, err)
+		}
+		if _, _, err := entry.ReportAlerts([]triage.Alert{{Bad: []wlog.InstanceID{inst}}}); err != nil {
+			t.Fatalf("window %d: alert: %v", window, err)
+		}
+		h.waitIdle("a", 20*time.Second)
+		h.assertStoresIdentical()
+
+		// The windowed run must actually exercise group stamping: with
+		// 8-task owner segments, mean batch size on the stamper is > 1.
+		snap := h.regs["a"].Snapshot()
+		count, sum := snap[obs.MClusterStampBatchSize+"_count"], snap[obs.MClusterStampBatchSize+"_sum"]
+		if window > 1 && (count == 0 || sum/count <= 1) {
+			t.Fatalf("window %d: mean stamp batch size %.2f over %v batches — windows never formed",
+				window, sum/count, count)
+		}
+		return h, recordStream(t, h.url("a"))
+	}
+
+	hSerial, serial := run(1)
+	hBatched, batched := run(32)
+
+	if len(serial) != len(batched) {
+		t.Fatalf("stream lengths differ: serial %d, batched %d", len(serial), len(batched))
+	}
+	for i := range serial {
+		if string(serial[i]) != string(batched[i]) {
+			t.Fatalf("record %d differs:\nserial  %s\nbatched %s", i+1, serial[i], batched[i])
+		}
+	}
+	if got, want := string(hBatched.rawStore("a")), string(hSerial.rawStore("a")); got != want {
+		t.Fatalf("final stores differ across windows:\nserial  %s\nbatched %s", want, got)
+	}
+}

@@ -44,7 +44,7 @@ func downHandler() http.Handler {
 }
 
 type harness struct {
-	t     *testing.T
+	t     testing.TB
 	ids   []string
 	peers map[string]string
 	slots map[string]*handlerSlot
@@ -57,7 +57,7 @@ type harness struct {
 
 // startCluster boots len(ids) nodes on ephemeral loopback listeners, each
 // serving its internal API and the public cluster surface on one port.
-func startCluster(t *testing.T, ids []string, journaled bool, mut func(id string, cfg *cluster.Config)) *harness {
+func startCluster(t testing.TB, ids []string, journaled bool, mut func(id string, cfg *cluster.Config)) *harness {
 	t.Helper()
 	h := &harness{
 		t:     t,
@@ -235,7 +235,7 @@ func chainSpec(keys []string, bias int64) *wfjson.SpecJSON {
 	return sj
 }
 
-func waitRunDone(t *testing.T, n *cluster.Node, run string, timeout time.Duration) {
+func waitRunDone(t testing.TB, n *cluster.Node, run string, timeout time.Duration) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {

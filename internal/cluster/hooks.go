@@ -31,6 +31,20 @@ func (h hooks) proxied(route string) {
 	h.reg.Counter(fmt.Sprintf("%s{route=%q}", obs.MClusterProxied, route)).Inc()
 }
 
+func (h hooks) stampBatch(n int) {
+	h.reg.Histogram(obs.MClusterStampBatchSize, stampBatchBuckets).Observe(float64(n))
+}
+
+func (h hooks) replicationBytes(dir string, n int) {
+	h.reg.Counter(fmt.Sprintf("%s{dir=%q}", obs.MClusterReplicationBytes, dir)).Add(int64(n))
+}
+
+func (h hooks) journalError() { h.reg.Counter(obs.MClusterJournalErrors).Inc() }
+
+// stampBatchBuckets covers the group sizes the stamping loop produces:
+// 1 (idle, degenerate batch) up to the whole pending queue under load.
+var stampBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
 func (h hooks) tokenSent()       { h.reg.Counter(obs.MClusterTokensSent).Inc() }
 func (h hooks) tokenReceived()   { h.reg.Counter(obs.MClusterTokensReceived).Inc() }
 func (h hooks) stale()           { h.reg.Counter(obs.MClusterStaleSubmissions).Inc() }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"selfheal/internal/engine"
@@ -60,8 +61,15 @@ type appliedDoc struct {
 }
 
 type submitReq struct {
-	Origin string     `json:"origin"`
-	Entry  *EntryJSON `json:"entry"`
+	Origin string `json:"origin"`
+	// Entry is the single-entry form; Entries is the batch form the
+	// pipelined executor uses. Exactly one of them is set.
+	Entry   *EntryJSON   `json:"entry,omitempty"`
+	Entries []*EntryJSON `json:"entries,omitempty"`
+}
+
+type submitResp struct {
+	Results []SubmitResult `json:"results"`
 }
 
 type specReq struct {
@@ -202,6 +210,16 @@ func (n *Node) handleCommitsPull(w http.ResponseWriter, r *http.Request) {
 		max = m
 	}
 	recs := n.rep.RecordsAfter(after, max)
+	if r.URL.Query().Get("codec") == "bin" {
+		// The replication codec: CRC-framed binary records. Peers always
+		// request it; plain GET keeps the curl-able JSON document.
+		body := encodeWireRecords(recs)
+		n.o.replicationBytes("out", len(body))
+		w.Header().Set("Content-Type", recordsContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
 	if recs == nil {
 		recs = []Record{}
 	}
@@ -209,12 +227,28 @@ func (n *Node) handleCommitsPull(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleCommitsPush(w http.ResponseWriter, r *http.Request) {
-	var doc commitsDoc
-	if !decodeInternal(w, r, &doc) {
-		return
+	var recs []Record
+	if strings.HasPrefix(r.Header.Get("Content-Type"), recordsContentType) {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			writeInternalErr(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		n.o.replicationBytes("in", len(raw))
+		recs, err = decodeWireRecords(raw)
+		if err != nil {
+			writeInternalErr(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+	} else {
+		var doc commitsDoc
+		if !decodeInternal(w, r, &doc) {
+			return
+		}
+		recs = doc.Records
 	}
-	for i := range doc.Records {
-		if err := n.applyRecord(&doc.Records[i]); err != nil {
+	for i := range recs {
+		if err := n.applyRecord(&recs[i]); err != nil {
 			writeInternalErr(w, http.StatusInternalServerError, "internal", err.Error())
 			return
 		}
@@ -237,6 +271,15 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var req submitReq
 	if !decodeInternal(w, r, &req) {
+		return
+	}
+	if len(req.Entries) > 0 {
+		results, err := n.st.SubmitEntries(req.Origin, req.Entries)
+		if err != nil {
+			writeMappedErr(w, err)
+			return
+		}
+		writeInternalJSON(w, http.StatusOK, submitResp{Results: results})
 		return
 	}
 	if req.Entry == nil {
@@ -431,25 +474,62 @@ func (c *peerClient) status(addr string) (statusDoc, error) {
 	return st, err
 }
 
+// fetchCommits pulls records past `after` in the binary replication codec.
 func (c *peerClient) fetchCommits(addr string, after, max int) ([]Record, error) {
-	var doc commitsDoc
-	path := fmt.Sprintf("/internal/v1/commits?after=%d&max=%d", after, max)
-	if err := c.call(c.long, http.MethodGet, addr, path, nil, &doc); err != nil {
+	if addr == "" {
+		return nil, errors.New("cluster: peer has no address")
+	}
+	path := fmt.Sprintf("/internal/v1/commits?after=%d&max=%d&codec=bin", after, max)
+	resp, err := c.long.Get("http://" + addr + path)
+	if err != nil {
 		return nil, err
 	}
-	return doc.Records, nil
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("cluster: peer GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return decodeWireRecords(raw)
 }
 
-func (c *peerClient) pushCommits(addr string, recs []Record) (int, error) {
-	var resp appliedDoc
-	err := c.call(c.long, http.MethodPost, addr, "/internal/v1/commits", commitsDoc{Records: recs}, &resp)
-	return resp.Applied, err
+// pushCommits ships a pre-encoded binary replication body and returns the
+// peer's acknowledged applied position.
+func (c *peerClient) pushCommits(addr string, body []byte) (int, error) {
+	if addr == "" {
+		return 0, errors.New("cluster: peer has no address")
+	}
+	resp, err := c.long.Post("http://"+addr+"/internal/v1/commits", recordsContentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return 0, fmt.Errorf("cluster: peer POST /internal/v1/commits: HTTP %d", resp.StatusCode)
+	}
+	var ack appliedDoc
+	if err := json.Unmarshal(raw, &ack); err != nil {
+		return 0, err
+	}
+	return ack.Applied, nil
 }
 
-func (c *peerClient) submitEntry(addr, origin string, ej *EntryJSON) (SubmitResult, error) {
-	var res SubmitResult
-	err := c.call(c.long, http.MethodPost, addr, "/internal/v1/submit", submitReq{Origin: origin, Entry: ej}, &res)
-	return res, err
+func (c *peerClient) submitEntries(addr, origin string, entries []*EntryJSON) ([]SubmitResult, error) {
+	var resp submitResp
+	err := c.call(c.long, http.MethodPost, addr, "/internal/v1/submit", submitReq{Origin: origin, Entries: entries}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(entries) {
+		return nil, fmt.Errorf("cluster: submit returned %d results for %d entries", len(resp.Results), len(entries))
+	}
+	return resp.Results, nil
 }
 
 func (c *peerClient) submitSpec(addr, origin, run string, doc *wfjson.SpecJSON) (int, error) {

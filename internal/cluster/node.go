@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,12 @@ type Config struct {
 	QuiesceHold time.Duration
 	// AlertBuf bounds the incident alert queue (default 16).
 	AlertBuf int
+	// SubmitWindow bounds how many consecutive task executions the local
+	// executor speculates and submits to the stamper as one batch (default
+	// 32; 1 restores per-record submission). The window never crosses an
+	// ownership change or a locally quiesced footprint, and a stale verdict
+	// rewinds it to the stamper's state.
+	SubmitWindow int
 	// Registry receives the cluster metrics (nil disables them).
 	Registry *obs.Registry
 }
@@ -63,6 +70,12 @@ type Node struct {
 
 	pushMu   sync.Mutex
 	pushCond *sync.Cond
+
+	// applyMu serializes follower record application + journaling so
+	// concurrently delivered records (push + pull fallback) journal in
+	// stream order; journalFailing tracks the log-once error transition.
+	applyMu        sync.Mutex
+	journalFailing bool
 
 	// Executor gate: keys quiesced on this node by an incident leader.
 	gateMu   sync.Mutex
@@ -93,6 +106,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.AlertBuf <= 0 {
 		cfg.AlertBuf = 16
+	}
+	if cfg.SubmitWindow <= 0 {
+		cfg.SubmitWindow = 32
 	}
 	ids := make([]string, 0, len(cfg.Peers))
 	for id := range cfg.Peers {
@@ -151,6 +167,8 @@ func (n *Node) Start() error {
 		}
 	}
 	if n.st != nil {
+		n.wg.Add(1)
+		go n.st.loop()
 		for _, id := range n.ring.Members() {
 			if id == n.cfg.NodeID {
 				continue
@@ -175,6 +193,9 @@ func (n *Node) Stop() {
 		close(n.stop)
 		n.stopCancel()
 		n.wakePushers()
+		if n.st != nil {
+			n.st.wake()
+		}
 		n.gateMu.Lock()
 		n.gateCond.Broadcast()
 		n.gateMu.Unlock()
@@ -208,15 +229,32 @@ func (n *Node) peerAddr(id string) string { return n.cfg.Peers[id] }
 func (n *Node) stamperAddr() string       { return n.peerAddr(n.ring.Stamper()) }
 
 // applyRecord applies one replicated record and journals it on success.
+// applyMu keeps the journal in stream order when push delivery and the
+// pull fallback race.
 func (n *Node) applyRecord(rec *Record) error {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	ok, err := n.rep.Apply(rec)
 	if err != nil {
 		return err
 	}
 	if ok {
-		// Follower journals are flush-only (no fsync): a torn tail after
-		// SIGKILL is healed by the catch-up pull at restart.
-		_ = n.journal.append(rec)
+		// Follower journals are no-fsync: a torn tail after SIGKILL is
+		// healed by the catch-up pull at restart. An append error therefore
+		// does not fail the apply — but it is counted and logged once per
+		// transition into the failing state, because a silently shrinking
+		// journal turns every restart into a full catch-up.
+		if jerr := n.journal.append(rec); jerr != nil {
+			n.o.journalError()
+			if !n.journalFailing {
+				n.journalFailing = true
+				log.Printf("cluster: node %s: record journal append failed (replica continues; -join heals the journal): %v",
+					n.cfg.NodeID, jerr)
+			}
+		} else if n.journalFailing {
+			n.journalFailing = false
+			log.Printf("cluster: node %s: record journal append recovered", n.cfg.NodeID)
+		}
 		n.o.recordsApplied(n.rep.Applied())
 	}
 	return nil
@@ -349,7 +387,7 @@ func (n *Node) runLoop(run string) {
 		if !n.gateWait(task) {
 			return
 		}
-		if !n.executeStep(run, cur, visit, task) {
+		if !n.executeWindow(run, spec, cur, visit) {
 			if !n.sleep(25 * time.Millisecond) {
 				return
 			}
@@ -357,53 +395,147 @@ func (n *Node) runLoop(run string) {
 	}
 }
 
-// executeStep optimistically executes one task against the local replica
-// and submits it to the stamper. It returns false when the step must be
-// retried after a pause (submission error or quiesced footprint).
-func (n *Node) executeStep(run string, cur wf.TaskID, visit int, task *wf.Task) bool {
-	obsv, vals := n.rep.readView(task)
-	written := make(map[string]int64, len(task.Writes))
-	if task.Compute != nil {
-		out := task.Compute(vals)
-		for _, k := range task.Writes {
-			written[string(k)] = int64(out[k])
-		}
-	} else {
-		for _, k := range task.Writes {
-			written[string(k)] = 0
-		}
-	}
-	chosen := ""
-	if len(task.Next) > 1 {
-		chosen = string(task.Choose(vals))
-	}
-	ej := &EntryJSON{
-		Run:    run,
-		Task:   string(cur),
-		Visit:  visit,
-		Reads:  make(map[string]ReadObsJSON, len(obsv)),
-		Writes: written,
-		Chosen: chosen,
-	}
-	for k, o := range obsv {
-		ej.Reads[string(k)] = ReadObsJSON{Value: int64(o.Value), Writer: o.Writer, WriterPos: o.WriterPos}
-	}
-	res, err := n.submitEntry(ej)
-	if err != nil {
+// executeWindow speculates up to Config.SubmitWindow consecutive task
+// executions from the local replica's state and submits them to the
+// stamper as one batch — the pipelined commit path. Later window entries
+// read earlier entries' writes through an overlay whose WriterPos is the
+// predicted dense LSN; if any foreign record interleaves at the stamper,
+// its OCC check fails the window's tail as stale and the executor rewinds
+// to the replica (the window's head always commits, so progress is
+// guaranteed exactly as with per-record submission). It returns false when
+// the window must be retried after a pause (submission error or quiesced
+// footprint).
+func (n *Node) executeWindow(run string, spec *wf.Spec, cur wf.TaskID, visit int) bool {
+	window := n.cfg.SubmitWindow
+	visits := n.rep.RunVisits(run)
+	if visits == nil {
 		return false
 	}
-	switch res.Status {
-	case SubPaused:
+	nextLSN := n.rep.NextLSN()
+	overlay := make(map[data.Key]wlog.ReadObs)
+	batch := make([]*EntryJSON, 0, window)
+	wcur, wvisit := cur, visit
+	for len(batch) < window {
+		task := spec.Tasks[wcur]
+		if task == nil {
+			break
+		}
+		if len(batch) > 0 {
+			// The window's head was already gated and ownership-checked by
+			// runLoop; extensions stop at any boundary the head would have
+			// blocked on instead of stalling the whole batch.
+			if n.ring.OwnerOfTask(run, spec, wcur) != n.cfg.NodeID {
+				break
+			}
+			if n.gateBlocked(task) {
+				break
+			}
+		}
+		obsv := make(map[data.Key]wlog.ReadObs, len(task.Reads))
+		vals := make(map[data.Key]data.Value, len(task.Reads))
+		for _, k := range task.Reads {
+			o, ok := overlay[k]
+			if !ok {
+				o = n.rep.currentObs(k)
+			}
+			obsv[k] = o
+			vals[k] = o.Value
+		}
+		written := make(map[string]int64, len(task.Writes))
+		if task.Compute != nil {
+			out := task.Compute(vals)
+			for _, k := range task.Writes {
+				written[string(k)] = int64(out[k])
+			}
+		} else {
+			for _, k := range task.Writes {
+				written[string(k)] = 0
+			}
+		}
+		chosen := ""
+		if len(task.Next) > 1 {
+			chosen = string(task.Choose(vals))
+		}
+		ej := &EntryJSON{
+			Run:    run,
+			Task:   string(wcur),
+			Visit:  wvisit,
+			Reads:  make(map[string]ReadObsJSON, len(obsv)),
+			Writes: written,
+			Chosen: chosen,
+		}
+		for k, o := range obsv {
+			ej.Reads[string(k)] = ReadObsJSON{Value: int64(o.Value), Writer: o.Writer, WriterPos: o.WriterPos}
+		}
+		batch = append(batch, ej)
+		inst := wlog.FormatInstance(run, wcur, wvisit)
+		for k, v := range written {
+			overlay[data.Key(k)] = wlog.ReadObs{Value: data.Value(v), Writer: string(inst), WriterPos: float64(nextLSN)}
+		}
+		visits[wcur] = wvisit
+		nextLSN++
+		if len(task.Next) == 0 {
+			break // the run completes inside this window
+		}
+		if len(task.Next) == 1 {
+			wcur = task.Next[0]
+		} else {
+			wcur = wf.TaskID(chosen)
+		}
+		wvisit = visits[wcur] + 1
+	}
+	if len(batch) == 0 {
 		return false
-	case SubStale:
-		n.o.stale()
+	}
+	results, err := n.submitEntries(batch)
+	if err != nil || len(results) == 0 {
+		return false
+	}
+	maxSeq, committed := 0, 0
+	paused := false
+	for _, res := range results {
+		if res.Seq > maxSeq {
+			maxSeq = res.Seq
+		}
+		if res.Status == SubOK || res.Status == SubDup {
+			committed++
+			continue
+		}
+		if res.Status == SubStale {
+			// Rewind: everything from here depends on a rejected entry and
+			// was (or will be) rejected with it. Re-derive from the replica.
+			n.o.stale()
+		}
+		paused = res.Status == SubPaused
+		break
 	}
 	// Catch the local replica up to the stamper's position before reading
 	// the next frontier (also how a stale executor recomputes correctly).
 	ctx, cancel := context.WithTimeout(n.stopCtx, 5*time.Second)
 	defer cancel()
-	_ = n.rep.WaitApplied(ctx, res.Seq)
+	_ = n.rep.WaitApplied(ctx, maxSeq)
+	if paused && committed == 0 {
+		return false
+	}
 	return true
+}
+
+// gateBlocked is the non-blocking twin of gateWait, used when deciding
+// whether to extend a speculation window past a task.
+func (n *Node) gateBlocked(task *wf.Task) bool {
+	n.gateMu.Lock()
+	defer n.gateMu.Unlock()
+	for _, k := range task.Reads {
+		if n.paused[k] {
+			return true
+		}
+	}
+	for _, k := range task.Writes {
+		if n.paused[k] {
+			return true
+		}
+	}
+	return false
 }
 
 // gateWait blocks while the task's footprint intersects this node's
@@ -473,11 +605,11 @@ func (n *Node) releaseKeys(keys []string, after int) {
 
 // Submission routing: local call on the sequencer, HTTP to it elsewhere.
 
-func (n *Node) submitEntry(ej *EntryJSON) (SubmitResult, error) {
+func (n *Node) submitEntries(entries []*EntryJSON) ([]SubmitResult, error) {
 	if n.st != nil {
-		return n.st.SubmitEntry(n.cfg.NodeID, ej), nil
+		return n.st.SubmitEntries(n.cfg.NodeID, entries)
 	}
-	return n.client.submitEntry(n.stamperAddr(), n.cfg.NodeID, ej)
+	return n.client.submitEntries(n.stamperAddr(), n.cfg.NodeID, entries)
 }
 
 func (n *Node) submitSpec(run string, doc *wfjson.SpecJSON) (int, error) {

@@ -1,14 +1,17 @@
 package cluster
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"selfheal/internal/data"
+	"selfheal/internal/durable"
 	"selfheal/internal/wf"
 	"selfheal/internal/wfjson"
 	"selfheal/internal/wlog"
@@ -117,64 +120,152 @@ func EntryToJSON(e *wlog.Entry) *EntryJSON {
 	return ej
 }
 
-// journal is the per-node JSONL record log: one applied record per line.
-// Restart replays the journal, then -join pulls whatever the tail lost —
-// so followers never fsync, and only the stamper (the single authority for
-// stream positions) syncs each append.
+// journal is the per-node binary record log: one CRC-framed binary record
+// per applied stream position (the same [len][crc][payload] framing as the
+// durable WAL, payloads per codec.go). Restart replays the journal, then
+// -join pulls whatever the tail lost — so followers never fsync, and only
+// the stamper (the single authority for stream positions) syncs, one fsync
+// per appended batch. A mutex serializes writers so concurrently delivered
+// records (push + pull fallback) cannot interleave bytes.
 type journal struct {
+	mu   sync.Mutex
 	f    *os.File
-	w    *bufio.Writer
 	sync bool
 }
+
+// journalPath is the binary journal file; legacyJournalPath is the pre-
+// binary JSONL journal, migrated once on first boot and then removed.
+func journalPath(dir, nodeID string) string       { return filepath.Join(dir, nodeID+".rjournal") }
+func legacyJournalPath(dir, nodeID string) string { return filepath.Join(dir, nodeID+".journal") }
 
 func openJournal(dir, nodeID string, sync bool) (*journal, []Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("cluster: journal dir: %w", err)
 	}
-	path := filepath.Join(dir, nodeID+".journal")
+	path := journalPath(dir, nodeID)
+	legacy := legacyJournalPath(dir, nodeID)
+	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		if err := migrateLegacyJournal(dir, legacy, path); err != nil {
+			return nil, nil, err
+		}
+	}
+	// A completed migration (or any boot after one) drops the stale JSONL
+	// file; a crash between the binary rename and this remove is healed here.
+	if _, err := os.Stat(path); err == nil {
+		_ = os.Remove(legacy)
+	}
+
 	var recs []Record
+	cut := 0
 	if raw, err := os.ReadFile(path); err == nil {
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		for dec.More() {
-			var rec Record
-			if err := dec.Decode(&rec); err != nil {
-				// A torn tail (crash mid-write) truncates the replay here;
-				// the catch-up pull re-fetches everything past it.
+		payloads, validLen := durable.SplitFrames(raw)
+		cut = len(raw) - validLen // torn framing past the last valid frame
+		off := 0
+		for _, p := range payloads {
+			rec, derr := decodeRecord(p)
+			if derr != nil || rec.Seq != len(recs)+1 {
+				// A frame that passes its CRC but decodes to garbage or a
+				// seq gap ends the replayable prefix: truncate from here so
+				// appends continue at a clean frame boundary (the catch-up
+				// pull re-fetches everything past it).
+				cut = len(raw) - off
 				break
 			}
-			if rec.Seq != len(recs)+1 {
-				break
-			}
-			recs = append(recs, rec)
+			recs = append(recs, *rec)
+			off += 8 + len(p) // frame header + payload
 		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: journal: %w", err)
 	}
-	if len(recs) > 0 {
-		// Rewrite the journal to exactly the replayable prefix, dropping
-		// any torn tail so appends continue from a clean line boundary.
-		if err := f.Truncate(0); err == nil {
-			w := bufio.NewWriter(f)
-			enc := json.NewEncoder(w)
-			for i := range recs {
-				_ = enc.Encode(&recs[i])
-			}
-			_ = w.Flush()
+	if cut > 0 {
+		fi, serr := f.Stat()
+		if serr != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("cluster: journal: %w", serr)
+		}
+		if err := f.Truncate(fi.Size() - int64(cut)); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("cluster: journal truncate torn tail: %w", err)
 		}
 	}
-	return &journal{f: f, w: bufio.NewWriter(f), sync: sync}, recs, nil
+	return &journal{f: f, sync: sync}, recs, nil
 }
 
-func (j *journal) append(rec *Record) error {
-	if j == nil {
+// migrateLegacyJournal converts a JSONL journal to the binary format in
+// one shot: decode the replayable prefix, write it framed to a temp file,
+// fsync, rename into place and fsync the directory. A crash anywhere
+// before the rename leaves the JSONL authoritative; after it, the binary
+// file is complete and the stale JSONL is removed on the next open.
+func migrateLegacyJournal(dir, legacy, path string) error {
+	raw, err := os.ReadFile(legacy)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil // nothing to migrate: fresh node
+		}
+		return fmt.Errorf("cluster: journal migration: %w", err)
+	}
+	recs := decodeLegacyJournal(raw)
+	var buf []byte
+	for i := range recs {
+		buf = encodeFramedRecord(buf, &recs[i])
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: journal migration: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("cluster: journal migration: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("cluster: journal migration: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: journal migration: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("cluster: journal migration: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// decodeLegacyJournal decodes the replayable prefix of a JSONL journal —
+// the same torn-tail discipline the JSONL open path used.
+func decodeLegacyJournal(raw []byte) []Record {
+	var recs []Record
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		if rec.Seq != len(recs)+1 {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// appendBatch appends pre-framed record bytes with one write syscall and —
+// on the stamper — one fsync, whatever the batch size. This is the journal
+// half of group stamping: the fsync cost amortizes across every record the
+// stamping loop drained.
+func (j *journal) appendBatch(buf []byte) error {
+	if j == nil || len(buf) == 0 {
 		return nil
 	}
-	if err := json.NewEncoder(j.w).Encode(rec); err != nil {
-		return err
-	}
-	if err := j.w.Flush(); err != nil {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
 		return err
 	}
 	if j.sync {
@@ -183,10 +274,18 @@ func (j *journal) append(rec *Record) error {
 	return nil
 }
 
+func (j *journal) append(rec *Record) error {
+	if j == nil {
+		return nil
+	}
+	return j.appendBatch(encodeFramedRecord(nil, rec))
+}
+
 func (j *journal) close() {
 	if j == nil {
 		return
 	}
-	_ = j.w.Flush()
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	_ = j.f.Close()
 }

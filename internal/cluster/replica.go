@@ -36,7 +36,13 @@ type replica struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	applied int
-	history []Record // records 1..applied, served to catching-up peers
+	// published is the replication cursor: the highest seq peers may see.
+	// On followers it always equals applied. On the stamper, group stamping
+	// applies a batch locally first (entry i+1's OCC validation reads entry
+	// i's writes) and publishes only after the batch's single journal fsync
+	// — so nothing non-durable on the stamper ever replicates.
+	published int
+	history   []Record // records 1..applied, served to catching-up peers
 
 	log   *wlog.Log
 	store *data.Store
@@ -85,25 +91,71 @@ func (r *replica) WaitApplied(ctx context.Context, seq int) error {
 	return nil
 }
 
-// RecordsAfter returns records (after, after+len] for peer catch-up, capped.
+// Published returns the replication cursor (what peers may fetch).
+func (r *replica) Published() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.published
+}
+
+// PublishTo advances the replication cursor after the stamper's batch
+// journal fsync, making the batch visible to pushers and pull fetches.
+func (r *replica) PublishTo(seq int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq > r.applied {
+		seq = r.applied
+	}
+	if seq > r.published {
+		r.published = seq
+	}
+}
+
+// RecordsAfter returns records (after, after+len] for peer catch-up, capped
+// at the published cursor: unfsynced stamper records never leave the node.
 func (r *replica) RecordsAfter(after, max int) []Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if after >= len(r.history) {
+	end := r.published
+	if after >= end {
 		return nil
 	}
-	end := len(r.history)
 	if max > 0 && end-after > max {
 		end = after + max
 	}
 	return append([]Record(nil), r.history[after:end]...)
 }
 
-// Apply applies one record. Records must arrive in stream order; a gap or
-// replayed record is reported by the boolean without touching state.
+// Apply applies one replicated (already durable at its origin) record and
+// publishes it. Records must arrive in stream order; a gap or replayed
+// record is reported by the boolean without touching state.
 func (r *replica) Apply(rec *Record) (applied bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	ok, err := r.applyLocked(rec)
+	if ok && r.published < r.applied {
+		r.published = r.applied
+	}
+	return ok, err
+}
+
+// applyStamped applies a freshly stamped record without publishing it —
+// the stamper's group-commit path, which publishes the whole batch after
+// its single journal fsync.
+func (r *replica) applyStamped(rec *Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ok, err := r.applyLocked(rec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("cluster: stamper replica refused record %d", rec.Seq)
+	}
+	return nil
+}
+
+func (r *replica) applyLocked(rec *Record) (applied bool, err error) {
 	if rec.Seq <= r.applied {
 		return false, nil // duplicate delivery: already applied
 	}
@@ -251,6 +303,34 @@ func (r *replica) Frontier(run string) (cur wf.TaskID, visit int, done, ok bool)
 		return "", 0, false, false
 	}
 	return rs.cur, rs.visits[rs.cur] + 1, rs.done, true
+}
+
+// NextLSN returns the LSN the next applied entry record will receive —
+// the executor's prediction anchor for pipelined (windowed) submission:
+// an in-window read of an earlier in-window write carries the predicted
+// WriterPos, and the stamper's OCC check rejects the window's tail if any
+// foreign record interleaved and shifted the LSNs.
+func (r *replica) NextLSN() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Len() + 1
+}
+
+// RunVisits returns a copy of a run's committed visit counts (nil when the
+// run is unknown) — the base the executor extends while speculating a
+// submission window.
+func (r *replica) RunVisits(run string) map[wf.TaskID]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.runs[run]
+	if rs == nil {
+		return nil
+	}
+	out := make(map[wf.TaskID]int, len(rs.visits))
+	for k, v := range rs.visits {
+		out[k] = v
+	}
+	return out
 }
 
 // Spec returns a run's specification.

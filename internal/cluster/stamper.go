@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -42,6 +43,13 @@ type SubmitResult struct {
 // submissions carry the executor's optimistic read observations; the
 // stamper re-reads its own replica and rejects any submission whose
 // observations are no longer current (the §VII merge discipline as OCC).
+//
+// Entry stamping is batch-first (the durable WAL's committer-group
+// pattern): submitters enqueue jobs and block while a single stamping
+// goroutine drains everything pending, validates and applies each entry
+// under one s.mu acquisition, writes the whole batch to the journal with
+// one write+fsync, then publishes the batch to the replication cursor and
+// wakes every submitter. SubmitEntry is the degenerate one-entry batch.
 type stamper struct {
 	n  *Node
 	mu sync.Mutex
@@ -50,18 +58,216 @@ type stamper struct {
 	// the cluster — even from nodes that were not asked to quiesce
 	// (a clean node may own a task that READS a damaged key).
 	pausedKeys map[data.Key]bool
+	// err is the sticky stamping failure: once a journal write or fsync
+	// fails, the stamper cannot prove durability for anything after it and
+	// refuses all further stamping (mirror of the durable WAL's sticky
+	// error). Guarded by mu.
+	err error
+
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	queue []*stampJob
+}
+
+// stampJob is one submitter's pending batch: the stamping loop fills
+// results (one verdict per entry, in order) and closes done.
+type stampJob struct {
+	origin  string
+	entries []*EntryJSON
+	results []SubmitResult
+	err     error
+	done    chan struct{}
 }
 
 func newStamper(n *Node) *stamper {
-	return &stamper{n: n, pausedKeys: make(map[data.Key]bool)}
+	s := &stamper{n: n, pausedKeys: make(map[data.Key]bool)}
+	s.qcond = sync.NewCond(&s.qmu)
+	return s
 }
 
-// stampLocked assigns the next stream position, journals, applies locally
-// and wakes the replication pushers. Callers hold s.mu.
+// wake unblocks the stamping loop (used by Node.Stop).
+func (s *stamper) wake() {
+	s.qmu.Lock()
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+}
+
+// loop is the single stamping goroutine: it drains every queued job into
+// one group, stamps the group, and repeats. Batching is by absorption —
+// whatever queued while the previous group was fsyncing forms the next
+// group, so batch size adapts to load with no added latency when idle.
+func (s *stamper) loop() {
+	defer s.n.wg.Done()
+	for {
+		s.qmu.Lock()
+		for len(s.queue) == 0 && !s.n.stopped() {
+			s.qcond.Wait()
+		}
+		jobs := s.queue
+		s.queue = nil
+		s.qmu.Unlock()
+		if s.n.stopped() {
+			for _, job := range jobs {
+				job.err = errors.New("cluster: node stopped")
+				close(job.done)
+			}
+			return
+		}
+		s.stampJobs(jobs)
+	}
+}
+
+// stampJobs validates, stamps and applies every entry of every job under
+// one s.mu acquisition, then makes the whole group durable with a single
+// journal write+fsync before publishing it to replication.
+func (s *stamper) stampJobs(jobs []*stampJob) {
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		for _, job := range jobs {
+			job.err = s.err
+			close(job.done)
+		}
+		return
+	}
+	var buf []byte
+	stamped, hi := 0, 0
+	for _, job := range jobs {
+		job.results = make([]SubmitResult, len(job.entries))
+		for i, ej := range job.entries {
+			res, admit := s.validateEntryLocked(ej)
+			if !admit {
+				job.results[i] = res
+				continue
+			}
+			rec := &Record{Kind: KindEntry, Origin: job.origin, Entry: ej}
+			rec.Seq = s.n.rep.Applied() + 1
+			if err := s.n.rep.applyStamped(rec); err != nil {
+				job.results[i] = SubmitResult{Status: SubStale, Seq: s.n.rep.Applied(), Reason: err.Error()}
+				continue
+			}
+			buf = encodeFramedRecord(buf, rec)
+			stamped++
+			hi = rec.Seq
+			s.n.o.recordStamped(rec.Kind)
+			job.results[i] = SubmitResult{Status: SubOK, Seq: rec.Seq}
+		}
+	}
+	if stamped > 0 {
+		if err := s.n.journal.appendBatch(buf); err != nil {
+			// The batch was applied locally but is not durable: wedge the
+			// stamper (replica stays ahead of published forever) and fail
+			// every submitter — none of these entries may be reported ok.
+			s.err = fmt.Errorf("cluster: stamper journal: %w", err)
+			s.mu.Unlock()
+			for _, job := range jobs {
+				job.err = s.err
+				close(job.done)
+			}
+			return
+		}
+		s.n.rep.PublishTo(hi)
+		s.n.o.stampBatch(stamped)
+	}
+	s.mu.Unlock()
+	if stamped > 0 {
+		s.n.wakePushers()
+	}
+	for _, job := range jobs {
+		close(job.done)
+	}
+}
+
+// validateEntryLocked re-runs the §VII merge discipline for one submitted
+// entry against the stamper's replica (which already reflects every earlier
+// entry of the current group). The boolean reports whether to stamp.
+func (s *stamper) validateEntryLocked(ej *EntryJSON) (SubmitResult, bool) {
+	rep := s.n.rep
+	inst := wlog.FormatInstance(ej.Run, wf.TaskID(ej.Task), ej.Visit)
+	if rep.HasInstance(inst) {
+		return SubmitResult{Status: SubDup, Seq: rep.Applied()}, false
+	}
+	if ej.Forged {
+		// Forged entries commit outside any specification (the attacker
+		// does not wait for quiescence either): existence is the only check,
+		// exactly as SubmitForge admits them.
+		return SubmitResult{}, true
+	}
+	spec := rep.Spec(ej.Run)
+	if spec == nil {
+		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: "unknown run"}, false
+	}
+	task := spec.Tasks[wf.TaskID(ej.Task)]
+	if task == nil {
+		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: "unknown task"}, false
+	}
+	cur, visit, done, _ := rep.Frontier(ej.Run)
+	if done || cur != wf.TaskID(ej.Task) || visit != ej.Visit {
+		return SubmitResult{Status: SubStale, Seq: rep.Applied(),
+			Reason: fmt.Sprintf("frontier is %s#%d", cur, visit)}, false
+	}
+	// Partial-quiescence admission gate: reject anything touching a
+	// quiesced key (reads included — a damaged value must not leak into a
+	// new commit while the repair is in flight).
+	for _, k := range task.Reads {
+		if s.pausedKeys[k] {
+			return SubmitResult{Status: SubPaused, Seq: rep.Applied()}, false
+		}
+	}
+	for _, k := range task.Writes {
+		if s.pausedKeys[k] {
+			return SubmitResult{Status: SubPaused, Seq: rep.Applied()}, false
+		}
+	}
+	// OCC validation: every observed read version must still be the
+	// current committed version on the stamper's replica.
+	for _, k := range task.Reads {
+		want := rep.currentObs(k)
+		got, ok := ej.Reads[string(k)]
+		if !ok || data.Value(got.Value) != want.Value || got.Writer != want.Writer || got.WriterPos != want.WriterPos {
+			return SubmitResult{Status: SubStale, Seq: rep.Applied(),
+				Reason: fmt.Sprintf("read %s is stale", k)}, false
+		}
+	}
+	return SubmitResult{}, true
+}
+
+// SubmitEntries validates and stamps a batch of entries, returning one
+// verdict per entry in submission order. The call blocks until the group-
+// commit loop has made the accepted entries durable. Entries of one batch
+// are validated sequentially against the evolving replica, so a pipelined
+// window may read its own earlier writes.
+func (s *stamper) SubmitEntries(origin string, entries []*EntryJSON) ([]SubmitResult, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	job := &stampJob{origin: origin, entries: entries, done: make(chan struct{})}
+	s.qmu.Lock()
+	s.queue = append(s.queue, job)
+	s.qcond.Signal()
+	s.qmu.Unlock()
+	select {
+	case <-job.done:
+	case <-s.n.stop:
+		return nil, errors.New("cluster: node stopped")
+	}
+	if job.err != nil {
+		return nil, job.err
+	}
+	return job.results, nil
+}
+
+// stampLocked assigns the next stream position, journals (one fsync),
+// applies locally and wakes the replication pushers — the direct path for
+// rare control-plane records (spec, forge, repair). Callers hold s.mu.
 func (s *stamper) stampLocked(rec *Record) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
 	rec.Seq = s.n.rep.Applied() + 1
 	if err := s.n.journal.append(rec); err != nil {
-		return 0, fmt.Errorf("cluster: stamper journal: %w", err)
+		s.err = fmt.Errorf("cluster: stamper journal: %w", err)
+		return 0, s.err
 	}
 	ok, err := s.n.rep.Apply(rec)
 	if err != nil {
@@ -93,57 +299,14 @@ func (s *stamper) SubmitSpec(origin, run string, doc *wfjson.SpecJSON) (int, err
 	return s.stampLocked(&Record{Kind: KindSpec, Origin: origin, Run: run, Spec: doc, Init: initW})
 }
 
-// SubmitEntry validates an executor's optimistic submission and stamps it.
+// SubmitEntry validates an executor's optimistic submission and stamps it —
+// the degenerate one-entry batch through the group-commit loop.
 func (s *stamper) SubmitEntry(origin string, ej *EntryJSON) SubmitResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rep := s.n.rep
-
-	inst := wlog.FormatInstance(ej.Run, wf.TaskID(ej.Task), ej.Visit)
-	if rep.HasInstance(inst) {
-		return SubmitResult{Status: SubDup, Seq: rep.Applied()}
-	}
-	spec := rep.Spec(ej.Run)
-	if spec == nil {
-		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: "unknown run"}
-	}
-	task := spec.Tasks[wf.TaskID(ej.Task)]
-	if task == nil {
-		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: "unknown task"}
-	}
-	cur, visit, done, _ := rep.Frontier(ej.Run)
-	if done || cur != wf.TaskID(ej.Task) || visit != ej.Visit {
-		return SubmitResult{Status: SubStale, Seq: rep.Applied(),
-			Reason: fmt.Sprintf("frontier is %s#%d", cur, visit)}
-	}
-	// Partial-quiescence admission gate: reject anything touching a
-	// quiesced key (reads included — a damaged value must not leak into a
-	// new commit while the repair is in flight).
-	for _, k := range task.Reads {
-		if s.pausedKeys[k] {
-			return SubmitResult{Status: SubPaused, Seq: rep.Applied()}
-		}
-	}
-	for _, k := range task.Writes {
-		if s.pausedKeys[k] {
-			return SubmitResult{Status: SubPaused, Seq: rep.Applied()}
-		}
-	}
-	// OCC validation: every observed read version must still be the
-	// current committed version on the stamper's replica.
-	for _, k := range task.Reads {
-		want := rep.currentObs(k)
-		got, ok := ej.Reads[string(k)]
-		if !ok || data.Value(got.Value) != want.Value || got.Writer != want.Writer || got.WriterPos != want.WriterPos {
-			return SubmitResult{Status: SubStale, Seq: rep.Applied(),
-				Reason: fmt.Sprintf("read %s is stale", k)}
-		}
-	}
-	seq, err := s.stampLocked(&Record{Kind: KindEntry, Origin: origin, Entry: ej})
+	res, err := s.SubmitEntries(origin, []*EntryJSON{ej})
 	if err != nil {
-		return SubmitResult{Status: SubStale, Seq: rep.Applied(), Reason: err.Error()}
+		return SubmitResult{Status: SubStale, Seq: s.n.rep.Applied(), Reason: err.Error()}
 	}
-	return SubmitResult{Status: SubOK, Seq: seq}
+	return res[0]
 }
 
 // SubmitForge commits an attacker task outside any specification, reading
@@ -211,13 +374,17 @@ func (s *stamper) ReleaseKeys(keys []string) {
 
 // pusher streams new records to one peer in order, resuming from whatever
 // the peer acknowledges — push is the primary replication path, with the
-// follower's pull loop as the catch-up fallback.
+// follower's pull loop as the catch-up fallback. A caught-up pusher parks
+// on the cond var keyed by the peer's acked position (sent) until a batch
+// publishes past it: an idle cluster burns no wakeups. Records ship as
+// CRC-framed binary bodies, and only published (stamper-durable) records
+// are ever eligible.
 func (n *Node) pusher(peerID string) {
 	defer n.wg.Done()
 	sent := 0
 	for {
 		n.pushMu.Lock()
-		for sent >= n.rep.Applied() && !n.stopped() {
+		for sent >= n.rep.Published() && !n.stopped() {
 			n.pushCond.Wait()
 		}
 		n.pushMu.Unlock()
@@ -228,7 +395,8 @@ func (n *Node) pusher(peerID string) {
 		if len(batch) == 0 {
 			continue
 		}
-		applied, err := n.client.pushCommits(n.peerAddr(peerID), batch)
+		body := encodeWireRecords(batch)
+		applied, err := n.client.pushCommits(n.peerAddr(peerID), body)
 		if err != nil {
 			n.o.replicationError(peerID)
 			if !n.sleep(100 * time.Millisecond) {
@@ -237,14 +405,17 @@ func (n *Node) pusher(peerID string) {
 			// Re-probe from the peer's acknowledged position next round.
 			continue
 		}
-		if applied > sent {
-			sent = applied
-		} else if applied < sent {
-			sent = applied // peer restarted behind us: rewind
-		} else if !n.sleep(20 * time.Millisecond) {
-			return
+		n.o.replicationBytes("out", len(body))
+		if applied <= sent {
+			// The peer did not advance: it either restarted behind us
+			// (rewind and resend) or is wedged mid-apply — back off briefly
+			// so a stuck peer cannot turn this loop hot.
+			if !n.sleep(20 * time.Millisecond) {
+				return
+			}
 		}
-		n.o.replicationLag(peerID, n.rep.Applied()-sent)
+		sent = applied
+		n.o.replicationLag(peerID, n.rep.Published()-sent)
 	}
 }
 

@@ -31,6 +31,15 @@ const (
 	maxRecord   = 1 << 28 // 256 MiB sanity bound on one payload
 )
 
+// AppendFrame wraps payload in the CRC framing and appends it to dst. It
+// is exported so other record logs (the cluster journal and its wire
+// replication bodies) share the exact on-disk/on-wire frame format.
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// SplitFrames splits b into framed payloads (aliasing b) and returns the
+// byte offset of the first invalid frame. See splitFrames.
+func SplitFrames(b []byte) (payloads [][]byte, validLen int) { return splitFrames(b) }
+
 // appendFrame wraps payload in the on-disk framing and appends it to dst.
 func appendFrame(dst, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))

@@ -107,7 +107,7 @@ func Table() []Route {
 
 		{Method: "GET", Pattern: "/api/v1/cluster", Family: FamCluster,
 			Summary:   "cluster topology and health",
-			Desc:      "Membership, key-range ownership, the stamper identity and a live health probe of every node.",
+			Desc:      "Membership, key-range ownership, the stamper identity (the group-commit sequencer of the replicated record stream) and a live health probe of every node.",
 			Responses: map[string]string{"200": "cluster document"}},
 
 		{Method: "POST", Pattern: "/api/v1/chaos/forge", Family: FamChaos,

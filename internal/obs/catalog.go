@@ -83,6 +83,9 @@ const (
 	MClusterStaleSubmissions  = "cluster_stale_submissions_total"
 	MClusterPausedKeys        = "cluster_paused_keys"
 	MClusterIncidents         = "cluster_incidents_total"
+	MClusterStampBatchSize    = "cluster_stamp_batch_size"
+	MClusterReplicationBytes  = "cluster_replication_bytes_total"
+	MClusterJournalErrors     = "cluster_journal_errors_total"
 
 	// internal/durable — the segmented write-ahead log (Ancora/PAPERS.md).
 	MWalFsyncSeconds    = "wal_fsync_seconds"
@@ -174,6 +177,9 @@ func Catalog() []Def {
 		{MClusterStaleSubmissions, "counter", "—", "§VII", "Optimistic task submissions rejected by the sequencer (frontier or read set no longer current)."},
 		{MClusterPausedKeys, "gauge", "—", "§IV", "Store keys currently quiesced by an incident's partial quiescence."},
 		{MClusterIncidents, "counter", "—", "§IV", "Damage incidents this node led through assess, quiesce and repair."},
+		{MClusterStampBatchSize, "histogram", "—", "§VII", "Entries stamped per group-commit batch (one journal fsync amortized across each batch)."},
+		{MClusterReplicationBytes, "counter", "—", "§VII", "Binary replication body bytes, labeled by direction (dir=in received, dir=out sent)."},
+		{MClusterJournalErrors, "counter", "—", "§VII", "Record-journal append failures (the replica stays ahead of its journal; -join catch-up heals the gap)."},
 		{MWalFsyncSeconds, "histogram", "—", "§I", "Wall-clock latency of one group-commit fsync."},
 		{MWalGroupEntries, "histogram", "—", "§II.A", "Records made durable by one fsync (the achieved group-commit fold)."},
 		{MWalAppendedBytes, "counter", "—", "§II.A", "Bytes appended to WAL segments."},

@@ -27,6 +27,11 @@ go test -run '^$' -bench '^Benchmark(Repair|AlertStorm)' -benchtime=1x .
 # numbers.
 go test -run '^$' -bench '^Benchmark(Append|Replay)$' -benchtime=1x ./internal/durable/
 
+# Cluster commit-path benchmark smoke: group-stamped batch submission and
+# the binary replication codec must run; BENCH_cluster.json records real
+# numbers.
+go test -run '^$' -bench '^Benchmark(ClusterCommit|ReplicationCodec)' -benchtime=1x ./internal/cluster/
+
 # Godoc gate: every internal package and every command must carry a package
 # doc comment ("// Package <name> ..." / "// Command <name> ...") so the
 # architecture stays self-describing (docs/ARCHITECTURE.md maps the same
@@ -119,7 +124,8 @@ echo "CRASH SMOKE OK"
 
 # Cluster smoke (docs/CLUSTER.md): a 3-node cluster of real processes —
 # cross-node run, forged attack, SIGKILL a follower mid-repair, rejoin it
-# with -join, then require byte-identical stores on every node
+# with -join, a batched commit storm with a SIGKILL mid-batch, and a
+# windowed chain run, each ending with byte-identical stores on every node
 # (scripts/clustersmoke orchestrates the processes itself).
 "$tmpdir/clustersmoke" "$tmpdir/selfheal-server"
 

@@ -14,7 +14,16 @@
 //     repair without it;
 //  5. restart the killed node on its journal with -join and drain;
 //  6. require every node's store to be byte-identical to the baseline:
-//     the attack fully undone, the rejoined replica fully converged.
+//     the attack fully undone, the rejoined replica fully converged;
+//  7. stream batched submissions into the stamper's group-commit path
+//     (16-entry POSTs to /internal/v1/submit) and SIGKILL a follower in
+//     the middle of the stream — mid-batch, while binary replication
+//     frames are in flight to it — then keep submitting: the survivors
+//     commit everything, the rejoined node replays its (possibly torn)
+//     binary journal, catches up with -join, and converges byte-identically;
+//  8. drive a long owner-contiguous chain run so the pipelined executors
+//     form real multi-entry windows across processes, and require the
+//     final stores byte-identical with the chain's last value in place.
 //
 // Exits 0 and prints "CLUSTER SMOKE OK" on success; any deviation is fatal.
 //
@@ -193,6 +202,133 @@ func (s *smoke) run() {
 			log.Fatalf("post-repair divergence: node %s store differs from the pre-attack baseline:\n%s\n---\n%s", id, got, baseline)
 		}
 	}
+
+	s.batchedCommitStorm()
+	s.windowedChainRun(ring)
+}
+
+// batchedCommitStorm drives the group-commit path directly: sequential
+// 16-entry batches into the stamper's internal submit endpoint, with
+// follower c SIGKILLed in the middle of the stream. Every batch must be
+// stamped "ok" (stamping needs no follower), and after a -join restart c's
+// journal replay + catch-up must converge byte-identically.
+func (s *smoke) batchedCommitStorm() {
+	const batches, batch = 30, 16
+	kill := batches / 3
+	for bi := 0; bi < batches; bi++ {
+		if bi == kill {
+			proc := s.procs["c"]
+			if err := proc.Process.Kill(); err != nil {
+				log.Fatalf("SIGKILL node c mid-batch: %v", err)
+			}
+			proc.Wait()
+			delete(s.procs, "c")
+		}
+		entries := make([]map[string]any, batch)
+		for i := range entries {
+			n := bi*batch + i
+			entries[i] = map[string]any{
+				"run": "storm", "task": fmt.Sprintf("f%06d", n), "visit": 1,
+				"forged": true, "writes": map[string]int64{"stormk": int64(n)},
+			}
+		}
+		var resp struct {
+			Results []struct {
+				Status string `json:"status"`
+				Seq    int    `json:"seq"`
+			} `json:"results"`
+		}
+		s.post("a", "/internal/v1/submit", map[string]any{"origin": "smoke", "entries": entries}, &resp)
+		if len(resp.Results) != batch {
+			log.Fatalf("batch %d: %d results for %d entries", bi, len(resp.Results), batch)
+		}
+		for i, r := range resp.Results {
+			if r.Status != "ok" {
+				log.Fatalf("batch %d entry %d: status %q", bi, i, r.Status)
+			}
+			if i > 0 && r.Seq != resp.Results[i-1].Seq+1 {
+				log.Fatalf("batch %d: seqs not dense (%d after %d)", bi, r.Seq, resp.Results[i-1].Seq)
+			}
+		}
+	}
+	s.startNode("c", true)
+	s.waitUp("c")
+	s.drain("a")
+	ref := s.store("a")
+	for _, id := range ids {
+		if got := s.store(id); !bytes.Equal(got, ref) {
+			log.Fatalf("post-storm divergence: node %s store differs from node a:\n%s\n---\n%s", id, got, ref)
+		}
+	}
+}
+
+// windowedChainRun submits a long chain whose write keys come in
+// owner-contiguous segments, so each node's pipelined executor forms real
+// multi-entry submission windows across process boundaries.
+func (s *smoke) windowedChainRun(ring *cluster.Ring) {
+	segment := map[string][]string{}
+	for i := 0; shortestSeg(segment) < 6; i++ {
+		k := fmt.Sprintf("wk%04d", i)
+		owner := ring.OwnerOfKey(data.Key(k))
+		segment[owner] = append(segment[owner], k)
+	}
+	var chain []string
+	for _, id := range ids {
+		chain = append(chain, segment[id][:6]...)
+	}
+	spec := wfjson.SpecJSON{Name: "windowed", Start: "t0"}
+	for i, k := range chain {
+		tj := wfjson.TaskJSON{ID: fmt.Sprintf("t%d", i), Writes: []string{k}, Bias: int64(i + 1)}
+		if i > 0 {
+			tj.Reads = []string{chain[i-1]}
+		}
+		if i+1 < len(chain) {
+			tj.Next = []string{fmt.Sprintf("t%d", i+1)}
+		}
+		spec.Tasks = append(spec.Tasks, tj)
+	}
+	s.post("b", "/api/v1/runs", map[string]any{"id": "windowed", "spec": spec}, nil)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var info struct {
+			Status string `json:"status"`
+		}
+		s.get("b", "/api/v1/runs/windowed", &info)
+		if info.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("windowed run never completed (status %q)", info.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	s.drain("a")
+	ref := s.store("a")
+	for _, id := range ids {
+		if got := s.store(id); !bytes.Equal(got, ref) {
+			log.Fatalf("windowed-run divergence: node %s store differs from node a:\n%s\n---\n%s", id, got, ref)
+		}
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(ref, &snap); err != nil {
+		log.Fatalf("store decode: %v", err)
+	}
+	if snap[chain[len(chain)-1]] == 0 {
+		log.Fatalf("windowed chain's last key %s missing from store", chain[len(chain)-1])
+	}
+}
+
+func shortestSeg(m map[string][]string) int {
+	if len(m) < len(ids) {
+		return 0
+	}
+	min := 1 << 30
+	for _, id := range ids {
+		if len(m[id]) < min {
+			min = len(m[id])
+		}
+	}
+	return min
 }
 
 func (s *smoke) startNode(id string, join bool) {
